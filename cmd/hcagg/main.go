@@ -1,0 +1,84 @@
+// Command hcagg runs standalone truth inference: it aggregates a
+// `fact,worker,value` answers CSV with any of the eight baseline
+// algorithms and prints per-fact posteriors (and optionally the
+// estimated worker accuracies). It is the library's label-aggregation
+// surface without the hierarchical checking loop.
+//
+// Usage:
+//
+//	hcagg -in answers.csv -algo EBCC
+//	hcgen -tasks 20 -o - | ... (see hclabel for the full pipeline)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hcrowd"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hcagg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hcagg", flag.ContinueOnError)
+	var (
+		in      = fs.String("in", "", "answers CSV file (required; - for stdin)")
+		algo    = fs.String("algo", "EBCC", "algorithm: "+strings.Join(hcrowd.AggregatorNames(), ", "))
+		seed    = fs.Int64("seed", 1, "seed for sampling-based algorithms")
+		workers = fs.Bool("workers", false, "also print estimated worker accuracies")
+		labels  = fs.Bool("labels", false, "print hard labels instead of posteriors")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in (answers CSV)")
+	}
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	m, err := hcrowd.ReadAnswersCSV(r, 0)
+	if err != nil {
+		return err
+	}
+	agg, err := hcrowd.AggregatorByName(*algo, *seed)
+	if err != nil {
+		return err
+	}
+	res, err := agg.Aggregate(m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "# %s over %d facts × %d workers (%d answers), %d iterations, converged=%v\n",
+		agg.Name(), m.NumFacts(), m.NumWorkers(), m.NumAnswers(), res.Iterations, res.Converged)
+	if *labels {
+		for f, l := range res.Labels() {
+			fmt.Fprintf(stdout, "%d,%t\n", f, l)
+		}
+	} else {
+		for f, p := range res.PTrue {
+			fmt.Fprintf(stdout, "%d,%.6f\n", f, p)
+		}
+	}
+	if *workers {
+		fmt.Fprintln(stdout, "# worker,estimated_accuracy")
+		for w, id := range m.WorkerIDs() {
+			fmt.Fprintf(stdout, "%s,%.4f\n", id, res.WorkerAcc[w])
+		}
+	}
+	return nil
+}

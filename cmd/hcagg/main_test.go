@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeAnswers(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "answers.csv")
+	content := "fact,worker,value\n" +
+		"0,a,true\n0,b,true\n0,c,false\n" +
+		"1,a,false\n1,b,false\n1,c,false\n" +
+		"2,a,true\n2,b,false\n2,c,true\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPosteriors(t *testing.T) {
+	path := writeAnswers(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-algo", "MV"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# MV over 3 facts × 3 workers (9 answers)") {
+		t.Errorf("header missing: %q", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 { // header + 3 facts
+		t.Fatalf("lines = %d: %q", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[1], "0,0.66") {
+		t.Errorf("fact 0 posterior: %q", lines[1])
+	}
+}
+
+func TestRunLabelsAndWorkers(t *testing.T) {
+	path := writeAnswers(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-algo", "DS", "-labels", "-workers"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "0,true") && !strings.Contains(s, "0,false") {
+		t.Errorf("no hard labels: %q", s)
+	}
+	if !strings.Contains(s, "# worker,estimated_accuracy") {
+		t.Errorf("worker section missing: %q", s)
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	path := writeAnswers(t)
+	for _, algo := range []string{"MV", "DS", "ZC", "GLAD", "CRH", "BWA", "BCC", "EBCC"} {
+		var out bytes.Buffer
+		if err := run([]string{"-in", path, "-algo", algo}, &out); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nope.csv"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeAnswers(t)
+	if err := run([]string{"-in", path, "-algo", "nope"}, &out); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Command hcbench regenerates the paper's evaluation: every figure
+// (2–7) and Table III, printed as aligned tables and optionally exported
+// as CSV for plotting. EXPERIMENTS.md records a full run next to the
+// paper's numbers.
+//
+// Usage:
+//
+//	hcbench                 # run everything at full size
+//	hcbench -exp fig2,fig5  # a subset
+//	hcbench -quick          # CI-sized workloads (seconds)
+//	hcbench -csv out/       # also write out/<exp>_<n>.csv
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hcrowd/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hcbench", flag.ContinueOnError)
+	var (
+		expList = fs.String("exp", "all", "comma-separated experiment IDs ("+strings.Join(experiments.IDs(), ", ")+") or all")
+		quick   = fs.Bool("quick", false, "reduced workloads for smoke runs")
+		seed    = fs.Int64("seed", 1, "experiment seed")
+		csvDir  = fs.String("csv", "", "directory for CSV export (created if missing)")
+		repeats = fs.Int("repeats", 1, "average curves over this many consecutive seeds")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	drivers := experiments.All()
+
+	var ids []string
+	if *expList == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*expList, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := drivers[id]; !ok {
+				return fmt.Errorf("unknown experiment %q (have: %s)", id, strings.Join(experiments.IDs(), ", "))
+			}
+			ids = append(ids, id)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	ctx := context.Background()
+	for _, id := range ids {
+		start := time.Now()
+		d := drivers[id]
+		if *repeats > 1 {
+			d = experiments.Averaged(d, *repeats)
+		}
+		fig, err := d(ctx, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if err := fig.Render(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := exportCSV(*csvDir, fig); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// exportCSV writes each grid and table of the figure as
+// <dir>/<id>_<n>.csv.
+func exportCSV(dir string, fig *experiments.Figure) error {
+	n := 0
+	write := func(render func(io.Writer) error) error {
+		n++
+		path := filepath.Join(dir, fmt.Sprintf("%s_%d.csv", fig.ID, n))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return render(f)
+	}
+	for _, g := range fig.Grids {
+		if err := write(g.CSV); err != nil {
+			return err
+		}
+	}
+	for _, t := range fig.Tables {
+		if err := write(t.CSV); err != nil {
+			return err
+		}
+	}
+	return nil
+}

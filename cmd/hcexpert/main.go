@@ -1,0 +1,121 @@
+// Command hcexpert is the expert-side client for an hcserve labeling
+// service: it polls for checking queries addressed to a worker and
+// answers them — either interactively on the terminal or automatically
+// from a dataset file's ground truth under the worker's accuracy (the
+// simulation protocol, useful to stand in for absent colleagues).
+//
+// Usage:
+//
+//	hcexpert -server http://127.0.0.1:8080 -worker e0            # interactive
+//	hcexpert -server http://127.0.0.1:8080 -worker e1 -sim ds.json # simulated
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"hcrowd"
+	"hcrowd/internal/rngutil"
+	"hcrowd/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hcexpert:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hcexpert", flag.ContinueOnError)
+	var (
+		serverURL = fs.String("server", "http://127.0.0.1:8080", "hcserve base URL")
+		worker    = fs.String("worker", "", "expert worker ID (required)")
+		simPath   = fs.String("sim", "", "dataset JSON: answer automatically from its ground truth")
+		seed      = fs.Int64("seed", 1, "seed for simulated answering")
+		poll      = fs.Duration("poll", 200*time.Millisecond, "polling interval")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *worker == "" {
+		return fmt.Errorf("missing -worker")
+	}
+	client := server.NewClient(*serverURL)
+	experts, err := client.Experts(ctx)
+	if err != nil {
+		return fmt.Errorf("contacting server: %w", err)
+	}
+	found := false
+	for _, id := range experts {
+		if id == *worker {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("worker %q is not an expert on this session (have %v)", *worker, experts)
+	}
+
+	var answer func(facts []int) []bool
+	if *simPath != "" {
+		f, err := os.Open(*simPath)
+		if err != nil {
+			return err
+		}
+		ds, err := hcrowd.ReadDataset(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		w, ok := ds.Crowd.ByID(*worker)
+		if !ok {
+			return fmt.Errorf("worker %q not in dataset crowd", *worker)
+		}
+		rng := rngutil.New(*seed)
+		answer = func(facts []int) []bool {
+			values := make([]bool, len(facts))
+			for i, fct := range facts {
+				v := ds.Truth[fct]
+				if rng.Float64() >= w.PCorrect(v) {
+					v = !v
+				}
+				values[i] = v
+			}
+			fmt.Fprintf(stdout, "answered %d facts\n", len(facts))
+			return values
+		}
+	} else {
+		reader := bufio.NewReader(stdin)
+		answer = func(facts []int) []bool {
+			values := make([]bool, len(facts))
+			for i, fct := range facts {
+				fmt.Fprintf(stdout, "fact %d — is it true? [y/n]: ", fct)
+				line, err := reader.ReadString('\n')
+				if err != nil {
+					return values
+				}
+				values[i] = strings.HasPrefix(strings.TrimSpace(strings.ToLower(line)), "y")
+			}
+			return values
+		}
+	}
+	fmt.Fprintf(stdout, "hcexpert: answering as %s\n", *worker)
+	if err := client.AnswerLoop(ctx, *worker, answer, *poll); err != nil {
+		return err
+	}
+	st, err := client.Status(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "hcexpert: session done after %d rounds, quality %.4f\n", st.Rounds, st.Quality)
+	return nil
+}

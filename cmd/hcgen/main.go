@@ -1,0 +1,70 @@
+// Command hcgen generates a synthetic sentiment-like dataset (the
+// paper's experimental shape; see DESIGN.md substitution 1) and writes it
+// as JSON to stdout or a file. The output feeds cmd/hclabel.
+//
+// Usage:
+//
+//	hcgen -seed 1 -tasks 200 -facts 5 -theta 0.9 -o dataset.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hcrowd"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hcgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hcgen", flag.ContinueOnError)
+	var (
+		seed    = fs.Int64("seed", 1, "random seed (same seed, same dataset)")
+		tasks   = fs.Int("tasks", 200, "number of correlated tasks")
+		facts   = fs.Int("facts", 5, "facts per task")
+		theta   = fs.Float64("theta", 0.9, "expert accuracy threshold")
+		alpha   = fs.Float64("alpha", 0.3, "correlation alpha (small = strongly correlated)")
+		rate    = fs.Float64("rate", 1.0, "preliminary answer rate in (0,1]")
+		prelim  = fs.Int("prelim", 6, "preliminary workers")
+		experts = fs.Int("experts", 2, "expert workers")
+		out     = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := hcrowd.DefaultSentiConfig()
+	cfg.NumTasks = *tasks
+	cfg.FactsPerTask = *facts
+	cfg.Theta = *theta
+	cfg.CorrelationAlpha = *alpha
+	cfg.AnswerRate = *rate
+	cfg.Crowd.NumPrelim = *prelim
+	cfg.Crowd.NumExpert = *experts
+	ds, err := hcrowd.GenerateSentiLike(*seed, cfg)
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ds.Write(w); err != nil {
+		return err
+	}
+	ce, cp := ds.Split()
+	fmt.Fprintf(os.Stderr, "hcgen: %d facts in %d tasks, %d experts / %d preliminary, %d answers\n",
+		ds.NumFacts(), len(ds.Tasks), len(ce), len(cp), ds.Prelim.NumAnswers())
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hcrowd"
+)
+
+func TestRunWritesValidDataset(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-seed", "3", "-tasks", "4", "-facts", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := hcrowd.ReadDataset(&buf)
+	if err != nil {
+		t.Fatalf("output not a valid dataset: %v", err)
+	}
+	if ds.NumFacts() != 12 || len(ds.Tasks) != 4 {
+		t.Errorf("shape: %d facts, %d tasks", ds.NumFacts(), len(ds.Tasks))
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := run([]string{"-tasks", "2", "-o", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := hcrowd.ReadDataset(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-tasks", "0"}, &bytes.Buffer{}); err == nil {
+		t.Error("zero tasks accepted")
+	}
+	if err := run([]string{"-badflag"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-theta", "0.2"}, &bytes.Buffer{}); err == nil {
+		t.Error("invalid theta accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-seed", "9", "-tasks", "3"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "9", "-tasks", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed, different output")
+	}
+}

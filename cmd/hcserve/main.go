@@ -1,0 +1,161 @@
+// Command hcserve runs the hierarchical crowdsourcing loop as an HTTP
+// labeling service: it loads a dataset (hcgen output), starts the
+// select–check–update pipeline, and serves checking queries to expert
+// clients until the budget is spent.
+//
+//	GET  /experts           experts who may answer
+//	GET  /queries?worker=e0 the open checking round for that expert
+//	POST /answers           {"round": n, "worker": "e0", "values": [...]}
+//	GET  /status            progress JSON
+//	GET  /labels            final labels once done
+//
+// With -sim the server answers its own queries from the dataset's ground
+// truth under each expert's accuracy (the paper's simulation protocol) —
+// useful for demos and smoke tests.
+//
+// Usage:
+//
+//	hcserve -in dataset.json -addr :8080 -budget 500
+//	hcserve -in dataset.json -sim   # self-driving demo
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"hcrowd"
+	"hcrowd/internal/pipeline"
+	"hcrowd/internal/rngutil"
+	"hcrowd/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hcserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hcserve", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "dataset JSON file (required)")
+		addr   = fs.String("addr", "127.0.0.1:8080", "listen address")
+		budget = fs.Float64("budget", 500, "expert answer budget")
+		k      = fs.Int("k", 1, "checking queries per round")
+		init   = fs.String("init", "EBCC", "belief initializer")
+		seed   = fs.Int64("seed", 1, "seed (simulation mode)")
+		sim    = fs.Bool("sim", false, "answer queries internally from ground truth")
+		rt     = fs.Duration("round-timeout", 0, "proceed with partial answers after this long (0 = wait for all experts)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in (dataset file)")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	ds, err := hcrowd.ReadDataset(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	agg, err := hcrowd.AggregatorByName(*init, *seed)
+	if err != nil {
+		return err
+	}
+	couple, err := ds.EstimateCoupling()
+	if err != nil {
+		return err
+	}
+	sess, err := server.NewSessionTimeout(ctx, ds, pipeline.Config{
+		K:             *k,
+		Budget:        *budget,
+		Init:          agg,
+		PriorCoupling: couple,
+	}, *rt)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: server.Handler(sess)}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	fmt.Fprintf(stdout, "hcserve: %d facts, experts %v, budget %.0f, listening on %s\n",
+		ds.NumFacts(), sess.Experts(), *budget, ln.Addr())
+
+	if *sim {
+		go simulate(ctx, sess, ds, *seed)
+		go func() {
+			// In demo mode the process exits when labeling completes.
+			if _, err := sess.Wait(ctx); err == nil {
+				st := sess.Status()
+				fmt.Fprintf(stdout, "hcserve: done after %d rounds, quality %.4f\n",
+					st.Rounds, st.Quality)
+			}
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shutdownCtx)
+		}()
+	}
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// simulate answers every published round from the ground truth under each
+// expert's accuracy — the offline protocol of §IV-A.
+func simulate(ctx context.Context, sess *server.Session, ds *hcrowd.Dataset, seed int64) {
+	rng := rngutil.New(seed + 99)
+	ce, _ := ds.Split()
+	for ctx.Err() == nil {
+		progressed := false
+		for _, w := range ce {
+			round, facts, ok := sess.Queries(w.ID)
+			if !ok {
+				continue
+			}
+			values := make([]bool, len(facts))
+			for i, f := range facts {
+				v := ds.Truth[f]
+				if rng.Float64() >= w.PCorrect(v) {
+					v = !v
+				}
+				values[i] = v
+			}
+			if err := sess.Answer(round, w.ID, values); err != nil {
+				return
+			}
+			progressed = true
+		}
+		if !progressed {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hcrowd"
+)
+
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	cfg := hcrowd.DefaultSentiConfig()
+	cfg.NumTasks = 5
+	ds, err := hcrowd.GenerateSentiLike(4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ds.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSimModeCompletes(t *testing.T) {
+	path := writeDataset(t)
+	var out bytes.Buffer
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	err := run(ctx, []string{"-in", path, "-addr", "127.0.0.1:0", "-budget", "10", "-sim"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "listening on") || !strings.Contains(s, "done after") {
+		t.Errorf("output: %q", s)
+	}
+}
+
+func TestRunServesHTTP(t *testing.T) {
+	path := writeDataset(t)
+	var out bytes.Buffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const addr = "127.0.0.1:18764"
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-in", path, "-addr", addr, "-budget", "10"}, &out)
+	}()
+	// Poll /status until the server is up.
+	var status struct {
+		Done bool `json:"done"`
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/status")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&status)
+			resp.Body.Close()
+			if err == nil {
+				break
+			}
+		}
+		select {
+		case <-deadline:
+			t.Fatal("server never came up")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	// Experts endpoint works.
+	resp, err := http.Get("http://" + addr + "/experts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/experts = %d", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	ctx := context.Background()
+	var out bytes.Buffer
+	if err := run(ctx, []string{}, &out); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run(ctx, []string{"-in", "/missing.json"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeDataset(t)
+	if err := run(ctx, []string{"-in", path, "-init", "nope"}, &out); err == nil {
+		t.Error("bad init accepted")
+	}
+	if err := run(ctx, []string{"-in", path, "-addr", "256.0.0.1:99999"}, &out); err == nil {
+		t.Error("bad address accepted")
+	}
+}

@@ -1,0 +1,36 @@
+// Package hcrowd is a Go implementation of "Hierarchical Crowdsourcing
+// for Data Labeling with Heterogeneous Crowd" (Zhang et al., ICDE 2023).
+//
+// The framework improves crowd-labeled data without extra labor cost by
+// splitting a heterogeneous worker pool at an accuracy threshold θ into
+// preliminary workers (who label everything) and expert workers (who
+// check selected labels), then running an initialize–select–check–update
+// loop:
+//
+//  1. Initialize a belief state over each task's joint label assignment
+//     from the preliminary answers (any aggregation algorithm works; the
+//     package ships MV, DS, ZC, GLAD, CRH, BWA, BCC and EBCC).
+//  2. Select the checking query set that maximizes the expected quality
+//     improvement. The paper proves this equals minimizing the
+//     conditional entropy H(O | AS^T_CE) of the observations given the
+//     expert answer families (Theorems 1–2), that the exact problem is
+//     NP-hard (Theorem 3), and that greedy selection is a (1−1/e)
+//     approximation.
+//  3. Collect expert answers and apply the Bayesian belief update
+//     (Lemma 3); repeat until the checking budget is exhausted.
+//
+// Quick start:
+//
+//	ds, _ := hcrowd.GenerateSentiLike(1, hcrowd.DefaultSentiConfig())
+//	res, _ := hcrowd.Run(context.Background(), ds, hcrowd.Config{
+//		K:      1,
+//		Budget: 500,
+//		Init:   hcrowd.EBCC(1),
+//		Source: hcrowd.NewSimulatedSource(2, ds),
+//	})
+//	fmt.Printf("accuracy %.3f -> %.3f\n", res.InitAccuracy, res.Accuracy)
+//
+// The cmd/hcbench tool regenerates every figure and table of the paper's
+// evaluation; see DESIGN.md for the experiment-to-module map and
+// EXPERIMENTS.md for paper-vs-measured results.
+package hcrowd

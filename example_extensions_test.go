@@ -1,0 +1,96 @@
+package hcrowd_test
+
+import (
+	"context"
+	"fmt"
+
+	"hcrowd"
+)
+
+// ExamplePartitionPrior shows transitivity propagating a checking answer
+// across an entity-resolution block's pairs.
+func ExamplePartitionPrior() {
+	// Three records a, b, c: facts are the pairs (a,b), (a,c), (b,c).
+	d, err := hcrowd.PartitionPrior(3)
+	if err != nil {
+		panic(err)
+	}
+	ab, _ := hcrowd.PairIndex(0, 1, 3)
+	bc, _ := hcrowd.PairIndex(1, 2, 3)
+	ac, _ := hcrowd.PairIndex(0, 2, 3)
+
+	oracle := hcrowd.Worker{ID: "expert", Accuracy: 1}
+	err = d.Update(hcrowd.AnswerFamily{{
+		Worker: oracle,
+		Facts:  []int{ab, bc},
+		Values: []bool{true, true},
+	}})
+	if err != nil {
+		panic(err)
+	}
+	// Nobody asked about (a,c); transitivity settles it anyway.
+	fmt.Printf("P(a~c | a~b, b~c) = %.0f\n", d.Marginal(ac))
+	// Output:
+	// P(a~c | a~b, b~c) = 1
+}
+
+// ExampleRunCostAware demonstrates the per-unit cost extension: answers
+// are bought individually by gain-per-cost under accuracy-linked prices.
+func ExampleRunCostAware() {
+	cfg := hcrowd.DefaultSentiConfig()
+	cfg.NumTasks = 10
+	ds, err := hcrowd.GenerateSentiLike(1, cfg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := hcrowd.RunCostAware(context.Background(), ds, hcrowd.Config{
+		K:      2,
+		Budget: 12,
+		Source: hcrowd.NewSimulatedSource(2, ds),
+		Cost: func(w hcrowd.Worker) float64 {
+			return 1 + 10*(w.Accuracy-0.9) // pricier when more accurate
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("stayed within budget: %v\n", res.BudgetSpent <= 12)
+	fmt.Printf("improved: %v\n", res.Quality > res.InitQuality)
+	// Output:
+	// stayed within budget: true
+	// improved: true
+}
+
+// ExampleEstimateConfusion recovers class-conditional worker rates from
+// gold tasks — the confusion-matrix generalization of the accuracy-rate
+// error model.
+func ExampleEstimateConfusion() {
+	// A worker who always says Yes: perfect on true facts, useless on
+	// false ones.
+	w := hcrowd.Worker{ID: "optimist", Accuracy: 0.75}
+	facts := []int{0, 1, 2, 3}
+	truth := func(f int) bool { return f < 2 } // facts 0,1 true; 2,3 false
+	gold := []hcrowd.AnswerFamily{{{
+		Worker: w,
+		Facts:  facts,
+		Values: []bool{true, true, true, true},
+	}}}
+	est := hcrowd.EstimateConfusion(hcrowd.Crowd{w}, gold, truth)
+	fmt.Printf("TPR=%.2f TNR=%.2f\n", est[0].TPR, est[0].TNR)
+	// Output:
+	// TPR=0.75 TNR=0.50
+}
+
+// ExampleCondEntropy scores a checking query set by the objective the
+// selection minimizes (Theorem 2).
+func ExampleCondEntropy() {
+	d, _ := hcrowd.BeliefFromJoint([]float64{0.25, 0.25, 0.25, 0.25})
+	experts := hcrowd.Crowd{{ID: "e", Accuracy: 1}} // an oracle
+	h0 := d.Entropy()
+	h1, _ := hcrowd.CondEntropy(d, experts, []int{0})
+	h2, _ := hcrowd.CondEntropy(d, experts, []int{0, 1})
+	// Each oracle answer removes exactly one bit (ln 2 nats).
+	fmt.Printf("bits left: %.0f -> %.0f -> %.0f\n", h0/0.6931, h1/0.6931, h2/0.6931)
+	// Output:
+	// bits left: 2 -> 1 -> 0
+}

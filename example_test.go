@@ -1,0 +1,76 @@
+package hcrowd_test
+
+import (
+	"context"
+	"fmt"
+
+	"hcrowd"
+)
+
+// ExampleRun demonstrates the full hierarchical crowdsourcing loop on a
+// small synthetic dataset.
+func ExampleRun() {
+	cfg := hcrowd.DefaultSentiConfig()
+	cfg.NumTasks = 10
+	ds, err := hcrowd.GenerateSentiLike(1, cfg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := hcrowd.Run(context.Background(), ds, hcrowd.Config{
+		K:      1,
+		Budget: 20,
+		Init:   hcrowd.EBCC(1),
+		Source: hcrowd.NewSimulatedSource(2, ds),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rounds: %d, budget spent: %.0f\n", len(res.Rounds), res.BudgetSpent)
+	fmt.Printf("improved: %v\n", res.Quality > res.InitQuality)
+	// Output:
+	// rounds: 10, budget spent: 20
+	// improved: true
+}
+
+// ExampleBeliefFromJoint walks the paper's Table I worked example.
+func ExampleBeliefFromJoint() {
+	d, err := hcrowd.BeliefFromJoint([]float64{
+		0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P(f1)=%.2f P(f2)=%.2f P(f3)=%.2f\n",
+		d.Marginal(0), d.Marginal(1), d.Marginal(2))
+	labels := d.Labels()
+	fmt.Printf("MAP labels: %v\n", labels)
+	// Output:
+	// P(f1)=0.58 P(f2)=0.63 P(f3)=0.50
+	// MAP labels: [true true false]
+}
+
+// ExampleQualityGain scores candidate checking queries per Theorem 1.
+func ExampleQualityGain() {
+	d, _ := hcrowd.BeliefFromJoint([]float64{0.4, 0.1, 0.1, 0.4})
+	experts := hcrowd.Crowd{{ID: "e", Accuracy: 0.95}}
+	g0, _ := hcrowd.QualityGain(d, experts, []int{0})
+	gBoth, _ := hcrowd.QualityGain(d, experts, []int{0, 1})
+	fmt.Printf("one query gains %.3f, two gain %.3f\n", g0, gBoth)
+	fmt.Printf("diminishing returns: %v\n", gBoth < 2*g0)
+	// Output:
+	// one query gains 0.495, two gain 0.866
+	// diminishing returns: true
+}
+
+// ExampleCrowd_Split shows Definition 1's expert/preliminary partition.
+func ExampleCrowd_Split() {
+	crowd := hcrowd.Crowd{
+		{ID: "alice", Accuracy: 0.95},
+		{ID: "bob", Accuracy: 0.72},
+		{ID: "carol", Accuracy: 0.91},
+	}
+	experts, preliminary := crowd.Split(0.9)
+	fmt.Printf("experts: %d, preliminary: %d\n", len(experts), len(preliminary))
+	// Output:
+	// experts: 2, preliminary: 1
+}

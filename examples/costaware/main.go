@@ -1,0 +1,101 @@
+// Costaware: the §III-D extensions together — per-worker answer pricing
+// tied to accuracy, and a multi-tier expert hierarchy. A fixed monetary
+// budget buys fewer answers from better checkers; the example compares
+// (a) a flat expert group under unit cost, (b) the same group under
+// accuracy-linked pricing, and (c) a two-tier hierarchy where the elite
+// tier checks first and a cheaper tier continues.
+//
+// Run with: go run ./examples/costaware
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"hcrowd"
+)
+
+func main() {
+	cfg := hcrowd.DefaultSentiConfig()
+	cfg.NumTasks = 80
+	// A wider expert band so pricing and tiering have something to bite:
+	// two near-oracle checkers and two merely good ones.
+	cfg.Crowd = hcrowd.HeterogeneousConfig{
+		NumPrelim: 6, PrelimLo: 0.58, PrelimHi: 0.78,
+		NumExpert: 4, ExpertLo: 0.90, ExpertHi: 0.99,
+	}
+	ds, err := hcrowd.GenerateSentiLike(11, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ce, _ := ds.Split()
+	fmt.Printf("expert pool:")
+	for _, w := range ce {
+		fmt.Printf(" %s=%.3f", w.ID, w.Accuracy)
+	}
+	fmt.Println()
+
+	const budget = 300
+	base := hcrowd.Config{
+		K:      1,
+		Budget: budget,
+		Init:   hcrowd.EBCC(1),
+	}
+
+	// (a) Flat group, unit cost.
+	flat := base
+	flat.Source = hcrowd.NewSimulatedSource(21, ds)
+	resFlat, err := hcrowd.Run(context.Background(), ds, flat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flat, unit cost:        accuracy %.4f -> %.4f (%d rounds)\n",
+		resFlat.InitAccuracy, resFlat.Accuracy, len(resFlat.Rounds))
+
+	// (b) Flat group, accuracy-linked pricing: an answer from a worker
+	// with accuracy a costs 1 + 10·(a − 0.9), so the 0.99 checker is
+	// nearly twice the price of the 0.90 one.
+	priced := base
+	priced.Source = hcrowd.NewSimulatedSource(21, ds)
+	priced.Cost = func(w hcrowd.Worker) float64 { return 1 + 10*(w.Accuracy-0.9) }
+	resPriced, err := hcrowd.Run(context.Background(), ds, priced)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flat, priced answers:   accuracy %.4f -> %.4f (%d rounds)\n",
+		resPriced.InitAccuracy, resPriced.Accuracy, len(resPriced.Rounds))
+
+	// (c) Two tiers: the elite half checks first with half the budget,
+	// then the value tier continues from the updated beliefs.
+	tiers, _, err := hcrowd.SplitTiers(ds.Crowd, ds.Theta, 2, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tiered := base
+	tiered.Source = hcrowd.NewSimulatedSource(21, ds)
+	resTiers, err := hcrowd.RunTiers(context.Background(), ds, tiered, tiers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("two-tier hierarchy:     accuracy %.4f -> %.4f (%d rounds)\n",
+		resTiers.InitAccuracy, resTiers.Accuracy, len(resTiers.Rounds))
+
+	// (d) Per-unit cost-aware selection: the §III-D future-work design —
+	// buy individual (query, expert) answers by gain-per-cost instead of
+	// paying the whole panel each round.
+	unit := base
+	unit.Source = hcrowd.NewSimulatedSource(21, ds)
+	unit.Cost = priced.Cost
+	resUnit, err := hcrowd.RunCostAware(context.Background(), ds, unit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("per-unit cost greedy:   accuracy %.4f -> %.4f (%d rounds)\n",
+		resUnit.InitAccuracy, resUnit.Accuracy, len(resUnit.Rounds))
+
+	fmt.Println("\nPricing shrinks the answer count the same budget buys; the tiered")
+	fmt.Println("design concentrates the elite checkers on the earliest (most")
+	fmt.Println("uncertain) queries, and per-unit selection routes each answer to")
+	fmt.Println("whichever expert buys the most entropy per unit of cost.")
+}

@@ -1,0 +1,69 @@
+// Medical: the CheXpert-style scenario from the paper's introduction —
+// X-ray findings labeled by many ordinary crowdsourcing doctors while a
+// small radiologist panel adjudicates. Each study is a task of five
+// correlated binary findings (e.g. cardiomegaly, edema, consolidation,
+// atelectasis, effusion — comorbidities make them correlate); the
+// radiologists are modeled as near-oracle checkers (§III-D's oracle
+// discussion), and the stopping rule of Abraham et al. [38] prevents
+// re-checking a finding the panel has already settled.
+//
+// Run with: go run ./examples/medical
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"hcrowd"
+)
+
+func main() {
+	// 120 studies × 5 findings; ordinary doctors are noisier than generic
+	// crowd workers on subtle findings, radiologists are near-perfect.
+	cfg := hcrowd.DefaultSentiConfig()
+	cfg.NumTasks = 120
+	cfg.CorrelationAlpha = 0.2 // strong comorbidity correlation
+	cfg.Crowd = hcrowd.HeterogeneousConfig{
+		NumPrelim: 10, PrelimLo: 0.60, PrelimHi: 0.80, // ordinary doctors
+		NumExpert: 3, ExpertLo: 0.97, ExpertHi: 1.0, // radiologist panel
+	}
+	cfg.Theta = 0.95
+	ds, err := hcrowd.GenerateSentiLike(2024, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	panel, doctors := ds.Split()
+	fmt.Printf("%d studies, %d findings; %d radiologists adjudicate labels from %d doctors\n",
+		len(ds.Tasks), ds.NumFacts(), len(panel), len(doctors))
+
+	// Radiologist time is the scarce resource: a budget of 600 panel
+	// answers (~40 studies' worth), with the stopping rule retiring
+	// findings once the panel's verdict is decisive.
+	res, err := hcrowd.Run(context.Background(), ds, hcrowd.Config{
+		K:      2, // send two findings per adjudication round
+		Budget: 600,
+		Init:   hcrowd.AggregatorMust("DS", 1), // confusion-matrix model suits doctors
+		Source: hcrowd.NewSimulatedSource(5, ds),
+		Stop:   &hcrowd.StopRule{C: 1.5, Eps: 0.05},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("label accuracy: %.4f -> %.4f after %d panel rounds (%.0f answers)\n",
+		res.InitAccuracy, res.Accuracy, len(res.Rounds), res.BudgetSpent)
+
+	// How many findings still disagree with a full-panel majority would
+	// tell a deployment where to spend the next batch of panel time; the
+	// belief state exposes exactly that uncertainty.
+	uncertain := 0
+	for _, b := range res.Beliefs {
+		for f := 0; f < b.NumFacts(); f++ {
+			if p := b.Marginal(f); p > 0.2 && p < 0.8 {
+				uncertain++
+			}
+		}
+	}
+	fmt.Printf("findings still uncertain (0.2 < P < 0.8): %d of %d\n",
+		uncertain, ds.NumFacts())
+}

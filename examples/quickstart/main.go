@@ -1,0 +1,92 @@
+// Quickstart: the smallest end-to-end use of the hcrowd public API.
+//
+// It first walks through the paper's Table I worked example — a 3-fact
+// task with a correlated joint belief — showing marginals, quality, and
+// what one expert checking round does to the belief. It then runs the
+// full hierarchical crowdsourcing pipeline on a small synthetic dataset.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"hcrowd"
+)
+
+func main() {
+	tableIExample()
+	pipelineExample()
+}
+
+// tableIExample reproduces Table I of the paper.
+func tableIExample() {
+	fmt.Println("== Table I worked example ==")
+	// Observations o1..o8 over facts f1..f3 (f1 = bit 0).
+	d, err := hcrowd.BeliefFromJoint([]float64{
+		0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(f1)=%.2f P(f2)=%.2f P(f3)=%.2f (Equation 4)\n",
+		d.Marginal(0), d.Marginal(1), d.Marginal(2))
+	fmt.Printf("quality Q(F) = -H(O) = %.4f\n", d.Quality())
+
+	// One expert with accuracy 0.95; which single fact is the best
+	// checking query? (Theorem 2: minimize conditional entropy.)
+	experts := hcrowd.Crowd{{ID: "expert", Accuracy: 0.95}}
+	bestFact, bestGain := -1, -1.0
+	for f := 0; f < d.NumFacts(); f++ {
+		gain, err := hcrowd.QualityGain(d, experts, []int{f})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  checking f%d: expected quality gain %.4f\n", f+1, gain)
+		if gain > bestGain {
+			bestFact, bestGain = f, gain
+		}
+	}
+	fmt.Printf("best single checking query: f%d (the 0.50 marginal — most uncertain)\n", bestFact+1)
+
+	// Simulate the expert answering "f3 is true" and update (Lemma 3).
+	fam := hcrowd.AnswerFamily{{
+		Worker: experts[0],
+		Facts:  []int{bestFact},
+		Values: []bool{true},
+	}}
+	if err := d.Update(fam); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after update: P(f3)=%.4f, quality %.4f\n\n", d.Marginal(2), d.Quality())
+}
+
+// pipelineExample runs Algorithm 3 end to end on synthetic data.
+func pipelineExample() {
+	fmt.Println("== Hierarchical crowdsourcing pipeline ==")
+	cfg := hcrowd.DefaultSentiConfig()
+	cfg.NumTasks = 40 // 200 facts
+	ds, err := hcrowd.GenerateSentiLike(1, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ce, cp := ds.Split()
+	fmt.Printf("dataset: %d facts in %d tasks; crowd: %d experts / %d preliminary (theta=%.2f)\n",
+		ds.NumFacts(), len(ds.Tasks), len(ce), len(cp), ds.Theta)
+
+	res, err := hcrowd.Run(context.Background(), ds, hcrowd.Config{
+		K:      1,
+		Budget: 120,
+		Init:   hcrowd.EBCC(1),
+		Source: hcrowd.NewSimulatedSource(2, ds),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accuracy: %.4f -> %.4f\n", res.InitAccuracy, res.Accuracy)
+	fmt.Printf("quality:  %.4f -> %.4f\n", res.InitQuality, res.Quality)
+	fmt.Printf("%d checking rounds, %.0f expert answers spent\n",
+		len(res.Rounds), res.BudgetSpent)
+}

@@ -1,0 +1,3 @@
+module hcrowd
+
+go 1.22

@@ -1,0 +1,214 @@
+package hcrowd_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"hcrowd"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cfg := hcrowd.DefaultSentiConfig()
+	cfg.NumTasks = 20
+	ds, err := hcrowd.GenerateSentiLike(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hcrowd.Run(context.Background(), ds, hcrowd.Config{
+		K:      1,
+		Budget: 40,
+		Init:   hcrowd.EBCC(1),
+		Source: hcrowd.NewSimulatedSource(2, ds),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality < res.InitQuality {
+		t.Errorf("quality fell: %v -> %v", res.InitQuality, res.Quality)
+	}
+	if len(res.Labels) != ds.NumFacts() {
+		t.Errorf("labels = %d, want %d", len(res.Labels), ds.NumFacts())
+	}
+}
+
+func TestPublicTableIExample(t *testing.T) {
+	// The paper's Table I as a public-API walkthrough.
+	d, err := hcrowd.BeliefFromJoint([]float64{0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Marginal(0); math.Abs(got-0.58) > 1e-12 {
+		t.Errorf("P(f1) = %v", got)
+	}
+	experts := hcrowd.Crowd{{ID: "e", Accuracy: 0.95}}
+	gain, err := hcrowd.QualityGain(d, experts, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain <= 0 {
+		t.Errorf("gain = %v, want > 0", gain)
+	}
+	h, err := hcrowd.CondEntropy(d, experts, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((d.Entropy()-h)-gain) > 1e-12 {
+		t.Error("CondEntropy and QualityGain disagree")
+	}
+}
+
+func TestPublicSelectors(t *testing.T) {
+	names := map[string]hcrowd.Selector{
+		"Approx":     hcrowd.GreedySelector(),
+		"OPT":        hcrowd.ExactSelector(),
+		"Random":     hcrowd.RandomSelector(1),
+		"MaxEntropy": hcrowd.MaxEntropySelector(),
+	}
+	for want, s := range names {
+		if s.Name() != want {
+			t.Errorf("selector %q != %q", s.Name(), want)
+		}
+	}
+}
+
+func TestPublicAggregators(t *testing.T) {
+	if len(hcrowd.Aggregators(1)) != 8 {
+		t.Error("expected 8 baselines")
+	}
+	a, err := hcrowd.AggregatorByName("DS", 1)
+	if err != nil || a.Name() != "DS" {
+		t.Errorf("AggregatorByName: %v %v", a, err)
+	}
+	if hcrowd.MajorityVote().Name() != "MV" {
+		t.Error("MajorityVote name")
+	}
+	if len(hcrowd.AggregatorNames()) != 8 {
+		t.Error("AggregatorNames size")
+	}
+}
+
+func TestPublicDatasetRoundTrip(t *testing.T) {
+	cfg := hcrowd.DefaultSentiConfig()
+	cfg.NumTasks = 5
+	ds, err := hcrowd.GenerateSentiLike(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := hcrowd.ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumFacts() != ds.NumFacts() {
+		t.Error("round trip changed size")
+	}
+}
+
+func TestPublicTiers(t *testing.T) {
+	cfg := hcrowd.DefaultSentiConfig()
+	cfg.NumTasks = 10
+	ds, err := hcrowd.GenerateSentiLike(4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers, cp, err := hcrowd.SplitTiers(ds.Crowd, ds.Theta, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp) == 0 {
+		t.Fatal("no preliminary workers")
+	}
+	res, err := hcrowd.RunTiers(context.Background(), ds, hcrowd.Config{
+		K:      1,
+		Source: hcrowd.NewSimulatedSource(5, ds),
+	}, tiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality < res.InitQuality {
+		t.Error("tiers did not improve quality")
+	}
+}
+
+func TestPublicEstimateAccuracies(t *testing.T) {
+	c := hcrowd.Crowd{{ID: "w", Accuracy: 0.8}}
+	rng := hcrowd.NewRand(1)
+	truth := func(f int) bool { return f%2 == 0 }
+	facts := make([]int, 200)
+	for i := range facts {
+		facts[i] = i
+	}
+	var fams []hcrowd.AnswerFamily
+	for i := 0; i < 1; i++ {
+		var fam hcrowd.AnswerFamily
+		for _, w := range c {
+			var vals []bool
+			for _, f := range facts {
+				v := truth(f)
+				if rng.Float64() >= w.Accuracy {
+					v = !v
+				}
+				vals = append(vals, v)
+			}
+			fam = append(fam, hcrowd.AnswerSet{Worker: w, Facts: facts, Values: vals})
+		}
+		fams = append(fams, fam)
+	}
+	est := hcrowd.EstimateAccuracies(c, fams, truth)
+	if math.Abs(est[0].Accuracy-0.8) > 0.08 {
+		t.Errorf("estimate %v, want ~0.8", est[0].Accuracy)
+	}
+}
+
+func TestPublicBeliefConstructors(t *testing.T) {
+	if _, err := hcrowd.NewBelief(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hcrowd.BeliefFromMarginals([]float64{0.7, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hcrowd.BeliefFromJoint([]float64{0.5, 0.5, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hcrowd.NewBelief(0); err == nil {
+		t.Error("NewBelief(0) accepted")
+	}
+}
+
+func TestPublicInitBeliefs(t *testing.T) {
+	cfg := hcrowd.DefaultSentiConfig()
+	cfg.NumTasks = 5
+	ds, err := hcrowd.GenerateSentiLike(6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := hcrowd.InitBeliefs(ds, hcrowd.MajorityVote(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 5 {
+		t.Fatalf("beliefs = %d", len(bs))
+	}
+	uni, err := hcrowd.InitBeliefs(ds, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(uni[0].Entropy()-5*math.Ln2) > 1e-9 {
+		t.Error("uniform init entropy wrong")
+	}
+}
+
+func TestPublicWideTask(t *testing.T) {
+	ds, err := hcrowd.GenerateWideTask(1, 10, hcrowd.DefaultCrowdConfig(), 0.9, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Tasks) != 1 || len(ds.Tasks[0]) != 10 {
+		t.Error("wide task shape wrong")
+	}
+}

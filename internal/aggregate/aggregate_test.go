@@ -1,0 +1,406 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/rngutil"
+)
+
+// synthMatrix builds a matrix of nF facts answered by workers with the
+// given accuracies; returns the matrix and ground truth.
+func synthMatrix(t *testing.T, seed int64, nF int, accs []float64) (*dataset.Matrix, []bool) {
+	t.Helper()
+	rng := rngutil.New(seed)
+	truth := make([]bool, nF)
+	for f := range truth {
+		truth[f] = rng.Intn(2) == 0
+	}
+	ids := make([]string, len(accs))
+	for i := range ids {
+		ids[i] = string(rune('a' + i))
+	}
+	m, err := dataset.NewMatrix(nF, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, acc := range accs {
+		for f := 0; f < nF; f++ {
+			v := truth[f]
+			if !rngutil.Bernoulli(rng, acc) {
+				v = !v
+			}
+			if err := m.Add(f, w, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return m, truth
+}
+
+func accuracyOf(t *testing.T, a Aggregator, m *dataset.Matrix, truth []bool) float64 {
+	t.Helper()
+	res, err := a.Aggregate(m)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name(), err)
+	}
+	acc, err := res.Accuracy(truth)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name(), err)
+	}
+	return acc
+}
+
+func TestAllAggregatorsBeatChance(t *testing.T) {
+	m, truth := synthMatrix(t, 1, 300, []float64{0.75, 0.7, 0.8, 0.65, 0.72})
+	for _, a := range Registry(42) {
+		acc := accuracyOf(t, a, m, truth)
+		if acc < 0.8 {
+			t.Errorf("%s accuracy %v below 0.8 on easy instance", a.Name(), acc)
+		}
+	}
+}
+
+func TestAllAggregatorsResultShape(t *testing.T) {
+	m, _ := synthMatrix(t, 2, 50, []float64{0.7, 0.9})
+	for _, a := range Registry(42) {
+		res, err := a.Aggregate(m)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if len(res.PTrue) != 50 {
+			t.Errorf("%s: PTrue len %d", a.Name(), len(res.PTrue))
+		}
+		if len(res.WorkerAcc) != 2 {
+			t.Errorf("%s: WorkerAcc len %d", a.Name(), len(res.WorkerAcc))
+		}
+		for f, p := range res.PTrue {
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				t.Errorf("%s: PTrue[%d] = %v", a.Name(), f, p)
+			}
+		}
+		for w, p := range res.WorkerAcc {
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				t.Errorf("%s: WorkerAcc[%d] = %v", a.Name(), w, p)
+			}
+		}
+		if res.Iterations < 1 {
+			t.Errorf("%s: Iterations = %d", a.Name(), res.Iterations)
+		}
+	}
+}
+
+func TestAllAggregatorsRejectNil(t *testing.T) {
+	for _, a := range Registry(42) {
+		if _, err := a.Aggregate(nil); err == nil {
+			t.Errorf("%s accepted nil matrix", a.Name())
+		}
+	}
+}
+
+func TestWeightedModelsBeatMVWithHeterogeneousCrowd(t *testing.T) {
+	// One excellent worker among noisy ones: reliability-aware models must
+	// beat plain majority voting.
+	m, truth := synthMatrix(t, 3, 600, []float64{0.95, 0.58, 0.58, 0.58, 0.58})
+	mvAcc := accuracyOf(t, MV{}, m, truth)
+	for _, a := range []Aggregator{NewDS(), NewZC(), NewBWA(), NewBCC(7), NewEBCC(7)} {
+		acc := accuracyOf(t, a, m, truth)
+		if acc < mvAcc {
+			t.Errorf("%s accuracy %v below MV %v despite expert present", a.Name(), acc, mvAcc)
+		}
+	}
+}
+
+func TestWorkerAccuracyRecovery(t *testing.T) {
+	// DS, ZC and BWA must rank the strong worker above the weak ones.
+	m, _ := synthMatrix(t, 4, 500, []float64{0.95, 0.6, 0.6, 0.6})
+	for _, a := range []Aggregator{NewDS(), NewZC(), NewBWA(), NewCRH(), NewBCC(5), NewEBCC(5)} {
+		res, err := a.Aggregate(m)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		best := 0
+		for w := 1; w < 4; w++ {
+			if res.WorkerAcc[w] > res.WorkerAcc[best] {
+				best = w
+			}
+		}
+		if best != 0 {
+			t.Errorf("%s ranked worker %d best (%v), want worker 0", a.Name(), best, res.WorkerAcc)
+		}
+	}
+}
+
+func TestDSRecoversAccuracyMagnitude(t *testing.T) {
+	m, _ := synthMatrix(t, 5, 800, []float64{0.9, 0.65, 0.65, 0.7, 0.75})
+	res, err := NewDS().Aggregate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.WorkerAcc[0]-0.9) > 0.08 {
+		t.Errorf("DS worker 0 accuracy %v, want ~0.9", res.WorkerAcc[0])
+	}
+	if math.Abs(res.WorkerAcc[1]-0.65) > 0.08 {
+		t.Errorf("DS worker 1 accuracy %v, want ~0.65", res.WorkerAcc[1])
+	}
+	if !res.Converged {
+		t.Error("DS did not converge on easy instance")
+	}
+}
+
+func TestMVSimpleMajority(t *testing.T) {
+	m, err := dataset.NewMatrix(2, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fact 0: 2 yes 1 no; fact 1: no answers.
+	_ = m.Add(0, 0, true)
+	_ = m.Add(0, 1, true)
+	_ = m.Add(0, 2, false)
+	res, err := (MV{}).Aggregate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PTrue[0]-2.0/3.0) > 1e-12 {
+		t.Errorf("PTrue[0] = %v, want 2/3", res.PTrue[0])
+	}
+	if res.PTrue[1] != 0.5 {
+		t.Errorf("PTrue[1] = %v, want 0.5 (no answers)", res.PTrue[1])
+	}
+}
+
+func TestUnanimousAnswersConvergeToCertainty(t *testing.T) {
+	// Every worker agrees on everything: posteriors must be extreme in
+	// the voted direction for every algorithm.
+	m, err := dataset.NewMatrix(30, []string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 30; f++ {
+		want := f%2 == 0
+		for w := 0; w < 4; w++ {
+			_ = m.Add(f, w, want)
+		}
+	}
+	for _, a := range Registry(11) {
+		res, err := a.Aggregate(m)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		for f, p := range res.PTrue {
+			want := f%2 == 0
+			if want && p < 0.6 || !want && p > 0.4 {
+				t.Errorf("%s: unanimous fact %d got %v", a.Name(), f, p)
+			}
+		}
+	}
+}
+
+func TestLabelFlipSymmetry(t *testing.T) {
+	// Flipping every answer must flip the inferred posteriors for the
+	// symmetric models (MV, ZC, BWA, CRH).
+	m, _ := synthMatrix(t, 6, 200, []float64{0.8, 0.7, 0.75})
+	flipped, err := dataset.NewMatrix(200, m.WorkerIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 200; f++ {
+		for _, o := range m.ByFact(f) {
+			_ = flipped.Add(f, o.Worker, !o.Value)
+		}
+	}
+	for _, a := range []Aggregator{MV{}, NewZC(), NewBWA(), NewCRH()} {
+		r1, err := a.Aggregate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := a.Aggregate(flipped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := range r1.PTrue {
+			if math.Abs(r1.PTrue[f]-(1-r2.PTrue[f])) > 1e-6 {
+				t.Errorf("%s: flip symmetry broken at fact %d: %v vs %v",
+					a.Name(), f, r1.PTrue[f], r2.PTrue[f])
+				break
+			}
+		}
+	}
+}
+
+func TestBCCDeterministicGivenSeed(t *testing.T) {
+	m, _ := synthMatrix(t, 7, 100, []float64{0.8, 0.7})
+	r1, err := NewBCC(99).Aggregate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewBCC(99).Aggregate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range r1.PTrue {
+		if r1.PTrue[f] != r2.PTrue[f] {
+			t.Fatal("BCC not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestEBCCDeterministicGivenSeed(t *testing.T) {
+	m, _ := synthMatrix(t, 8, 100, []float64{0.8, 0.7})
+	r1, err := NewEBCC(99).Aggregate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewEBCC(99).Aggregate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range r1.PTrue {
+		if r1.PTrue[f] != r2.PTrue[f] {
+			t.Fatal("EBCC not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestEBCCHandlesCorrelatedWorkers(t *testing.T) {
+	// Three workers are exact copies of one error process (a clique);
+	// two independents are individually better. EBCC's subtype model is
+	// built for this; it must at least match MV here.
+	rng := rngutil.New(9)
+	nF := 400
+	truth := make([]bool, nF)
+	for f := range truth {
+		truth[f] = rng.Intn(2) == 0
+	}
+	m, err := dataset.NewMatrix(nF, []string{"c1", "c2", "c3", "i1", "i2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < nF; f++ {
+		// Clique answer: correct with probability 0.62, shared by c1-c3.
+		cv := truth[f]
+		if !rngutil.Bernoulli(rng, 0.62) {
+			cv = !cv
+		}
+		for w := 0; w < 3; w++ {
+			_ = m.Add(f, w, cv)
+		}
+		for w := 3; w < 5; w++ {
+			v := truth[f]
+			if !rngutil.Bernoulli(rng, 0.85) {
+				v = !v
+			}
+			_ = m.Add(f, w, v)
+		}
+	}
+	mvAcc := accuracyOf(t, MV{}, m, truth)
+	ebccAcc := accuracyOf(t, NewEBCC(3), m, truth)
+	if ebccAcc < mvAcc-0.02 {
+		t.Errorf("EBCC %v worse than MV %v on correlated crowd", ebccAcc, mvAcc)
+	}
+}
+
+func TestRegistryAndByName(t *testing.T) {
+	reg := Registry(1)
+	if len(reg) != 8 {
+		t.Fatalf("registry has %d entries, want 8", len(reg))
+	}
+	want := []string{"MV", "DS", "ZC", "GLAD", "CRH", "BWA", "BCC", "EBCC"}
+	for i, a := range reg {
+		if a.Name() != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, a.Name(), want[i])
+		}
+	}
+	for _, n := range want {
+		a, err := ByName(n, 1)
+		if err != nil || a.Name() != n {
+			t.Errorf("ByName(%s) = %v, %v", n, a, err)
+		}
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Error("unknown name accepted")
+	}
+	names := Names()
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Names()[%d] = %s", i, names[i])
+		}
+	}
+}
+
+func TestResultLabelsAndAccuracy(t *testing.T) {
+	r := &Result{PTrue: []float64{0.9, 0.2, 0.5}}
+	labels := r.Labels()
+	if !labels[0] || labels[1] || !labels[2] {
+		t.Errorf("Labels = %v", labels)
+	}
+	acc, err := r.Accuracy([]bool{true, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc-2.0/3.0) > 1e-12 {
+		t.Errorf("Accuracy = %v", acc)
+	}
+	if _, err := r.Accuracy([]bool{true}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSparseMatrixHandled(t *testing.T) {
+	// Workers answering disjoint subsets must not break any algorithm.
+	rng := rngutil.New(10)
+	nF := 200
+	truth := make([]bool, nF)
+	for f := range truth {
+		truth[f] = rng.Intn(2) == 0
+	}
+	m, err := dataset.NewMatrix(nF, []string{"a", "b", "c", "d", "e", "f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < nF; f++ {
+		for w := 0; w < 6; w++ {
+			if rng.Float64() > 0.4 {
+				continue
+			}
+			v := truth[f]
+			if !rngutil.Bernoulli(rng, 0.8) {
+				v = !v
+			}
+			_ = m.Add(f, w, v)
+		}
+	}
+	for _, a := range Registry(13) {
+		res, err := a.Aggregate(m)
+		if err != nil {
+			t.Fatalf("%s on sparse matrix: %v", a.Name(), err)
+		}
+		acc, _ := res.Accuracy(truth)
+		if acc < 0.6 {
+			t.Errorf("%s sparse accuracy %v", a.Name(), acc)
+		}
+	}
+}
+
+func TestIterativeAggregatorsConverge(t *testing.T) {
+	m, _ := synthMatrix(t, 12, 150, []float64{0.85, 0.75, 0.7})
+	for _, a := range []Aggregator{NewDS(), NewZC(), NewCRH(), NewBWA(), NewEBCC(4)} {
+		res, err := a.Aggregate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Errorf("%s failed to converge in default iterations (%d)", a.Name(), res.Iterations)
+		}
+	}
+}
+
+func TestGLADDifficultyAdvantage(t *testing.T) {
+	// GLAD runs and produces sane output on a mixed-difficulty instance.
+	m, truth := synthMatrix(t, 14, 300, []float64{0.8, 0.75, 0.7, 0.85})
+	acc := accuracyOf(t, NewGLAD(), m, truth)
+	if acc < 0.85 {
+		t.Errorf("GLAD accuracy %v", acc)
+	}
+}

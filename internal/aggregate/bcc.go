@@ -1,0 +1,121 @@
+package aggregate
+
+import (
+	"math/rand"
+
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/rngutil"
+)
+
+// BCC is Bayesian classifier combination [36] via collapsed Gibbs
+// sampling: true labels z_f are categorical with a Beta-prior class
+// proportion, every worker has a 2×2 confusion matrix with Beta-prior
+// rows favoring the diagonal, and both are integrated out analytically so
+// the sampler only walks the label vector. The posterior P(fact true) is
+// the empirical frequency of z_f = true across retained samples.
+type BCC struct {
+	Seed    int64
+	BurnIn  int
+	Samples int
+	// ClassPrior is the symmetric Beta/Dirichlet hyperparameter on the
+	// class proportion.
+	ClassPrior float64
+	// DiagPrior and OffPrior are the Beta hyperparameters on each
+	// confusion row: prior mass on answering correctly vs. incorrectly.
+	DiagPrior, OffPrior float64
+}
+
+// NewBCC returns BCC with the customary settings and the given seed.
+func NewBCC(seed int64) BCC {
+	return BCC{Seed: seed, BurnIn: 60, Samples: 140, ClassPrior: 1, DiagPrior: 2, OffPrior: 1}
+}
+
+// Name implements Aggregator.
+func (BCC) Name() string { return "BCC" }
+
+// Aggregate implements Aggregator.
+func (a BCC) Aggregate(m *dataset.Matrix) (*Result, error) {
+	if err := validate(m); err != nil {
+		return nil, err
+	}
+	nF, nW := m.NumFacts(), m.NumWorkers()
+	rng := rand.New(rand.NewSource(a.Seed))
+
+	// State: current labels plus sufficient statistics.
+	z := make([]bool, nF)
+	classCnt := [2]float64{}          // #facts per class
+	conf := make([][2][2]float64, nW) // counts: [truth][answer]
+	for f := 0; f < nF; f++ {
+		share, _ := m.VoteShare(f)
+		z[f] = share >= 0.5
+		ci := btoi(z[f])
+		classCnt[ci]++
+		for _, o := range m.ByFact(f) {
+			conf[o.Worker][ci][btoi(o.Value)]++
+		}
+	}
+
+	trueFreq := make([]float64, nF)
+	total := a.BurnIn + a.Samples
+	for sweep := 0; sweep < total; sweep++ {
+		for f := 0; f < nF; f++ {
+			// Remove fact f from the statistics.
+			ci := btoi(z[f])
+			classCnt[ci]--
+			obs := m.ByFact(f)
+			for _, o := range obs {
+				conf[o.Worker][ci][btoi(o.Value)]--
+			}
+			// Collapsed conditional for both classes.
+			var w [2]float64
+			for c := 0; c < 2; c++ {
+				p := classCnt[c] + a.ClassPrior
+				for _, o := range obs {
+					row := conf[o.Worker][c]
+					den := row[0] + row[1] + a.DiagPrior + a.OffPrior
+					var num float64
+					if btoi(o.Value) == c {
+						num = row[btoi(o.Value)] + a.DiagPrior
+					} else {
+						num = row[btoi(o.Value)] + a.OffPrior
+					}
+					p *= num / den
+				}
+				w[c] = p
+			}
+			c := rngutil.Categorical(rng, w[:])
+			z[f] = c == 1
+			classCnt[c]++
+			for _, o := range obs {
+				conf[o.Worker][c][btoi(o.Value)]++
+			}
+		}
+		if sweep >= a.BurnIn {
+			for f, v := range z {
+				if v {
+					trueFreq[f]++
+				}
+			}
+		}
+	}
+	p := make([]float64, nF)
+	for f := range p {
+		p[f] = trueFreq[f] / float64(a.Samples)
+	}
+	// Posterior-mean worker accuracy from the final confusion counts.
+	acc := make([]float64, nW)
+	for w := 0; w < nW; w++ {
+		diag := conf[w][0][0] + conf[w][1][1] + 2*a.DiagPrior
+		all := conf[w][0][0] + conf[w][0][1] + conf[w][1][0] + conf[w][1][1] +
+			2*(a.DiagPrior+a.OffPrior)
+		acc[w] = diag / all
+	}
+	return &Result{PTrue: p, WorkerAcc: acc, Iterations: total, Converged: true}, nil
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,93 @@
+package aggregate
+
+import (
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/mathx"
+)
+
+// BWA is the Bayesian weighted average of Li et al. [35]: an EM scheme
+// with conjugate Beta priors on each worker's accuracy and a Beta prior
+// on the class proportion. Unlike ZC's maximum-likelihood reliabilities,
+// every M-step is a posterior mean under the prior, which is what lets
+// BWA adjudicate highly redundant annotations without overfitting
+// low-activity workers.
+type BWA struct {
+	MaxIter int
+	Tol     float64
+	// PriorA/PriorB parameterize the Beta prior on worker accuracy
+	// (defaults 4, 1: workers are assumed competent a priori, per the
+	// paper's conjugate construction).
+	PriorA, PriorB float64
+}
+
+// NewBWA returns BWA with the published defaults.
+func NewBWA() BWA { return BWA{MaxIter: 200, Tol: 1e-5, PriorA: 4, PriorB: 1} }
+
+// Name implements Aggregator.
+func (BWA) Name() string { return "BWA" }
+
+// Aggregate implements Aggregator.
+func (a BWA) Aggregate(m *dataset.Matrix) (*Result, error) {
+	if err := validate(m); err != nil {
+		return nil, err
+	}
+	nF, nW := m.NumFacts(), m.NumWorkers()
+	mu := make([]float64, nF)
+	for f := range mu {
+		share, _ := m.VoteShare(f)
+		mu[f] = share
+	}
+	acc := make([]float64, nW)
+	mathx.Fill(acc, a.PriorA/(a.PriorA+a.PriorB))
+	prior := 0.5
+	prev := mathx.Clone(mu)
+	iter := 0
+	converged := false
+	for ; iter < a.MaxIter; iter++ {
+		// M-step: posterior-mean accuracy under Beta(PriorA, PriorB).
+		for w := 0; w < nW; w++ {
+			var agree, n float64
+			for _, o := range m.ByWorker(w) {
+				n++
+				if o.Value {
+					agree += mu[o.Fact]
+				} else {
+					agree += 1 - mu[o.Fact]
+				}
+			}
+			acc[w] = mathx.Clamp((agree+a.PriorA)/(n+a.PriorA+a.PriorB), 1e-6, 1-1e-6)
+		}
+		// Class proportion under Beta(1,1).
+		var yes float64
+		for _, p := range mu {
+			yes += p
+		}
+		prior = mathx.Clamp((yes+1)/(float64(nF)+2), 1e-6, 1-1e-6)
+
+		// E-step.
+		for f := 0; f < nF; f++ {
+			lt := mathx.Log(prior)
+			lf := mathx.Log(1 - prior)
+			for _, o := range m.ByFact(f) {
+				r := acc[o.Worker]
+				if o.Value {
+					lt += mathx.Log(r)
+					lf += mathx.Log(1 - r)
+				} else {
+					lt += mathx.Log(1 - r)
+					lf += mathx.Log(r)
+				}
+			}
+			logw := []float64{lf, lt}
+			mathx.SoftmaxInPlace(logw)
+			mu[f] = logw[1]
+		}
+		if mathx.MaxAbsDiff(mu, prev) < a.Tol {
+			converged = true
+			iter++
+			break
+		}
+		copy(prev, mu)
+	}
+	return &Result{PTrue: mu, WorkerAcc: acc, Iterations: iter, Converged: converged}, nil
+}

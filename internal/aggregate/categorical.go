@@ -1,0 +1,245 @@
+package aggregate
+
+import (
+	"errors"
+	"fmt"
+
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/mathx"
+)
+
+// CatResult is the outcome of categorical (multi-class) truth inference.
+type CatResult struct {
+	// Posterior[i] is the class distribution inferred for item i.
+	Posterior [][]float64
+	// WorkerAcc[w] estimates the probability worker w labels the true
+	// class.
+	WorkerAcc  []float64
+	Iterations int
+	Converged  bool
+}
+
+// Labels returns the MAP class per item.
+func (r *CatResult) Labels() []int {
+	out := make([]int, len(r.Posterior))
+	for i, p := range r.Posterior {
+		out[i] = mathx.ArgMax(p)
+	}
+	return out
+}
+
+// Accuracy returns the fraction of items whose MAP class matches truth.
+func (r *CatResult) Accuracy(truth []int) (float64, error) {
+	if len(truth) != len(r.Posterior) {
+		return 0, fmt.Errorf("aggregate: truth has %d items, result has %d", len(truth), len(r.Posterior))
+	}
+	if len(truth) == 0 {
+		return 0, errors.New("aggregate: empty result")
+	}
+	correct := 0
+	for i, l := range r.Labels() {
+		if l == truth[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truth)), nil
+}
+
+// CatAggregator infers multi-class truth from a categorical matrix.
+type CatAggregator interface {
+	Name() string
+	AggregateCat(m *dataset.CatMatrix) (*CatResult, error)
+}
+
+// CatMV is multi-class majority voting: the posterior is the normalized
+// vote histogram per item (uniform when unlabeled).
+type CatMV struct{}
+
+// Name implements CatAggregator.
+func (CatMV) Name() string { return "CatMV" }
+
+// AggregateCat implements CatAggregator.
+func (CatMV) AggregateCat(m *dataset.CatMatrix) (*CatResult, error) {
+	if m == nil || m.NumItems() == 0 {
+		return nil, errors.New("aggregate: nil or empty cat matrix")
+	}
+	K := m.NumClasses()
+	post := make([][]float64, m.NumItems())
+	for i := range post {
+		p := make([]float64, K)
+		obs := m.ByItem(i)
+		if len(obs) == 0 {
+			mathx.Fill(p, 1/float64(K))
+		} else {
+			for _, o := range obs {
+				p[o.Label]++
+			}
+			mathx.Normalize(p)
+		}
+		post[i] = p
+	}
+	acc := make([]float64, m.NumWorkers())
+	labels := (&CatResult{Posterior: post}).Labels()
+	for w := range acc {
+		agree, total := 1.0, 2.0
+		for _, o := range m.ByWorker(w) {
+			total++
+			if o.Label == labels[o.Item] {
+				agree++
+			}
+		}
+		acc[w] = agree / total
+	}
+	return &CatResult{Posterior: post, WorkerAcc: acc, Iterations: 1, Converged: true}, nil
+}
+
+// CatDS is multi-class Dawid–Skene [31]: EM over per-worker K×K
+// confusion matrices and a class prior, the original formulation the
+// binary DS above specializes.
+type CatDS struct {
+	MaxIter int
+	Tol     float64
+}
+
+// NewCatDS returns CatDS with the customary settings.
+func NewCatDS() CatDS { return CatDS{MaxIter: 200, Tol: 1e-5} }
+
+// Name implements CatAggregator.
+func (CatDS) Name() string { return "CatDS" }
+
+// AggregateCat implements CatAggregator.
+func (a CatDS) AggregateCat(m *dataset.CatMatrix) (*CatResult, error) {
+	if m == nil || m.NumItems() == 0 {
+		return nil, errors.New("aggregate: nil or empty cat matrix")
+	}
+	nI, nW, K := m.NumItems(), m.NumWorkers(), m.NumClasses()
+
+	// mu[i] = posterior over classes, initialized from vote shares.
+	mu := make([][]float64, nI)
+	for i := range mu {
+		p := make([]float64, K)
+		for _, o := range m.ByItem(i) {
+			p[o.Label]++
+		}
+		for c := range p {
+			p[c] += 0.1 // smoothing keeps unlabeled items uniform-ish
+		}
+		mathx.Normalize(p)
+		mu[i] = p
+	}
+	// conf[w][c][l]: P(worker w answers l | true class c).
+	conf := make([][][]float64, nW)
+	for w := range conf {
+		conf[w] = make([][]float64, K)
+		for c := range conf[w] {
+			conf[w][c] = make([]float64, K)
+		}
+	}
+	prior := make([]float64, K)
+	prev := make([]float64, nI)
+	cur := make([]float64, nI)
+	iter := 0
+	converged := false
+	for ; iter < a.MaxIter; iter++ {
+		// M-step.
+		mathx.Fill(prior, 0)
+		for i := range mu {
+			for c, p := range mu[i] {
+				prior[c] += p
+			}
+		}
+		for c := range prior {
+			prior[c] += 1 // add-one
+		}
+		mathx.Normalize(prior)
+		for w := 0; w < nW; w++ {
+			for c := 0; c < K; c++ {
+				mathx.Fill(conf[w][c], 1) // add-one smoothing
+			}
+			for _, o := range m.ByWorker(w) {
+				for c := 0; c < K; c++ {
+					conf[w][c][o.Label] += mu[o.Item][c]
+				}
+			}
+			for c := 0; c < K; c++ {
+				mathx.Normalize(conf[w][c])
+			}
+		}
+		// E-step in the log domain.
+		for i := 0; i < nI; i++ {
+			logw := make([]float64, K)
+			for c := 0; c < K; c++ {
+				logw[c] = mathx.Log(prior[c])
+			}
+			for _, o := range m.ByItem(i) {
+				for c := 0; c < K; c++ {
+					logw[c] += mathx.Log(conf[o.Worker][c][o.Label])
+				}
+			}
+			mathx.SoftmaxInPlace(logw)
+			copy(mu[i], logw)
+			cur[i] = logw[mathx.ArgMax(logw)]
+		}
+		if iter > 0 && mathx.MaxAbsDiff(cur, prev) < a.Tol {
+			converged = true
+			iter++
+			break
+		}
+		copy(prev, cur)
+	}
+	acc := make([]float64, nW)
+	for w := range acc {
+		var diag float64
+		for c := 0; c < K; c++ {
+			diag += prior[c] * conf[w][c][c]
+		}
+		acc[w] = mathx.Clamp(diag, 0, 1)
+	}
+	return &CatResult{Posterior: mu, WorkerAcc: acc, Iterations: iter, Converged: converged}, nil
+}
+
+// CatInit adapts a categorical aggregator into a binary Aggregator for
+// one-hot datasets: it reconstructs the categorical matrix from the
+// one-hot answers, infers class posteriors, and flattens them back to
+// per-fact marginals, so CatDS can initialize the HC pipeline on
+// multi-class data (pair with belief.OneHotPrior).
+type CatInit struct {
+	Cat   CatAggregator
+	Tasks [][]int
+}
+
+// Name implements Aggregator.
+func (c CatInit) Name() string { return c.Cat.Name() }
+
+// Aggregate implements Aggregator.
+func (c CatInit) Aggregate(m *dataset.Matrix) (*Result, error) {
+	if err := validate(m); err != nil {
+		return nil, err
+	}
+	if c.Cat == nil || len(c.Tasks) == 0 {
+		return nil, errors.New("aggregate: CatInit needs Cat and Tasks")
+	}
+	cat, err := dataset.CatFromOneHot(m, c.Tasks)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Cat.AggregateCat(cat)
+	if err != nil {
+		return nil, err
+	}
+	pTrue := make([]float64, m.NumFacts())
+	for i := range pTrue {
+		pTrue[i] = 0.5 // facts outside any task stay uninformative
+	}
+	for i, facts := range c.Tasks {
+		for cls, f := range facts {
+			pTrue[f] = res.Posterior[i][cls]
+		}
+	}
+	return &Result{
+		PTrue:      pTrue,
+		WorkerAcc:  res.WorkerAcc,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+	}, nil
+}

@@ -1,0 +1,98 @@
+package aggregate
+
+import (
+	"math"
+
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/mathx"
+)
+
+// CRH is the conflict-resolution truth-discovery framework of Li et
+// al. [34]: it alternates (1) truth update — a weighted vote of the
+// sources — and (2) source-weight update — w_s = log(Σ_s' loss_s' /
+// loss_s), where loss is the 0-1 distance between the source's answers
+// and the current truths. Workers who disagree with the emerging
+// consensus lose weight multiplicatively.
+type CRH struct {
+	MaxIter int
+	Tol     float64
+}
+
+// NewCRH returns CRH with the customary settings.
+func NewCRH() CRH { return CRH{MaxIter: 200, Tol: 1e-5} }
+
+// Name implements Aggregator.
+func (CRH) Name() string { return "CRH" }
+
+// Aggregate implements Aggregator.
+func (a CRH) Aggregate(m *dataset.Matrix) (*Result, error) {
+	if err := validate(m); err != nil {
+		return nil, err
+	}
+	nF, nW := m.NumFacts(), m.NumWorkers()
+	weight := make([]float64, nW)
+	mathx.Fill(weight, 1)
+	truths := make([]float64, nF) // weighted vote share in [0,1]
+	for f := range truths {
+		share, _ := m.VoteShare(f)
+		truths[f] = share
+	}
+	prev := mathx.Clone(truths)
+	iter := 0
+	converged := false
+	for ; iter < a.MaxIter; iter++ {
+		// Source weight update from 0-1 losses against hard truths.
+		losses := make([]float64, nW)
+		var total float64
+		for w := 0; w < nW; w++ {
+			loss := 0.5 // smoothing: half a disagreement
+			for _, o := range m.ByWorker(w) {
+				if o.Value != (truths[o.Fact] >= 0.5) {
+					loss++
+				}
+			}
+			losses[w] = loss
+			total += loss
+		}
+		for w := 0; w < nW; w++ {
+			weight[w] = math.Log(total / losses[w])
+			if weight[w] < 0 {
+				weight[w] = 0 // worse-than-everything sources are ignored
+			}
+		}
+		// Truth update: weighted vote.
+		for f := 0; f < nF; f++ {
+			var yes, den float64
+			for _, o := range m.ByFact(f) {
+				den += weight[o.Worker]
+				if o.Value {
+					yes += weight[o.Worker]
+				}
+			}
+			if den == 0 {
+				truths[f] = 0.5
+			} else {
+				truths[f] = yes / den
+			}
+		}
+		if mathx.MaxAbsDiff(truths, prev) < a.Tol {
+			converged = true
+			iter++
+			break
+		}
+		copy(prev, truths)
+	}
+	// Report a [0.5, 1] accuracy per worker from its final agreement.
+	acc := make([]float64, nW)
+	for w := 0; w < nW; w++ {
+		agree, total := 1.0, 2.0
+		for _, o := range m.ByWorker(w) {
+			total++
+			if o.Value == (truths[o.Fact] >= 0.5) {
+				agree++
+			}
+		}
+		acc[w] = agree / total
+	}
+	return &Result{PTrue: truths, WorkerAcc: acc, Iterations: iter, Converged: converged}, nil
+}

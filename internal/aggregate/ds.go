@@ -1,0 +1,99 @@
+package aggregate
+
+import (
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/mathx"
+)
+
+// DS is the Dawid–Skene estimator [31]: EM over per-worker 2×2 confusion
+// matrices and a class prior. The E-step computes the posterior of each
+// fact's truth given the current confusions; the M-step re-estimates each
+// worker's confusion matrix and the prior from the posteriors, with
+// add-one smoothing so a worker never gets a degenerate row.
+type DS struct {
+	MaxIter int
+	Tol     float64
+}
+
+// NewDS returns DS with the customary settings.
+func NewDS() DS { return DS{MaxIter: 200, Tol: 1e-5} }
+
+// Name implements Aggregator.
+func (DS) Name() string { return "DS" }
+
+// Aggregate implements Aggregator.
+func (a DS) Aggregate(m *dataset.Matrix) (*Result, error) {
+	if err := validate(m); err != nil {
+		return nil, err
+	}
+	nF, nW := m.NumFacts(), m.NumWorkers()
+
+	// mu[f] = posterior P(fact f is true); initialized from majority vote.
+	mu := make([]float64, nF)
+	for f := range mu {
+		share, _ := m.VoteShare(f)
+		mu[f] = share
+	}
+	// conf[w][c][a]: P(worker w answers a | truth c); c,a ∈ {0,1}.
+	conf := make([][2][2]float64, nW)
+	prior := 0.5
+	iter := 0
+	converged := false
+	prev := mathx.Clone(mu)
+	for ; iter < a.MaxIter; iter++ {
+		// M-step (first, from current mu — the vote init plays the role
+		// of the 0th E-step as in Dawid & Skene's original scheme).
+		var priorNum, priorDen float64
+		for w := 0; w < nW; w++ {
+			var cnt [2][2]float64
+			for _, o := range m.ByWorker(w) {
+				pTrue := mu[o.Fact]
+				ai := 0
+				if o.Value {
+					ai = 1
+				}
+				cnt[1][ai] += pTrue
+				cnt[0][ai] += 1 - pTrue
+			}
+			for c := 0; c < 2; c++ {
+				den := cnt[c][0] + cnt[c][1] + 2 // add-one smoothing
+				conf[w][c][0] = (cnt[c][0] + 1) / den
+				conf[w][c][1] = (cnt[c][1] + 1) / den
+			}
+		}
+		for _, p := range mu {
+			priorNum += p
+			priorDen++
+		}
+		prior = mathx.Clamp(priorNum/priorDen, 1e-6, 1-1e-6)
+
+		// E-step in the log domain for stability.
+		for f := 0; f < nF; f++ {
+			lt := mathx.Log(prior)
+			lf := mathx.Log(1 - prior)
+			for _, o := range m.ByFact(f) {
+				ai := 0
+				if o.Value {
+					ai = 1
+				}
+				lt += mathx.Log(conf[o.Worker][1][ai])
+				lf += mathx.Log(conf[o.Worker][0][ai])
+			}
+			logw := []float64{lf, lt}
+			mathx.SoftmaxInPlace(logw)
+			mu[f] = logw[1]
+		}
+		if mathx.MaxAbsDiff(mu, prev) < a.Tol {
+			converged = true
+			iter++
+			break
+		}
+		copy(prev, mu)
+	}
+	acc := make([]float64, nW)
+	for w := range acc {
+		// Diagonal of the confusion matrix weighted by the class prior.
+		acc[w] = (1-prior)*conf[w][0][0] + prior*conf[w][1][1]
+	}
+	return &Result{PTrue: mu, WorkerAcc: acc, Iterations: iter, Converged: converged}, nil
+}

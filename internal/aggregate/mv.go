@@ -1,0 +1,38 @@
+package aggregate
+
+import "hcrowd/internal/dataset"
+
+// MV is majority voting (Equation 5): the final label of each fact is the
+// one most workers chose. The soft posterior is the raw vote share, which
+// is exactly the ob(o, f) frequency the paper's Equation 16 uses for
+// belief initialization. Facts without answers get 0.5.
+type MV struct{}
+
+// Name implements Aggregator.
+func (MV) Name() string { return "MV" }
+
+// Aggregate implements Aggregator.
+func (MV) Aggregate(m *dataset.Matrix) (*Result, error) {
+	if err := validate(m); err != nil {
+		return nil, err
+	}
+	p := make([]float64, m.NumFacts())
+	for f := range p {
+		share, _ := m.VoteShare(f)
+		p[f] = share
+	}
+	// Worker accuracy estimate: agreement with the majority label,
+	// add-one smoothed.
+	acc := make([]float64, m.NumWorkers())
+	for w := range acc {
+		agree, total := 1.0, 2.0
+		for _, o := range m.ByWorker(w) {
+			total++
+			if o.Value == (p[o.Fact] >= 0.5) {
+				agree++
+			}
+		}
+		acc[w] = agree / total
+	}
+	return &Result{PTrue: p, WorkerAcc: acc, Iterations: 1, Converged: true}, nil
+}

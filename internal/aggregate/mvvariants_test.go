@@ -1,0 +1,113 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"hcrowd/internal/dataset"
+)
+
+func TestMVBetaCertaintyGrowsWithVotes(t *testing.T) {
+	// Same 2:1 frequency, different counts: the Beta integration must be
+	// more certain with more votes.
+	small, err := dataset.NewMatrix(1, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = small.Add(0, 0, true)
+	_ = small.Add(0, 1, true)
+	_ = small.Add(0, 2, false)
+
+	ids := make([]string, 30)
+	for i := range ids {
+		ids[i] = string(rune('A' + i))
+	}
+	big, err := dataset.NewMatrix(1, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 30; w++ {
+		_ = big.Add(0, w, w < 20)
+	}
+	rSmall, err := (MVBeta{}).Aggregate(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBig, err := (MVBeta{}).Aggregate(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBig.PTrue[0] <= rSmall.PTrue[0] {
+		t.Errorf("20/30 (%v) not more certain than 2/3 (%v)", rBig.PTrue[0], rSmall.PTrue[0])
+	}
+	// Frequency variant sees them identically.
+	fSmall, _ := (MVFreq{}).Aggregate(small)
+	fBig, _ := (MVFreq{}).Aggregate(big)
+	if math.Abs(fSmall.PTrue[0]-fBig.PTrue[0]) > 1e-12 {
+		t.Errorf("MV-Freq differs: %v vs %v", fSmall.PTrue[0], fBig.PTrue[0])
+	}
+}
+
+func TestMVBetaSymmetry(t *testing.T) {
+	// A tied vote must land exactly at 0.5.
+	m, err := dataset.NewMatrix(2, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Add(0, 0, true)
+	_ = m.Add(0, 1, false)
+	r, err := (MVBeta{}).Aggregate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.PTrue[0]-0.5) > 1e-9 {
+		t.Errorf("tied MV-Beta = %v, want 0.5", r.PTrue[0])
+	}
+	if r.PTrue[1] != 0.5 {
+		t.Errorf("unanswered fact = %v, want 0.5", r.PTrue[1])
+	}
+}
+
+func TestMVVariantsAccuracy(t *testing.T) {
+	m, truth := synthMatrix(t, 30, 300, []float64{0.75, 0.7, 0.8})
+	for _, a := range Extras() {
+		res, err := a.Aggregate(m)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		acc, err := res.Accuracy(truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc < 0.8 {
+			t.Errorf("%s accuracy %v", a.Name(), acc)
+		}
+	}
+	// The two variants threshold identically (they share the majority
+	// decision boundary), so hard labels agree.
+	rf, _ := (MVFreq{}).Aggregate(m)
+	rb, _ := (MVBeta{}).Aggregate(m)
+	lf, lb := rf.Labels(), rb.Labels()
+	for f := range lf {
+		if lf[f] != lb[f] {
+			t.Fatalf("hard labels differ at fact %d", f)
+		}
+	}
+}
+
+func TestMVVariantsRejectNil(t *testing.T) {
+	for _, a := range Extras() {
+		if _, err := a.Aggregate(nil); err == nil {
+			t.Errorf("%s accepted nil", a.Name())
+		}
+	}
+}
+
+func TestExtrasNames(t *testing.T) {
+	names := []string{"MV-Freq", "MV-Beta"}
+	for i, a := range Extras() {
+		if a.Name() != names[i] {
+			t.Errorf("Extras()[%d] = %s, want %s", i, a.Name(), names[i])
+		}
+	}
+}

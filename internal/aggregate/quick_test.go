@@ -1,0 +1,175 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/rngutil"
+)
+
+// decodeMatrix builds a small random answer matrix from a seed.
+func decodeMatrix(seed int64) (*dataset.Matrix, []bool) {
+	rng := rngutil.New(seed)
+	nF := 20 + rng.Intn(30)
+	nW := 3 + rng.Intn(3)
+	truth := make([]bool, nF)
+	for f := range truth {
+		truth[f] = rng.Intn(2) == 0
+	}
+	ids := make([]string, nW)
+	accs := make([]float64, nW)
+	for w := range ids {
+		ids[w] = string(rune('a' + w))
+		accs[w] = 0.55 + 0.4*rng.Float64()
+	}
+	m, err := dataset.NewMatrix(nF, ids)
+	if err != nil {
+		panic(err)
+	}
+	for f := 0; f < nF; f++ {
+		for w := 0; w < nW; w++ {
+			if rng.Float64() < 0.2 {
+				continue // sparse
+			}
+			v := truth[f]
+			if rng.Float64() >= accs[w] {
+				v = !v
+			}
+			if err := m.Add(f, w, v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return m, truth
+}
+
+func TestQuickAllAggregatorsProduceValidPosteriors(t *testing.T) {
+	f := func(seed int64) bool {
+		m, _ := decodeMatrix(seed)
+		for _, a := range Registry(seed) {
+			res, err := a.Aggregate(m)
+			if err != nil {
+				return false
+			}
+			if len(res.PTrue) != m.NumFacts() || len(res.WorkerAcc) != m.NumWorkers() {
+				return false
+			}
+			for _, p := range res.PTrue {
+				if math.IsNaN(p) || p < 0 || p > 1 {
+					return false
+				}
+			}
+			for _, p := range res.WorkerAcc {
+				if math.IsNaN(p) || p < 0 || p > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWorkerPermutationInvariance(t *testing.T) {
+	// Property: renaming/reordering workers must not change the inferred
+	// per-fact posteriors for the deterministic EM models.
+	f := func(seed int64) bool {
+		m, _ := decodeMatrix(seed)
+		rng := rngutil.New(seed + 1)
+		perm := rng.Perm(m.NumWorkers())
+		ids := make([]string, m.NumWorkers())
+		for newIdx, oldIdx := range perm {
+			ids[newIdx] = m.WorkerIDs()[oldIdx]
+		}
+		shuffled, err := dataset.NewMatrix(m.NumFacts(), ids)
+		if err != nil {
+			return false
+		}
+		inv := make([]int, len(perm)) // old -> new
+		for newIdx, oldIdx := range perm {
+			inv[oldIdx] = newIdx
+		}
+		for f := 0; f < m.NumFacts(); f++ {
+			for _, o := range m.ByFact(f) {
+				if err := shuffled.Add(f, inv[o.Worker], o.Value); err != nil {
+					return false
+				}
+			}
+		}
+		for _, mk := range []func() Aggregator{
+			func() Aggregator { return MV{} },
+			func() Aggregator { return NewDS() },
+			func() Aggregator { return NewZC() },
+			func() Aggregator { return NewBWA() },
+			func() Aggregator { return NewCRH() },
+		} {
+			a := mk()
+			r1, err1 := a.Aggregate(m)
+			r2, err2 := a.Aggregate(shuffled)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			for f := range r1.PTrue {
+				if math.Abs(r1.PTrue[f]-r2.PTrue[f]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMoreRedundancyNeverHurtsMuch(t *testing.T) {
+	// Property (statistical): duplicating the whole answer matrix with a
+	// fresh strong worker must not reduce MV/DS accuracy by more than
+	// noise.
+	f := func(seed int64) bool {
+		m, truth := decodeMatrix(seed)
+		ids := append(append([]string{}, m.WorkerIDs()...), "strong")
+		bigger, err := dataset.NewMatrix(m.NumFacts(), ids)
+		if err != nil {
+			return false
+		}
+		for f := 0; f < m.NumFacts(); f++ {
+			for _, o := range m.ByFact(f) {
+				if err := bigger.Add(f, o.Worker, o.Value); err != nil {
+					return false
+				}
+			}
+		}
+		rng := rngutil.New(seed + 2)
+		strong := len(ids) - 1
+		for f := 0; f < m.NumFacts(); f++ {
+			v := truth[f]
+			if rng.Float64() >= 0.95 {
+				v = !v
+			}
+			if err := bigger.Add(f, strong, v); err != nil {
+				return false
+			}
+		}
+		for _, a := range []Aggregator{MV{}, NewDS()} {
+			r1, err1 := a.Aggregate(m)
+			r2, err2 := a.Aggregate(bigger)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			a1, _ := r1.Accuracy(truth)
+			a2, _ := r2.Accuracy(truth)
+			if a2 < a1-0.1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package aggregate
+
+import (
+	"testing"
+
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/rngutil"
+)
+
+// robustnessDataset builds a 40-task dataset with the given behavior
+// injections applied to its preliminary matrix.
+func robustnessDataset(t *testing.T, seed int64, behaviors map[int]dataset.Behavior, cliqueAcc float64) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultSentiConfig()
+	cfg.NumTasks = 80
+	ds, err := dataset.SentiLike(rngutil.New(seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ds.InjectBehaviors(rngutil.New(seed+1), behaviors, cliqueAcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAggregatorsSurviveSpammer(t *testing.T) {
+	// One always-yes spammer among six workers: every algorithm must stay
+	// above 0.7 accuracy, and the reliability-aware ones must down-weight
+	// the spammer relative to the honest workers.
+	ds := robustnessDataset(t, 10, map[int]dataset.Behavior{0: dataset.SpammerYes}, 0.7)
+	for _, a := range Registry(3) {
+		res, err := a.Aggregate(ds.Prelim)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		acc, err := res.Accuracy(ds.Truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc < 0.7 {
+			t.Errorf("%s collapsed to %v with one spammer", a.Name(), acc)
+		}
+	}
+	// DS's confusion matrix is the designed defense: the spammer must
+	// rank at the bottom.
+	res, err := NewDS().Aggregate(ds.Prelim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 1; w < len(res.WorkerAcc); w++ {
+		if res.WorkerAcc[0] > res.WorkerAcc[w] {
+			t.Errorf("DS ranked spammer above honest worker %d (%v vs %v)",
+				w, res.WorkerAcc[0], res.WorkerAcc[w])
+		}
+	}
+}
+
+func TestAggregatorsSurviveCoinSpammer(t *testing.T) {
+	ds := robustnessDataset(t, 11, map[int]dataset.Behavior{1: dataset.SpammerCoin}, 0.7)
+	for _, a := range Registry(4) {
+		res, err := a.Aggregate(ds.Prelim)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		acc, _ := res.Accuracy(ds.Truth)
+		if acc < 0.7 {
+			t.Errorf("%s collapsed to %v with a coin spammer", a.Name(), acc)
+		}
+	}
+}
+
+func TestCliqueEchoChamber(t *testing.T) {
+	// Three workers giving byte-identical answers at 0.62 shared accuracy
+	// defeat every reliability-weighting model: mutual agreement reads as
+	// near-perfect accuracy, the learned weights follow the clique, and
+	// accuracy collapses below flat majority voting. This documents the
+	// known echo-chamber limitation of conditional-independence truth
+	// inference (the motivation for EBCC's subtype model, which softens
+	// partial correlation but cannot break perfect duplication either).
+	cfg := dataset.DefaultSentiConfig()
+	cfg.NumTasks = 80
+	cfg.Crowd.PrelimLo, cfg.Crowd.PrelimHi = 0.78, 0.88 // competent honest pool
+	base, err := dataset.SentiLike(rngutil.New(12), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := base.InjectBehaviors(rngutil.New(13), map[int]dataset.Behavior{
+		0: dataset.CliqueMember, 1: dataset.CliqueMember, 2: dataset.CliqueMember,
+	}, 0.62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvRes, err2 := (MV{}).Aggregate(ds.Prelim)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	mvAcc, _ := mvRes.Accuracy(ds.Truth)
+	if mvAcc < 0.7 {
+		t.Fatalf("MV collapsed to %v; scenario miscalibrated", mvAcc)
+	}
+	for _, a := range []Aggregator{NewDS(), NewEBCC(5)} {
+		res, err := a.Aggregate(ds.Prelim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, _ := res.Accuracy(ds.Truth)
+		// The weighted models trust the clique: their accuracy lands at
+		// the clique's own rate, below MV. If this ever flips, the
+		// aggregator gained collusion resistance — update this test and
+		// EXPERIMENTS.md.
+		if acc > mvAcc {
+			t.Errorf("%s (%v) unexpectedly beat MV (%v) under perfect collusion", a.Name(), acc, mvAcc)
+		}
+		// And the clique must be the workers they over-trust.
+		for w := 0; w < 3; w++ {
+			if res.WorkerAcc[w] < 0.9 {
+				t.Errorf("%s did not over-trust clique member %d: %v", a.Name(), w, res.WorkerAcc[w])
+			}
+		}
+	}
+}

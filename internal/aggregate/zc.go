@@ -1,0 +1,85 @@
+package aggregate
+
+import (
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/mathx"
+)
+
+// ZC is the ZenCrowd estimator [32]: EM with one symmetric reliability
+// parameter per worker (the probability the worker's answer matches the
+// truth, regardless of class) and a uniform class prior. It is the
+// factor-graph model of Demartini et al. restricted to binary facts, where
+// belief propagation reduces to closed-form EM updates.
+type ZC struct {
+	MaxIter int
+	Tol     float64
+}
+
+// NewZC returns ZC with the customary settings.
+func NewZC() ZC { return ZC{MaxIter: 500, Tol: 1e-4} }
+
+// Name implements Aggregator.
+func (ZC) Name() string { return "ZC" }
+
+// Aggregate implements Aggregator.
+func (a ZC) Aggregate(m *dataset.Matrix) (*Result, error) {
+	if err := validate(m); err != nil {
+		return nil, err
+	}
+	nF, nW := m.NumFacts(), m.NumWorkers()
+	mu := make([]float64, nF) // P(fact true)
+	for f := range mu {
+		share, _ := m.VoteShare(f)
+		mu[f] = share
+	}
+	rel := make([]float64, nW)
+	mathx.Fill(rel, 0.8) // optimistic start, as in the original
+	prev := mathx.Clone(mu)
+	iter := 0
+	converged := false
+	for ; iter < a.MaxIter; iter++ {
+		// M-step: reliability = expected agreement with current posterior
+		// (maximum likelihood, no smoothing — ZenCrowd's distinguishing
+		// trait next to BWA's Bayesian prior).
+		for w := 0; w < nW; w++ {
+			obs := m.ByWorker(w)
+			if len(obs) == 0 {
+				rel[w] = 0.5
+				continue
+			}
+			var agree float64
+			for _, o := range obs {
+				if o.Value {
+					agree += mu[o.Fact]
+				} else {
+					agree += 1 - mu[o.Fact]
+				}
+			}
+			rel[w] = mathx.Clamp(agree/float64(len(obs)), 1e-6, 1-1e-6)
+		}
+		// E-step with the uniform prior of the original model.
+		for f := 0; f < nF; f++ {
+			lt, lf := 0.0, 0.0
+			for _, o := range m.ByFact(f) {
+				r := rel[o.Worker]
+				if o.Value {
+					lt += mathx.Log(r)
+					lf += mathx.Log(1 - r)
+				} else {
+					lt += mathx.Log(1 - r)
+					lf += mathx.Log(r)
+				}
+			}
+			logw := []float64{lf, lt}
+			mathx.SoftmaxInPlace(logw)
+			mu[f] = logw[1]
+		}
+		if mathx.MaxAbsDiff(mu, prev) < a.Tol {
+			converged = true
+			iter++
+			break
+		}
+		copy(prev, mu)
+	}
+	return &Result{PTrue: mu, WorkerAcc: rel, Iterations: iter, Converged: converged}, nil
+}

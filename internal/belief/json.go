@@ -1,0 +1,33 @@
+package belief
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonDist is the serialized form: the fact count is implied by the
+// joint's length, which must be a power of two.
+type jsonDist struct {
+	Joint []float64 `json:"joint"`
+}
+
+// MarshalJSON serializes the belief as its joint distribution, enabling
+// checkpoint/restore of long-running labeling jobs.
+func (d *Dist) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonDist{Joint: d.Probs()})
+}
+
+// UnmarshalJSON restores a belief serialized by MarshalJSON, revalidating
+// the joint (non-negative, normalizable, power-of-two length).
+func (d *Dist) UnmarshalJSON(data []byte) error {
+	var in jsonDist
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("belief: %w", err)
+	}
+	restored, err := FromJoint(in.Joint)
+	if err != nil {
+		return err
+	}
+	*d = *restored
+	return nil
+}

@@ -1,0 +1,90 @@
+package belief
+
+import (
+	"fmt"
+
+	"hcrowd/internal/mathx"
+)
+
+// MaxPartitionRecords caps PartitionPrior's block size: n records yield
+// C(n,2) pair facts, and 7 records already need 2^21 observations.
+const MaxPartitionRecords = 7
+
+// PairIndex returns the fact index of the record pair (i, j), i < j,
+// under the lexicographic pair ordering PairFacts uses: (0,1), (0,2), …,
+// (0,n-1), (1,2), …
+func PairIndex(i, j, n int) (int, error) {
+	if i < 0 || j <= i || j >= n {
+		return 0, fmt.Errorf("belief: invalid pair (%d, %d) of %d records", i, j, n)
+	}
+	// Pairs before row i: sum_{r<i} (n-1-r); then offset within row i.
+	idx := i*(n-1) - i*(i-1)/2 + (j - i - 1)
+	return idx, nil
+}
+
+// NumPairFacts returns C(n, 2), the fact count of an n-record block.
+func NumPairFacts(n int) int { return n * (n - 1) / 2 }
+
+// PartitionPrior returns the joint prior for an entity-resolution block
+// of n records: the facts are the C(n,2) match questions "do records i
+// and j refer to the same entity?", and the only observations with mass
+// are those consistent with an equivalence relation (transitivity: if
+// i~j and j~k then i~k). Mass is uniform over the Bell(n) set
+// partitions. Updates preserve the constraint — a checking answer about
+// one pair propagates through transitivity to the others — which is the
+// crowdsourced-joins structure of the paper's related work [19, 20].
+func PartitionPrior(n int) (*Dist, error) {
+	if n < 2 || n > MaxPartitionRecords {
+		return nil, fmt.Errorf("belief: record count %d outside [2, %d]", n, MaxPartitionRecords)
+	}
+	m := NumPairFacts(n)
+	p := make([]float64, 1<<uint(m))
+	count := 0
+	// Enumerate set partitions via restricted growth strings.
+	assign := make([]int, n)
+	var rec func(pos, maxUsed int)
+	rec = func(pos, maxUsed int) {
+		if pos == n {
+			o := 0
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if assign[i] == assign[j] {
+						idx, _ := PairIndex(i, j, n)
+						o |= 1 << uint(idx)
+					}
+				}
+			}
+			p[o]++
+			count++
+			return
+		}
+		for b := 0; b <= maxUsed+1; b++ {
+			assign[pos] = b
+			next := maxUsed
+			if b > maxUsed {
+				next = b
+			}
+			rec(pos+1, next)
+		}
+	}
+	assign[0] = 0
+	rec(1, 0)
+	mathx.Normalize(p)
+	return &Dist{m: m, p: p}, nil
+}
+
+// BellNumber returns the number of set partitions of n elements, the
+// support size of PartitionPrior.
+func BellNumber(n int) int {
+	// Bell triangle.
+	row := []int{1}
+	for i := 1; i <= n; i++ {
+		next := make([]int, i+1)
+		next[0] = row[len(row)-1]
+		for j := 1; j <= i; j++ {
+			next[j] = next[j-1] + row[j-1]
+		}
+		row = next
+	}
+	return row[0]
+}

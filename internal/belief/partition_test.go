@@ -1,0 +1,166 @@
+package belief
+
+import (
+	"math/bits"
+	"testing"
+
+	"hcrowd/internal/crowd"
+)
+
+func TestBellNumber(t *testing.T) {
+	want := []int{1, 1, 2, 5, 15, 52, 203, 877}
+	for n, w := range want {
+		if got := BellNumber(n); got != w {
+			t.Errorf("Bell(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestPairIndex(t *testing.T) {
+	// n = 4: (0,1)=0 (0,2)=1 (0,3)=2 (1,2)=3 (1,3)=4 (2,3)=5.
+	cases := []struct{ i, j, want int }{
+		{0, 1, 0}, {0, 2, 1}, {0, 3, 2}, {1, 2, 3}, {1, 3, 4}, {2, 3, 5},
+	}
+	for _, c := range cases {
+		got, err := PairIndex(c.i, c.j, 4)
+		if err != nil || got != c.want {
+			t.Errorf("PairIndex(%d,%d,4) = %d,%v want %d", c.i, c.j, got, err, c.want)
+		}
+	}
+	for _, bad := range [][2]int{{1, 1}, {2, 1}, {-1, 2}, {0, 4}} {
+		if _, err := PairIndex(bad[0], bad[1], 4); err == nil {
+			t.Errorf("PairIndex(%d,%d,4) accepted", bad[0], bad[1])
+		}
+	}
+	if NumPairFacts(5) != 10 {
+		t.Errorf("NumPairFacts(5) = %d", NumPairFacts(5))
+	}
+}
+
+// isTransitive reports whether observation o over n records encodes an
+// equivalence relation.
+func isTransitive(o, n int) bool {
+	same := func(i, j int) bool {
+		if i == j {
+			return true
+		}
+		if i > j {
+			i, j = j, i
+		}
+		idx, _ := PairIndex(i, j, n)
+		return o&(1<<uint(idx)) != 0
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if same(i, j) && same(j, k) && !same(i, k) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestPartitionPriorSupport(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		d, err := PartitionPrior(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.NumFacts() != NumPairFacts(n) {
+			t.Fatalf("n=%d: facts %d", n, d.NumFacts())
+		}
+		support := 0
+		for o := 0; o < d.NumObservations(); o++ {
+			if d.P(o) == 0 {
+				continue
+			}
+			support++
+			if !isTransitive(o, n) {
+				t.Fatalf("n=%d: mass on non-transitive observation %b", n, o)
+			}
+		}
+		if support != BellNumber(n) {
+			t.Errorf("n=%d: support %d, want Bell(%d)=%d", n, support, n, BellNumber(n))
+		}
+	}
+}
+
+func TestPartitionPriorBounds(t *testing.T) {
+	if _, err := PartitionPrior(1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := PartitionPrior(MaxPartitionRecords + 1); err == nil {
+		t.Error("oversized n accepted")
+	}
+}
+
+func TestPartitionPriorTransitivityPropagation(t *testing.T) {
+	// Three records a,b,c. An oracle confirms a~b and b~c; transitivity
+	// must force P(a~c) to 1 without anyone asking about it.
+	d, err := PartitionPrior(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := crowd.Worker{ID: "o", Accuracy: 1}
+	ab, _ := PairIndex(0, 1, 3)
+	bc, _ := PairIndex(1, 2, 3)
+	ac, _ := PairIndex(0, 2, 3)
+	fam := crowd.AnswerFamily{{
+		Worker: oracle,
+		Facts:  []int{ab, bc},
+		Values: []bool{true, true},
+	}}
+	if err := d.Update(fam); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Marginal(ac); got != 1 {
+		t.Errorf("P(a~c | a~b, b~c) = %v, want 1", got)
+	}
+	// And a noisy match signal on a~b raises a~c through b~c mass too.
+	d2, _ := PartitionPrior(3)
+	before := d2.Marginal(ac)
+	noisy := crowd.Worker{ID: "w", Accuracy: 0.9}
+	_ = d2.Update(crowd.AnswerFamily{{Worker: noisy, Facts: []int{ab}, Values: []bool{true}}})
+	_ = d2.Update(crowd.AnswerFamily{{Worker: noisy, Facts: []int{bc}, Values: []bool{true}}})
+	if d2.Marginal(ac) <= before {
+		t.Errorf("transitive evidence did not raise P(a~c): %v -> %v", before, d2.Marginal(ac))
+	}
+}
+
+func TestPartitionPriorNonMatchDoesNotForce(t *testing.T) {
+	// a~b together with b!~c must force a!~c (else transitivity breaks).
+	d, _ := PartitionPrior(3)
+	oracle := crowd.Worker{ID: "o", Accuracy: 1}
+	ab, _ := PairIndex(0, 1, 3)
+	bc, _ := PairIndex(1, 2, 3)
+	ac, _ := PairIndex(0, 2, 3)
+	_ = d.Update(crowd.AnswerFamily{{Worker: oracle, Facts: []int{ab, bc}, Values: []bool{true, false}}})
+	if got := d.Marginal(ac); got != 0 {
+		t.Errorf("P(a~c | a~b, b!~c) = %v, want 0", got)
+	}
+}
+
+func TestPartitionPriorMarginals(t *testing.T) {
+	// Sanity: the pair-match marginal under the uniform-partition prior
+	// matches the combinatorial value #partitions-with-pair / Bell(n).
+	d, _ := PartitionPrior(4)
+	// Partitions of 4 with records 0,1 together: Bell(3) = 5 (merge 0,1
+	// into one element). So P = 5/15 = 1/3.
+	idx, _ := PairIndex(0, 1, 4)
+	if got := d.Marginal(idx); !almostEqual(got, 1.0/3.0, 1e-12) {
+		t.Errorf("P(0~1) = %v, want 1/3", got)
+	}
+	// Every observation with support is a union of blocks: ones count of
+	// valid observations is sum over blocks of C(size,2).
+	for o := 0; o < d.NumObservations(); o++ {
+		if d.P(o) > 0 && bits.OnesCount(uint(o)) == 2 {
+			// Two matched pairs sharing a record would violate
+			// transitivity; verify no such observation has mass.
+			if !isTransitive(o, 4) {
+				t.Fatalf("invalid 2-pair observation %b has mass", o)
+			}
+		}
+	}
+}

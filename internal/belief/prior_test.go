@@ -1,0 +1,198 @@
+package belief
+
+import (
+	"math"
+	"testing"
+
+	"hcrowd/internal/crowd"
+)
+
+func TestMarkovPriorUniformAtZero(t *testing.T) {
+	d, err := MarkovPrior(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o < 8; o++ {
+		if !almostEqual(d.P(o), 0.125, 1e-12) {
+			t.Fatalf("P(%d) = %v, want uniform", o, d.P(o))
+		}
+	}
+}
+
+func TestMarkovPriorAgreement(t *testing.T) {
+	couple := 0.8
+	d, err := MarkovPrior(4, couple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := (1 + couple) / 2
+	for f := 1; f < 4; f++ {
+		if got := d.Correlation(f-1, f); !almostEqual(got, agree, 1e-9) {
+			t.Errorf("adjacent agreement P(f%d==f%d) = %v, want %v", f-1, f, got, agree)
+		}
+	}
+	// Marginals stay symmetric at 1/2.
+	for f := 0; f < 4; f++ {
+		if got := d.Marginal(f); !almostEqual(got, 0.5, 1e-12) {
+			t.Errorf("marginal %d = %v, want 0.5", f, got)
+		}
+	}
+	// Non-adjacent correlation is weaker than adjacent (chain structure).
+	if d.Correlation(0, 3) >= d.Correlation(0, 1) {
+		t.Errorf("chain decay violated: %v >= %v", d.Correlation(0, 3), d.Correlation(0, 1))
+	}
+}
+
+func TestMarkovPriorRejectsBadCoupling(t *testing.T) {
+	for _, c := range []float64{-0.1, 1.0, 2.0} {
+		if _, err := MarkovPrior(3, c); err == nil {
+			t.Errorf("coupling %v accepted", c)
+		}
+	}
+}
+
+func TestFromMarginalsWithPriorNilPrior(t *testing.T) {
+	a, err := FromMarginalsWithPrior([]float64{0.9, 0.3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromMarginals([]float64{0.9, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o < 4; o++ {
+		if !almostEqual(a.P(o), b.P(o), 1e-12) {
+			t.Fatal("nil prior does not reduce to FromMarginals")
+		}
+	}
+}
+
+func TestFromMarginalsWithUniformPriorReduces(t *testing.T) {
+	prior, _ := MarkovPrior(3, 0)
+	a, err := FromMarginalsWithPrior([]float64{0.8, 0.4, 0.6}, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := FromMarginals([]float64{0.8, 0.4, 0.6})
+	for o := 0; o < 8; o++ {
+		if !almostEqual(a.P(o), b.P(o), 1e-12) {
+			t.Fatal("uniform prior changed the product belief")
+		}
+	}
+}
+
+func TestFromMarginalsWithPriorInjectsCorrelation(t *testing.T) {
+	prior, _ := MarkovPrior(2, 0.9)
+	d, err := FromMarginalsWithPrior([]float64{0.5, 0.5}, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uninformative marginals: correlation comes purely from the prior.
+	if got := d.Correlation(0, 1); got < 0.9 {
+		t.Errorf("correlation %v, want >= 0.9 (prior agreement 0.95)", got)
+	}
+	// And the correlated belief propagates evidence across facts: strong
+	// evidence on f0 must raise P(f1) above its 0.5 marginal.
+	d2, err := FromMarginalsWithPrior([]float64{0.95, 0.5}, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Marginal(1); got <= 0.6 {
+		t.Errorf("P(f1 | evidence on f0) = %v, want > 0.6", got)
+	}
+}
+
+func TestFromMarginalsWithPriorSizeMismatch(t *testing.T) {
+	prior, _ := MarkovPrior(3, 0.5)
+	if _, err := FromMarginalsWithPrior([]float64{0.5, 0.5}, prior); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestCorrelationBounds(t *testing.T) {
+	d := tableIDist(t)
+	// Table I: agreement of f1 and f2 = P(o1)+P(o4)+P(o5)+P(o8)... codes
+	// where bits 0 and 1 agree: 0(00),3(11),4(00),7(11).
+	want := 0.09 + 0.20 + 0.08 + 0.18
+	if got := d.Correlation(0, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Correlation = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Correlation did not panic")
+		}
+	}()
+	d.Correlation(0, 9)
+}
+
+func TestOneHotPrior(t *testing.T) {
+	d, err := OneHotPrior(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mass only on the 4 one-hot observations, 1/4 each.
+	var total float64
+	for o := 0; o < 16; o++ {
+		bits := 0
+		for f := 0; f < 4; f++ {
+			if Models(o, f) {
+				bits++
+			}
+		}
+		if bits == 1 {
+			if !almostEqual(d.P(o), 0.25, 1e-12) {
+				t.Errorf("P(%b) = %v, want 0.25", o, d.P(o))
+			}
+		} else if d.P(o) != 0 {
+			t.Errorf("P(%b) = %v, want 0", o, d.P(o))
+		}
+		total += d.P(o)
+	}
+	if !almostEqual(total, 1, 1e-12) {
+		t.Errorf("total mass %v", total)
+	}
+	// Marginals are 1/m.
+	for f := 0; f < 4; f++ {
+		if !almostEqual(d.Marginal(f), 0.25, 1e-12) {
+			t.Errorf("marginal %d = %v", f, d.Marginal(f))
+		}
+	}
+	if _, err := OneHotPrior(0); err == nil {
+		t.Error("OneHotPrior(0) accepted")
+	}
+}
+
+func TestOneHotConstraintSurvivesUpdate(t *testing.T) {
+	prior, err := OneHotPrior(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FromMarginalsWithPrior([]float64{0.6, 0.3, 0.4}, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every non-one-hot observation stays at zero, and evidence for one
+	// class pushes the others down (negative correlation).
+	for o := 0; o < 8; o++ {
+		oneHot := o == 1 || o == 2 || o == 4
+		if !oneHot && d.P(o) != 0 {
+			t.Errorf("constraint violated at %b: %v", o, d.P(o))
+		}
+	}
+	before1 := d.Marginal(1)
+	expert := crowd.Worker{ID: "e", Accuracy: 0.95}
+	fam := crowd.AnswerFamily{{Worker: expert, Facts: []int{0}, Values: []bool{true}}}
+	if err := d.Update(fam); err != nil {
+		t.Fatal(err)
+	}
+	if d.Marginal(1) >= before1 {
+		t.Errorf("evidence for class 0 did not lower class 1: %v -> %v", before1, d.Marginal(1))
+	}
+	var sum float64
+	for c := 0; c < 3; c++ {
+		sum += d.Marginal(c)
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Errorf("one-hot marginals sum to %v, want 1", sum)
+	}
+}

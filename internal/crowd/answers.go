@@ -1,0 +1,207 @@
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hcrowd/internal/rngutil"
+)
+
+// AnswerSet is the crowdsourced answer set A_cr^T of Definition 3: one
+// worker's Yes/No answers to every query in a query set T. Facts holds the
+// fact indices of T in ascending order and Values is parallel to it
+// (true = "Yes", the worker asserts the fact holds).
+type AnswerSet struct {
+	Worker Worker
+	Facts  []int
+	Values []bool
+}
+
+// Validate checks structural invariants: parallel slices, sorted unique
+// facts, and a valid worker.
+func (a AnswerSet) Validate() error {
+	if err := a.Worker.Validate(); err != nil {
+		return err
+	}
+	if len(a.Facts) != len(a.Values) {
+		return fmt.Errorf("crowd: answer set has %d facts but %d values", len(a.Facts), len(a.Values))
+	}
+	for i := 1; i < len(a.Facts); i++ {
+		if a.Facts[i] <= a.Facts[i-1] {
+			return fmt.Errorf("crowd: answer set facts not strictly increasing at %d", i)
+		}
+	}
+	return nil
+}
+
+// Answer returns the worker's answer for fact f; ok is false when f is not
+// in the query set (the paper: an answer set is not a complete assignment,
+// so "no answer" is distinct from "No").
+func (a AnswerSet) Answer(f int) (value, ok bool) {
+	i := sort.SearchInts(a.Facts, f)
+	if i < len(a.Facts) && a.Facts[i] == f {
+		return a.Values[i], true
+	}
+	return false, false
+}
+
+// AnswerFamily is the crowdsourced answer family A_C^T: the answer sets
+// from every worker in a crowd for the same query set.
+type AnswerFamily []AnswerSet
+
+// Validate checks each member answers the same query set.
+func (fam AnswerFamily) Validate() error {
+	for i, a := range fam {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+		if i > 0 {
+			if len(a.Facts) != len(fam[0].Facts) {
+				return fmt.Errorf("crowd: answer family member %d has different query set size", i)
+			}
+			for j, f := range a.Facts {
+				if fam[0].Facts[j] != f {
+					return fmt.Errorf("crowd: answer family member %d answers different query set", i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ForFact collects every worker's answer to fact f (the A_C^T(f) of the
+// paper). Workers whose query set excluded f are skipped.
+func (fam AnswerFamily) ForFact(f int) []bool {
+	var out []bool
+	for _, a := range fam {
+		if v, ok := a.Answer(f); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Truth is a ground-truth assignment consulted by the simulator: Truth(f)
+// reports whether fact f holds in the real world.
+type Truth func(f int) bool
+
+// SimulateAnswerSet draws one worker's answers to the query set under the
+// accuracy-rate error model: each answer independently matches the truth
+// with probability Worker.Accuracy. The facts slice is copied and sorted.
+func SimulateAnswerSet(rng *rand.Rand, w Worker, facts []int, truth Truth) AnswerSet {
+	fs := make([]int, len(facts))
+	copy(fs, facts)
+	sort.Ints(fs)
+	vals := make([]bool, len(fs))
+	for i, f := range fs {
+		tv := truth(f)
+		if rngutil.Bernoulli(rng, w.PCorrect(tv)) {
+			vals[i] = tv
+		} else {
+			vals[i] = !tv
+		}
+	}
+	return AnswerSet{Worker: w, Facts: fs, Values: vals}
+}
+
+// SimulateAnswerFamily draws an answer family: every worker in the crowd
+// answers the same query set independently.
+func SimulateAnswerFamily(rng *rand.Rand, c Crowd, facts []int, truth Truth) AnswerFamily {
+	fam := make(AnswerFamily, len(c))
+	for i, w := range c {
+		fam[i] = SimulateAnswerSet(rng, w, facts, truth)
+	}
+	return fam
+}
+
+// EstimateAccuracies estimates each worker's accuracy rate from answers to
+// gold sample facts with known truth, as §II-A prescribes ("easily
+// estimated with a set of sample tasks with ground truth"). It applies
+// add-one (Laplace) smoothing and clamps into [0.5, 1] so the estimate
+// remains a valid error-model accuracy. Workers with no gold answers get
+// the prior 0.75.
+func EstimateAccuracies(c Crowd, gold []AnswerFamily, truth Truth) Crowd {
+	correct := make(map[string]int, len(c))
+	total := make(map[string]int, len(c))
+	for _, fam := range gold {
+		for _, as := range fam {
+			for i, f := range as.Facts {
+				total[as.Worker.ID]++
+				if as.Values[i] == truth(f) {
+					correct[as.Worker.ID]++
+				}
+			}
+		}
+	}
+	out := make(Crowd, len(c))
+	for i, w := range c {
+		est := 0.75
+		if n := total[w.ID]; n > 0 {
+			est = (float64(correct[w.ID]) + 1) / (float64(n) + 2)
+		}
+		if est < 0.5 {
+			est = 0.5
+		}
+		if est > 1 {
+			est = 1
+		}
+		out[i] = Worker{ID: w.ID, Accuracy: est}
+	}
+	return out
+}
+
+// EstimateConfusion estimates each worker's class-conditional rates (TPR,
+// TNR) from gold sample answers, the confusion-model counterpart of
+// EstimateAccuracies. Rates are add-one smoothed and clamped into
+// [0.5, 1]; workers with no gold answers for a class fall back to 0.75.
+func EstimateConfusion(c Crowd, gold []AnswerFamily, truth Truth) Crowd {
+	type counts struct{ tp, tn, pos, neg int }
+	stats := make(map[string]*counts, len(c))
+	for _, w := range c {
+		stats[w.ID] = &counts{}
+	}
+	for _, fam := range gold {
+		for _, as := range fam {
+			st, ok := stats[as.Worker.ID]
+			if !ok {
+				continue
+			}
+			for i, f := range as.Facts {
+				if truth(f) {
+					st.pos++
+					if as.Values[i] {
+						st.tp++
+					}
+				} else {
+					st.neg++
+					if !as.Values[i] {
+						st.tn++
+					}
+				}
+			}
+		}
+	}
+	clamp := func(v float64) float64 {
+		if v < 0.5 {
+			return 0.5
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	out := make(Crowd, len(c))
+	for i, w := range c {
+		st := stats[w.ID]
+		tpr, tnr := 0.75, 0.75
+		if st.pos > 0 {
+			tpr = clamp((float64(st.tp) + 1) / (float64(st.pos) + 2))
+		}
+		if st.neg > 0 {
+			tnr = clamp((float64(st.tn) + 1) / (float64(st.neg) + 2))
+		}
+		out[i] = Worker{ID: w.ID, TPR: tpr, TNR: tnr}
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+
+	"hcrowd/internal/rngutil"
+)
+
+func truthAllTrue(int) bool    { return true }
+func truthEvenTrue(f int) bool { return f%2 == 0 }
+
+func TestAnswerSetAnswer(t *testing.T) {
+	a := AnswerSet{
+		Worker: Worker{ID: "w", Accuracy: 0.9},
+		Facts:  []int{2, 5, 9},
+		Values: []bool{true, false, true},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := a.Answer(5); !ok || v {
+		t.Errorf("Answer(5) = %v,%v", v, ok)
+	}
+	if v, ok := a.Answer(9); !ok || !v {
+		t.Errorf("Answer(9) = %v,%v", v, ok)
+	}
+	if _, ok := a.Answer(3); ok {
+		t.Error("Answer(3) found for fact outside query set")
+	}
+}
+
+func TestAnswerSetValidate(t *testing.T) {
+	bad := AnswerSet{Worker: Worker{ID: "w", Accuracy: 0.9}, Facts: []int{1, 1}, Values: []bool{true, true}}
+	if bad.Validate() == nil {
+		t.Error("duplicate facts accepted")
+	}
+	bad2 := AnswerSet{Worker: Worker{ID: "w", Accuracy: 0.9}, Facts: []int{1, 2}, Values: []bool{true}}
+	if bad2.Validate() == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad3 := AnswerSet{Worker: Worker{ID: "w", Accuracy: 0.3}, Facts: nil, Values: nil}
+	if bad3.Validate() == nil {
+		t.Error("invalid worker accepted")
+	}
+}
+
+func TestAnswerFamilyValidate(t *testing.T) {
+	w1 := Worker{ID: "a", Accuracy: 0.9}
+	w2 := Worker{ID: "b", Accuracy: 0.95}
+	good := AnswerFamily{
+		{Worker: w1, Facts: []int{1, 2}, Values: []bool{true, false}},
+		{Worker: w2, Facts: []int{1, 2}, Values: []bool{false, false}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := AnswerFamily{
+		{Worker: w1, Facts: []int{1, 2}, Values: []bool{true, false}},
+		{Worker: w2, Facts: []int{1, 3}, Values: []bool{false, false}},
+	}
+	if bad.Validate() == nil {
+		t.Error("mismatched query sets accepted")
+	}
+}
+
+func TestForFact(t *testing.T) {
+	fam := AnswerFamily{
+		{Worker: Worker{ID: "a", Accuracy: 0.9}, Facts: []int{1, 2}, Values: []bool{true, false}},
+		{Worker: Worker{ID: "b", Accuracy: 0.9}, Facts: []int{1, 2}, Values: []bool{true, true}},
+	}
+	got := fam.ForFact(1)
+	if len(got) != 2 || !got[0] || !got[1] {
+		t.Errorf("ForFact(1) = %v", got)
+	}
+	if got := fam.ForFact(99); got != nil {
+		t.Errorf("ForFact(99) = %v, want nil", got)
+	}
+}
+
+func TestSimulateAnswerSetSortsFacts(t *testing.T) {
+	rng := rngutil.New(1)
+	a := SimulateAnswerSet(rng, Worker{ID: "w", Accuracy: 1.0}, []int{9, 2, 5}, truthEvenTrue)
+	if a.Facts[0] != 2 || a.Facts[1] != 5 || a.Facts[2] != 9 {
+		t.Errorf("facts not sorted: %v", a.Facts)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateOracleAlwaysCorrect(t *testing.T) {
+	rng := rngutil.New(2)
+	for i := 0; i < 100; i++ {
+		a := SimulateAnswerSet(rng, Worker{ID: "o", Accuracy: 1.0}, []int{0, 1, 2, 3}, truthEvenTrue)
+		for j, f := range a.Facts {
+			if a.Values[j] != truthEvenTrue(f) {
+				t.Fatal("oracle gave a wrong answer")
+			}
+		}
+	}
+}
+
+func TestSimulateAccuracyFrequency(t *testing.T) {
+	rng := rngutil.New(3)
+	w := Worker{ID: "w", Accuracy: 0.8}
+	const n = 50000
+	correct := 0
+	for i := 0; i < n; i++ {
+		a := SimulateAnswerSet(rng, w, []int{7}, truthAllTrue)
+		if a.Values[0] {
+			correct++
+		}
+	}
+	got := float64(correct) / n
+	if math.Abs(got-0.8) > 0.01 {
+		t.Errorf("simulated accuracy = %v, want 0.8", got)
+	}
+}
+
+func TestSimulateAnswerFamily(t *testing.T) {
+	rng := rngutil.New(4)
+	c := Crowd{{ID: "a", Accuracy: 0.9}, {ID: "b", Accuracy: 0.95}, {ID: "c", Accuracy: 1.0}}
+	fam := SimulateAnswerFamily(rng, c, []int{0, 1}, truthEvenTrue)
+	if err := fam.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fam) != 3 {
+		t.Fatalf("family size = %d", len(fam))
+	}
+	for i, as := range fam {
+		if as.Worker.ID != c[i].ID {
+			t.Errorf("family order changed: %v", as.Worker)
+		}
+	}
+}
+
+func TestEstimateAccuracies(t *testing.T) {
+	rng := rngutil.New(5)
+	c := Crowd{{ID: "lo", Accuracy: 0.6}, {ID: "hi", Accuracy: 0.95}}
+	// Gold sample: 400 facts answered by both workers.
+	facts := make([]int, 400)
+	for i := range facts {
+		facts[i] = i
+	}
+	gold := []AnswerFamily{SimulateAnswerFamily(rng, c, facts, truthEvenTrue)}
+	est := EstimateAccuracies(c, gold, truthEvenTrue)
+	for i, w := range est {
+		if math.Abs(w.Accuracy-c[i].Accuracy) > 0.06 {
+			t.Errorf("estimate for %s = %v, want ~%v", w.ID, w.Accuracy, c[i].Accuracy)
+		}
+	}
+}
+
+func TestEstimateAccuraciesNoData(t *testing.T) {
+	c := Crowd{{ID: "a", Accuracy: 0.8}}
+	est := EstimateAccuracies(c, nil, truthAllTrue)
+	if est[0].Accuracy != 0.75 {
+		t.Errorf("prior estimate = %v, want 0.75", est[0].Accuracy)
+	}
+}
+
+func TestEstimateAccuraciesClamped(t *testing.T) {
+	// A worker who answers everything wrong in the sample must still get a
+	// valid error-model accuracy (>= 0.5).
+	c := Crowd{{ID: "w", Accuracy: 0.5}}
+	gold := []AnswerFamily{{
+		{Worker: c[0], Facts: []int{0, 1, 2, 3}, Values: []bool{false, false, false, false}},
+	}}
+	est := EstimateAccuracies(c, gold, truthAllTrue)
+	if est[0].Accuracy < 0.5 {
+		t.Errorf("estimate %v below 0.5", est[0].Accuracy)
+	}
+	if err := est.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+
+	"hcrowd/internal/rngutil"
+)
+
+func TestAsymmetricWorkerValidate(t *testing.T) {
+	cases := []struct {
+		w  Worker
+		ok bool
+	}{
+		{Worker{ID: "a", TPR: 0.9, TNR: 0.7}, true},
+		{Worker{ID: "a", TPR: 1, TNR: 1}, true},
+		{Worker{ID: "a", TPR: 0.4, TNR: 0.9}, false},
+		{Worker{ID: "a", TPR: 0.9, TNR: 1.1}, false},
+		{Worker{ID: "a", TPR: math.NaN(), TNR: 0.9}, false},
+		// Asymmetric fields set means Accuracy is ignored entirely.
+		{Worker{ID: "a", Accuracy: 0.2, TPR: 0.8, TNR: 0.8}, true},
+	}
+	for _, c := range cases {
+		err := c.w.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) err=%v, want ok=%v", c.w, err, c.ok)
+		}
+	}
+}
+
+func TestPCorrectDispatch(t *testing.T) {
+	sym := Worker{ID: "s", Accuracy: 0.8}
+	if sym.PCorrect(true) != 0.8 || sym.PCorrect(false) != 0.8 {
+		t.Error("symmetric PCorrect wrong")
+	}
+	if sym.Asymmetric() {
+		t.Error("symmetric worker flagged asymmetric")
+	}
+	asym := Worker{ID: "a", TPR: 0.9, TNR: 0.6}
+	if asym.PCorrect(true) != 0.9 || asym.PCorrect(false) != 0.6 {
+		t.Error("asymmetric PCorrect wrong")
+	}
+	if !asym.Asymmetric() {
+		t.Error("asymmetric worker not flagged")
+	}
+	if got := asym.MeanCorrect(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("MeanCorrect = %v, want 0.75", got)
+	}
+}
+
+func TestAsymmetricOracle(t *testing.T) {
+	if !(Worker{ID: "o", TPR: 1, TNR: 1}).IsOracle() {
+		t.Error("perfect confusion worker not oracle")
+	}
+	if (Worker{ID: "o", TPR: 1, TNR: 0.9}).IsOracle() {
+		t.Error("imperfect TNR counted as oracle")
+	}
+}
+
+func TestSplitUsesMeanCorrect(t *testing.T) {
+	c := Crowd{
+		{ID: "a", TPR: 0.95, TNR: 0.95}, // mean 0.95 -> expert
+		{ID: "b", TPR: 0.95, TNR: 0.6},  // mean 0.775 -> preliminary
+	}
+	ce, cp := c.Split(0.9)
+	if len(ce) != 1 || ce[0].ID != "a" || len(cp) != 1 {
+		t.Errorf("split = %v / %v", ce, cp)
+	}
+}
+
+func TestSimulateAsymmetricFrequencies(t *testing.T) {
+	rng := rngutil.New(1)
+	w := Worker{ID: "a", TPR: 0.9, TNR: 0.6}
+	const n = 60000
+	tpHits, tnHits := 0, 0
+	for i := 0; i < n; i++ {
+		as := SimulateAnswerSet(rng, w, []int{0, 1}, truthEvenTrue) // f0 true, f1 false
+		if v, _ := as.Answer(0); v {
+			tpHits++
+		}
+		if v, _ := as.Answer(1); !v {
+			tnHits++
+		}
+	}
+	if got := float64(tpHits) / n; math.Abs(got-0.9) > 0.01 {
+		t.Errorf("TPR realized %v, want 0.9", got)
+	}
+	if got := float64(tnHits) / n; math.Abs(got-0.6) > 0.01 {
+		t.Errorf("TNR realized %v, want 0.6", got)
+	}
+}
+
+func TestEstimateConfusion(t *testing.T) {
+	rng := rngutil.New(2)
+	c := Crowd{{ID: "w", TPR: 0.92, TNR: 0.68}}
+	facts := make([]int, 1000)
+	for i := range facts {
+		facts[i] = i
+	}
+	gold := []AnswerFamily{SimulateAnswerFamily(rng, c, facts, truthEvenTrue)}
+	est := EstimateConfusion(c, gold, truthEvenTrue)
+	if math.Abs(est[0].TPR-0.92) > 0.04 {
+		t.Errorf("TPR estimate %v, want ~0.92", est[0].TPR)
+	}
+	if math.Abs(est[0].TNR-0.68) > 0.04 {
+		t.Errorf("TNR estimate %v, want ~0.68", est[0].TNR)
+	}
+	if err := est.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateConfusionNoData(t *testing.T) {
+	c := Crowd{{ID: "w", Accuracy: 0.8}}
+	est := EstimateConfusion(c, nil, truthEvenTrue)
+	if est[0].TPR != 0.75 || est[0].TNR != 0.75 {
+		t.Errorf("prior estimates = %v", est[0])
+	}
+}
+
+func TestEstimateConfusionClamped(t *testing.T) {
+	c := Crowd{{ID: "w", Accuracy: 0.5}}
+	gold := []AnswerFamily{{
+		// Always answers No: TNR perfect, TPR terrible -> clamped to 0.5.
+		{Worker: c[0], Facts: []int{0, 1, 2, 3}, Values: []bool{false, false, false, false}},
+	}}
+	est := EstimateConfusion(c, gold, truthEvenTrue)
+	if est[0].TPR != 0.5 {
+		t.Errorf("TPR = %v, want clamped 0.5", est[0].TPR)
+	}
+	if est[0].TNR <= 0.5 {
+		t.Errorf("TNR = %v, want > 0.5", est[0].TNR)
+	}
+}

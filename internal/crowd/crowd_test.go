@@ -1,0 +1,174 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hcrowd/internal/rngutil"
+)
+
+func TestWorkerValidate(t *testing.T) {
+	cases := []struct {
+		w  Worker
+		ok bool
+	}{
+		{Worker{ID: "a", Accuracy: 0.5}, true},
+		{Worker{ID: "a", Accuracy: 1.0}, true},
+		{Worker{ID: "a", Accuracy: 0.75}, true},
+		{Worker{ID: "a", Accuracy: 0.49}, false},
+		{Worker{ID: "a", Accuracy: 1.01}, false},
+		{Worker{ID: "a", Accuracy: math.NaN()}, false},
+	}
+	for _, c := range cases {
+		err := c.w.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%v) err=%v, want ok=%v", c.w, err, c.ok)
+		}
+	}
+}
+
+func TestCrowdValidateDuplicates(t *testing.T) {
+	c := Crowd{{ID: "a", Accuracy: 0.8}, {ID: "a", Accuracy: 0.9}}
+	if c.Validate() == nil {
+		t.Error("duplicate IDs not rejected")
+	}
+	if (Crowd{}).Validate() == nil {
+		t.Error("empty crowd not rejected")
+	}
+}
+
+func TestSplitDefinition1(t *testing.T) {
+	c := Crowd{{ID: "a", Accuracy: 0.95}, {ID: "b", Accuracy: 0.7}, {ID: "c", Accuracy: 0.9}, {ID: "d", Accuracy: 0.89}}
+	ce, cp := c.Split(0.9)
+	if len(ce) != 2 || ce[0].ID != "a" || ce[1].ID != "c" {
+		t.Errorf("CE = %v", ce)
+	}
+	if len(cp) != 2 || cp[0].ID != "b" || cp[1].ID != "d" {
+		t.Errorf("CP = %v", cp)
+	}
+}
+
+func TestSplitPartition(t *testing.T) {
+	// Split is always a partition: CE ∪ CP = C, CE ∩ CP = ∅ (Eq. 1).
+	f := func(accs []float64, rawTheta float64) bool {
+		theta := 0.5 + math.Abs(rawTheta-math.Trunc(rawTheta))/2
+		c := make(Crowd, 0, len(accs))
+		for i, a := range accs {
+			if math.IsNaN(a) {
+				a = 0
+			}
+			acc := 0.5 + math.Abs(a-math.Trunc(a))/2
+			c = append(c, Worker{ID: string(rune('a' + i%26)), Accuracy: acc})
+		}
+		ce, cp := c.Split(theta)
+		if len(ce)+len(cp) != len(c) {
+			return false
+		}
+		for _, w := range ce {
+			if w.Accuracy < theta {
+				return false
+			}
+		}
+		for _, w := range cp {
+			if w.Accuracy >= theta {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAccuracy(t *testing.T) {
+	c := Crowd{{ID: "a", Accuracy: 0.6}, {ID: "b", Accuracy: 0.8}}
+	if got := c.MeanAccuracy(); got != 0.7 {
+		t.Errorf("MeanAccuracy = %v", got)
+	}
+	if got := (Crowd{}).MeanAccuracy(); got != 0 {
+		t.Errorf("MeanAccuracy(empty) = %v", got)
+	}
+}
+
+func TestNewHeterogeneous(t *testing.T) {
+	rng := rngutil.New(1)
+	cfg := DefaultHeterogeneous()
+	c, err := NewHeterogeneous(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 8 {
+		t.Fatalf("crowd size = %d, want 8", len(c))
+	}
+	ce, cp := c.Split(0.9)
+	if len(ce) != 2 || len(cp) != 6 {
+		t.Errorf("split sizes CE=%d CP=%d, want 2/6", len(ce), len(cp))
+	}
+	for _, w := range cp {
+		if w.Accuracy < 0.55 || w.Accuracy >= 0.80 {
+			t.Errorf("preliminary accuracy out of range: %v", w)
+		}
+	}
+	for _, w := range ce {
+		if w.Accuracy < 0.91 || w.Accuracy >= 0.97 {
+			t.Errorf("expert accuracy out of range: %v", w)
+		}
+	}
+}
+
+func TestNewHeterogeneousErrors(t *testing.T) {
+	rng := rngutil.New(1)
+	if _, err := NewHeterogeneous(rng, HeterogeneousConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewHeterogeneous(rng, HeterogeneousConfig{NumPrelim: -1, NumExpert: 2, ExpertLo: 0.9, ExpertHi: 0.95}); err == nil {
+		t.Error("negative count accepted")
+	}
+	bad := HeterogeneousConfig{NumPrelim: 1, PrelimLo: 0.1, PrelimHi: 0.2}
+	if _, err := NewHeterogeneous(rng, bad); err == nil {
+		t.Error("sub-0.5 accuracy range accepted")
+	}
+}
+
+func TestNewHeterogeneousDeterministic(t *testing.T) {
+	a, _ := NewHeterogeneous(rngutil.New(9), DefaultHeterogeneous())
+	b, _ := NewHeterogeneous(rngutil.New(9), DefaultHeterogeneous())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different crowds")
+		}
+	}
+}
+
+func TestSortByAccuracy(t *testing.T) {
+	c := Crowd{{ID: "b", Accuracy: 0.7}, {ID: "a", Accuracy: 0.9}, {ID: "c", Accuracy: 0.9}}
+	s := c.SortByAccuracy()
+	if s[0].ID != "a" || s[1].ID != "c" || s[2].ID != "b" {
+		t.Errorf("sorted = %v", s)
+	}
+	// Original untouched.
+	if c[0].ID != "b" {
+		t.Error("SortByAccuracy mutated its receiver")
+	}
+}
+
+func TestByID(t *testing.T) {
+	c := Crowd{{ID: "a", Accuracy: 0.8}}
+	if w, ok := c.ByID("a"); !ok || w.Accuracy != 0.8 {
+		t.Errorf("ByID(a) = %v,%v", w, ok)
+	}
+	if _, ok := c.ByID("zzz"); ok {
+		t.Error("ByID found nonexistent worker")
+	}
+}
+
+func TestIsOracle(t *testing.T) {
+	if !(Worker{ID: "o", Accuracy: 1.0}).IsOracle() {
+		t.Error("accuracy-1.0 worker not oracle")
+	}
+	if (Worker{ID: "o", Accuracy: 0.99}).IsOracle() {
+		t.Error("0.99 worker is oracle")
+	}
+}

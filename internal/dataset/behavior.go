@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"hcrowd/internal/rngutil"
+)
+
+// Behavior is a non-ideal preliminary-worker answering strategy used for
+// robustness studies. The error model of §II-A assumes every worker is
+// honest with accuracy ≥ 1/2; real crowds contain workers who are not,
+// and these injections measure how the aggregators and the HC pipeline
+// degrade when the assumption is violated.
+type Behavior int
+
+const (
+	// Honest answers with the worker's accuracy (the paper's model).
+	Honest Behavior = iota
+	// SpammerYes always answers Yes regardless of the fact.
+	SpammerYes
+	// SpammerCoin answers by a fair coin flip (accuracy exactly 1/2).
+	SpammerCoin
+	// CliqueMember copies a shared noisy answer stream: every clique
+	// member gives the same answer, which breaks the conditional
+	// independence the aggregators assume (EBCC's target failure mode).
+	CliqueMember
+)
+
+// String implements fmt.Stringer.
+func (b Behavior) String() string {
+	switch b {
+	case Honest:
+		return "honest"
+	case SpammerYes:
+		return "spammer-yes"
+	case SpammerCoin:
+		return "spammer-coin"
+	case CliqueMember:
+		return "clique"
+	default:
+		return fmt.Sprintf("Behavior(%d)", int(b))
+	}
+}
+
+// InjectBehaviors returns a copy of the dataset whose preliminary answer
+// matrix is regenerated with the given per-worker behaviors (indexed in
+// CP order; missing entries default to Honest). Clique members share one
+// answer stream drawn at CliqueAccuracy. Expert workers are never
+// altered — the hierarchy's premise is that the checking tier is vetted.
+func (ds *Dataset) InjectBehaviors(rng *rand.Rand, behaviors map[int]Behavior, cliqueAccuracy float64) (*Dataset, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	_, cp := ds.Split()
+	for wi, b := range behaviors {
+		if wi < 0 || wi >= len(cp) {
+			return nil, fmt.Errorf("dataset: behavior for worker %d outside CP size %d", wi, len(cp))
+		}
+		if b == CliqueMember && (cliqueAccuracy < 0.5 || cliqueAccuracy > 1) {
+			return nil, errors.New("dataset: clique accuracy outside [0.5, 1]")
+		}
+	}
+	ids := make([]string, len(cp))
+	for i, w := range cp {
+		ids[i] = w.ID
+	}
+	m, err := NewMatrix(ds.NumFacts(), ids)
+	if err != nil {
+		return nil, err
+	}
+	// One shared clique stream per fact.
+	clique := make([]bool, ds.NumFacts())
+	for f := range clique {
+		v := ds.Truth[f]
+		if !rngutil.Bernoulli(rng, cliqueAccuracy) {
+			v = !v
+		}
+		clique[f] = v
+	}
+	for wi, w := range cp {
+		for f := 0; f < ds.NumFacts(); f++ {
+			if !ds.Prelim.Has(f, wi) {
+				continue // preserve the original sparsity pattern
+			}
+			var v bool
+			switch behaviors[wi] {
+			case SpammerYes:
+				v = true
+			case SpammerCoin:
+				v = rng.Intn(2) == 0
+			case CliqueMember:
+				v = clique[f]
+			default:
+				v = ds.Truth[f]
+				if !rngutil.Bernoulli(rng, w.Accuracy) {
+					v = !v
+				}
+			}
+			if err := m.Add(f, wi, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := *ds
+	out.Prelim = m
+	return &out, nil
+}

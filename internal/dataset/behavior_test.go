@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"testing"
+
+	"hcrowd/internal/rngutil"
+)
+
+func behaviorDataset(t *testing.T) *Dataset {
+	t.Helper()
+	cfg := DefaultSentiConfig()
+	cfg.NumTasks = 40
+	ds, err := SentiLike(rngutil.New(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestBehaviorString(t *testing.T) {
+	cases := map[Behavior]string{
+		Honest:       "honest",
+		SpammerYes:   "spammer-yes",
+		SpammerCoin:  "spammer-coin",
+		CliqueMember: "clique",
+		Behavior(9):  "Behavior(9)",
+	}
+	for b, want := range cases {
+		if got := b.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(b), got, want)
+		}
+	}
+}
+
+func TestInjectSpammerYes(t *testing.T) {
+	ds := behaviorDataset(t)
+	out, err := ds.InjectBehaviors(rngutil.New(2), map[int]Behavior{0: SpammerYes}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range out.Prelim.ByWorker(0) {
+		if !o.Value {
+			t.Fatal("spammer-yes answered No")
+		}
+	}
+	// Original untouched.
+	anyNo := false
+	for _, o := range ds.Prelim.ByWorker(0) {
+		if !o.Value {
+			anyNo = true
+		}
+	}
+	if !anyNo {
+		t.Skip("original worker coincidentally all-yes")
+	}
+}
+
+func TestInjectCliqueShared(t *testing.T) {
+	ds := behaviorDataset(t)
+	out, err := ds.InjectBehaviors(rngutil.New(3), map[int]Behavior{
+		0: CliqueMember, 1: CliqueMember, 2: CliqueMember,
+	}, 0.65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All clique members answer identically on every fact.
+	for f := 0; f < out.NumFacts(); f++ {
+		var vals []bool
+		for _, o := range out.Prelim.ByFact(f) {
+			if o.Worker <= 2 {
+				vals = append(vals, o.Value)
+			}
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] != vals[0] {
+				t.Fatalf("clique disagrees on fact %d", f)
+			}
+		}
+	}
+}
+
+func TestInjectPreservesSparsity(t *testing.T) {
+	cfg := DefaultSentiConfig()
+	cfg.NumTasks = 30
+	cfg.AnswerRate = 0.6
+	ds, err := SentiLike(rngutil.New(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ds.InjectBehaviors(rngutil.New(5), map[int]Behavior{1: SpammerCoin}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Prelim.NumAnswers() != ds.Prelim.NumAnswers() {
+		t.Errorf("answer count changed: %d -> %d", ds.Prelim.NumAnswers(), out.Prelim.NumAnswers())
+	}
+	for f := 0; f < ds.NumFacts(); f++ {
+		for w := 0; w < ds.Prelim.NumWorkers(); w++ {
+			if ds.Prelim.Has(f, w) != out.Prelim.Has(f, w) {
+				t.Fatalf("sparsity pattern changed at (%d, %d)", f, w)
+			}
+		}
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	ds := behaviorDataset(t)
+	if _, err := ds.InjectBehaviors(rngutil.New(6), map[int]Behavior{99: SpammerYes}, 0.7); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+	if _, err := ds.InjectBehaviors(rngutil.New(6), map[int]Behavior{0: CliqueMember}, 0.2); err == nil {
+		t.Error("invalid clique accuracy accepted")
+	}
+}
+
+func TestInjectHonestMatchesStatistics(t *testing.T) {
+	// Honest re-draw keeps every worker near their configured accuracy.
+	cfg := DefaultSentiConfig()
+	cfg.NumTasks = 300
+	ds, err := SentiLike(rngutil.New(7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ds.InjectBehaviors(rngutil.New(8), nil, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cp := out.Split()
+	for wi, w := range cp {
+		correct, total := 0, 0
+		for _, o := range out.Prelim.ByWorker(wi) {
+			total++
+			if o.Value == out.Truth[o.Fact] {
+				correct++
+			}
+		}
+		got := float64(correct) / float64(total)
+		if got < w.Accuracy-0.04 || got > w.Accuracy+0.04 {
+			t.Errorf("worker %s honest accuracy %v vs configured %v", w.ID, got, w.Accuracy)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CatObs is one worker's categorical label for an item.
+type CatObs struct {
+	Worker int
+	Label  int
+}
+
+// CatWObs is one label keyed by item, for worker-centric passes.
+type CatWObs struct {
+	Item  int
+	Label int
+}
+
+// CatMatrix is a sparse categorical answer matrix over items × workers
+// with labels in [0, NumClasses) — the native input of multi-class truth
+// inference (the original Dawid–Skene setting, which §II-A's one-hot
+// construction decomposes into binary facts).
+type CatMatrix struct {
+	numClasses int
+	workerIDs  []string
+	byItem     [][]CatObs
+	byWorker   [][]CatWObs
+	answered   map[int64]bool
+	n          int
+}
+
+// NewCatMatrix creates an empty categorical matrix.
+func NewCatMatrix(numItems, numClasses int, workerIDs []string) (*CatMatrix, error) {
+	if numItems <= 0 {
+		return nil, errors.New("dataset: cat matrix needs at least one item")
+	}
+	if numClasses < 2 {
+		return nil, errors.New("dataset: cat matrix needs at least two classes")
+	}
+	if len(workerIDs) == 0 {
+		return nil, errors.New("dataset: cat matrix needs at least one worker")
+	}
+	seen := make(map[string]bool, len(workerIDs))
+	for _, id := range workerIDs {
+		if seen[id] {
+			return nil, fmt.Errorf("dataset: duplicate worker ID %q", id)
+		}
+		seen[id] = true
+	}
+	ids := make([]string, len(workerIDs))
+	copy(ids, workerIDs)
+	return &CatMatrix{
+		numClasses: numClasses,
+		workerIDs:  ids,
+		byItem:     make([][]CatObs, numItems),
+		byWorker:   make([][]CatWObs, len(workerIDs)),
+		answered:   make(map[int64]bool),
+	}, nil
+}
+
+// NumItems returns the item count.
+func (m *CatMatrix) NumItems() int { return len(m.byItem) }
+
+// NumClasses returns the label arity.
+func (m *CatMatrix) NumClasses() int { return m.numClasses }
+
+// NumWorkers returns the worker count.
+func (m *CatMatrix) NumWorkers() int { return len(m.workerIDs) }
+
+// NumAnswers returns the number of labels stored.
+func (m *CatMatrix) NumAnswers() int { return m.n }
+
+// WorkerIDs returns worker identities in index order (shared slice).
+func (m *CatMatrix) WorkerIDs() []string { return m.workerIDs }
+
+// Add records worker w's label for item i.
+func (m *CatMatrix) Add(i, w, label int) error {
+	if i < 0 || i >= len(m.byItem) {
+		return fmt.Errorf("dataset: item %d out of range [0,%d)", i, len(m.byItem))
+	}
+	if w < 0 || w >= len(m.workerIDs) {
+		return fmt.Errorf("dataset: worker %d out of range [0,%d)", w, len(m.workerIDs))
+	}
+	if label < 0 || label >= m.numClasses {
+		return fmt.Errorf("dataset: label %d out of range [0,%d)", label, m.numClasses)
+	}
+	key := int64(i)<<workerBits | int64(w)
+	if m.answered[key] {
+		return fmt.Errorf("dataset: duplicate label for item %d by worker %d", i, w)
+	}
+	m.answered[key] = true
+	m.byItem[i] = append(m.byItem[i], CatObs{Worker: w, Label: label})
+	m.byWorker[w] = append(m.byWorker[w], CatWObs{Item: i, Label: label})
+	m.n++
+	return nil
+}
+
+// ByItem returns the labels recorded for item i (shared slice).
+func (m *CatMatrix) ByItem(i int) []CatObs { return m.byItem[i] }
+
+// ByWorker returns worker w's labels (shared slice).
+func (m *CatMatrix) ByWorker(w int) []CatWObs { return m.byWorker[w] }
+
+// CatFromOneHot reconstructs the categorical matrix from a one-hot
+// binary dataset (the inverse of §II-A's construction): each worker's
+// class pick for an item is the fact they answered Yes for; workers with
+// zero or multiple Yes answers on an item are skipped for that item
+// (their intent is ambiguous in the binary encoding).
+func CatFromOneHot(m *Matrix, tasks [][]int) (*CatMatrix, error) {
+	if len(tasks) == 0 {
+		return nil, errors.New("dataset: no tasks")
+	}
+	numClasses := len(tasks[0])
+	for t, facts := range tasks {
+		if len(facts) != numClasses {
+			return nil, fmt.Errorf("dataset: task %d has %d facts, want %d", t, len(facts), numClasses)
+		}
+	}
+	cat, err := NewCatMatrix(len(tasks), numClasses, m.WorkerIDs())
+	if err != nil {
+		return nil, err
+	}
+	for i, facts := range tasks {
+		// picks[w] = the class w voted Yes for; -1 none, -2 multiple.
+		picks := make(map[int]int)
+		for c, f := range facts {
+			for _, o := range m.ByFact(f) {
+				if !o.Value {
+					continue
+				}
+				if _, dup := picks[o.Worker]; dup {
+					picks[o.Worker] = -2
+				} else {
+					picks[o.Worker] = c
+				}
+			}
+		}
+		for w, c := range picks {
+			if c < 0 {
+				continue
+			}
+			if err := cat.Add(i, w, c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cat, nil
+}

@@ -1,0 +1,42 @@
+package dataset
+
+import "errors"
+
+// EstimateCoupling estimates the intra-task Markov coupling of the ground
+// truth from the preliminary answers alone: it majority-votes each fact,
+// measures the agreement rate between adjacent facts of each task, and
+// inverts agree = (1+couple)/2. Vote noise only attenuates the estimate
+// (noisy labels agree less than the truth does), so the result is a
+// conservative input for belief.MarkovPrior. The estimate is clamped into
+// [0, 0.95].
+func (ds *Dataset) EstimateCoupling() (float64, error) {
+	if ds.Prelim == nil {
+		return 0, errors.New("dataset: no preliminary answers")
+	}
+	agree, pairs := 0, 0
+	for _, facts := range ds.Tasks {
+		for j := 1; j < len(facts); j++ {
+			sa, na := ds.Prelim.VoteShare(facts[j-1])
+			sb, nb := ds.Prelim.VoteShare(facts[j])
+			if na == 0 || nb == 0 {
+				continue
+			}
+			if (sa >= 0.5) == (sb >= 0.5) {
+				agree++
+			}
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0, nil // single-fact tasks: nothing to couple
+	}
+	rate := float64(agree) / float64(pairs)
+	couple := 2*rate - 1
+	if couple < 0 {
+		couple = 0
+	}
+	if couple > 0.95 {
+		couple = 0.95
+	}
+	return couple, nil
+}

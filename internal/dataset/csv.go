@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteAnswersCSV serializes a matrix as `fact,worker,value` rows with a
+// header, the interchange format crowdsourcing platforms export. Worker
+// columns are identified by their string IDs.
+func (m *Matrix) WriteAnswersCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"fact", "worker", "value"}); err != nil {
+		return err
+	}
+	ids := m.WorkerIDs()
+	for f := 0; f < m.NumFacts(); f++ {
+		for _, o := range m.ByFact(f) {
+			rec := []string{strconv.Itoa(f), ids[o.Worker], strconv.FormatBool(o.Value)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadAnswersCSV parses `fact,worker,value` rows (header optional) into a
+// matrix. Worker IDs are collected from the file in first-appearance
+// order; the fact space is sized by the largest index seen (or numFacts
+// if larger, pass 0 to infer). Accepted value spellings: true/false,
+// yes/no, 1/0 (case-insensitive).
+func ReadAnswersCSV(r io.Reader, numFacts int) (*Matrix, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	cr.TrimLeadingSpace = true
+	type row struct {
+		fact  int
+		id    string
+		value bool
+	}
+	var rows []row
+	var ids []string
+	index := map[string]int{}
+	maxFact := -1
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv: %w", err)
+		}
+		if first {
+			first = false
+			if rec[0] == "fact" { // header
+				continue
+			}
+		}
+		f, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv fact %q: %w", rec[0], err)
+		}
+		if f < 0 {
+			return nil, fmt.Errorf("dataset: csv fact %d negative", f)
+		}
+		v, err := parseAnswer(rec[2])
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := index[rec[1]]; !ok {
+			index[rec[1]] = len(ids)
+			ids = append(ids, rec[1])
+		}
+		if f > maxFact {
+			maxFact = f
+		}
+		rows = append(rows, row{fact: f, id: rec[1], value: v})
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: csv has no answers")
+	}
+	if maxFact+1 > numFacts {
+		numFacts = maxFact + 1
+	}
+	m, err := NewMatrix(numFacts, ids)
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic insertion order regardless of input order.
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].fact < rows[j].fact })
+	for _, r := range rows {
+		if err := m.Add(r.fact, index[r.id], r.value); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func parseAnswer(s string) (bool, error) {
+	switch s {
+	case "true", "TRUE", "True", "yes", "YES", "Yes", "1":
+		return true, nil
+	case "false", "FALSE", "False", "no", "NO", "No", "0":
+		return false, nil
+	default:
+		return false, fmt.Errorf("dataset: csv answer %q not recognized", s)
+	}
+}

@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hcrowd/internal/rngutil"
+)
+
+func TestAnswersCSVRoundTrip(t *testing.T) {
+	cfg := DefaultSentiConfig()
+	cfg.NumTasks = 10
+	cfg.AnswerRate = 0.7
+	ds, err := SentiLike(rngutil.New(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Prelim.WriteAnswersCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAnswersCSV(&buf, ds.NumFacts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumFacts() != ds.NumFacts() || got.NumAnswers() != ds.Prelim.NumAnswers() {
+		t.Fatalf("round trip shape: %d facts %d answers", got.NumFacts(), got.NumAnswers())
+	}
+	for f := 0; f < ds.NumFacts(); f++ {
+		orig := ds.Prelim.ByFact(f)
+		back := got.ByFact(f)
+		if len(orig) != len(back) {
+			t.Fatalf("fact %d: %d vs %d answers", f, len(orig), len(back))
+		}
+		for _, o := range orig {
+			id := ds.Prelim.WorkerIDs()[o.Worker]
+			wi, ok := got.WorkerIndex(id)
+			if !ok {
+				t.Fatalf("worker %s missing", id)
+			}
+			if v, _ := answerOf(back, wi); v != o.Value {
+				t.Fatalf("fact %d worker %s value changed", f, id)
+			}
+		}
+	}
+}
+
+func answerOf(obs []Obs, worker int) (bool, bool) {
+	for _, o := range obs {
+		if o.Worker == worker {
+			return o.Value, true
+		}
+	}
+	return false, false
+}
+
+func TestReadAnswersCSVFormats(t *testing.T) {
+	in := "fact,worker,value\n0,w1,yes\n0,w2,NO\n1,w1,1\n2,w2,False\n"
+	m, err := ReadAnswersCSV(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumFacts() != 3 || m.NumWorkers() != 2 || m.NumAnswers() != 4 {
+		t.Fatalf("shape: %d/%d/%d", m.NumFacts(), m.NumWorkers(), m.NumAnswers())
+	}
+	if v, _ := answerOf(m.ByFact(0), 0); !v {
+		t.Error("yes not parsed as true")
+	}
+	if v, _ := answerOf(m.ByFact(2), 1); v {
+		t.Error("False not parsed as false")
+	}
+}
+
+func TestReadAnswersCSVNoHeader(t *testing.T) {
+	in := "0,w1,true\n1,w1,false\n"
+	m, err := ReadAnswersCSV(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumAnswers() != 2 {
+		t.Fatalf("answers = %d", m.NumAnswers())
+	}
+}
+
+func TestReadAnswersCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                          // empty
+		"fact,worker,value\n",       // header only
+		"x,w,true\n",                // bad fact
+		"-1,w,true\n",               // negative fact
+		"0,w,maybe\n",               // bad value
+		"0,w,true\n0,w,false\n",     // duplicate answer
+		"0,w,true,extra,cols,bad\n", // wrong arity
+	}
+	for _, in := range cases {
+		if _, err := ReadAnswersCSV(strings.NewReader(in), 0); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestReadAnswersCSVPadsFactSpace(t *testing.T) {
+	in := "0,w,true\n"
+	m, err := ReadAnswersCSV(strings.NewReader(in), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumFacts() != 5 {
+		t.Fatalf("facts = %d, want padded 5", m.NumFacts())
+	}
+}

@@ -1,0 +1,138 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"hcrowd/internal/belief"
+	"hcrowd/internal/crowd"
+	"hcrowd/internal/rngutil"
+)
+
+// EntityResConfig parameterizes the crowdsourced entity-resolution
+// workload of the paper's related work [19, 20]: candidate records are
+// grouped into blocks (the usual blocking step) and the crowd answers
+// pair questions "do records i and j refer to the same entity?". The
+// C(n,2) pair facts of a block form one task whose truth is an
+// equivalence relation, so belief.PartitionPrior carries the transitivity
+// constraint through the checking loop.
+type EntityResConfig struct {
+	NumBlocks int
+	// RecordsPerBlock is the block size n (2..belief.MaxPartitionRecords).
+	RecordsPerBlock int
+	Crowd           crowd.HeterogeneousConfig
+	Theta           float64
+	// MergeProb biases the ground-truth partition: each record joins an
+	// existing entity with this probability, otherwise starts a new one
+	// (a Chinese-restaurant-style draw; higher = larger entities).
+	MergeProb float64
+}
+
+// DefaultEntityResConfig is the entityres example's shape.
+func DefaultEntityResConfig() EntityResConfig {
+	return EntityResConfig{
+		NumBlocks:       60,
+		RecordsPerBlock: 4,
+		Crowd:           crowd.DefaultHeterogeneous(),
+		Theta:           0.9,
+		MergeProb:       0.5,
+	}
+}
+
+// Validate checks the configuration.
+func (c EntityResConfig) Validate() error {
+	if c.NumBlocks <= 0 {
+		return errors.New("dataset: NumBlocks must be positive")
+	}
+	if c.RecordsPerBlock < 2 || c.RecordsPerBlock > belief.MaxPartitionRecords {
+		return fmt.Errorf("dataset: RecordsPerBlock %d outside [2, %d]", c.RecordsPerBlock, belief.MaxPartitionRecords)
+	}
+	if c.Theta < 0.5 || c.Theta > 1 {
+		return errors.New("dataset: Theta must be in [0.5, 1]")
+	}
+	if c.MergeProb < 0 || c.MergeProb > 1 {
+		return errors.New("dataset: MergeProb must be in [0, 1]")
+	}
+	return nil
+}
+
+// EntityRes generates the entity-resolution dataset: one task per block
+// with C(n,2) pair facts whose ground truth is a random partition of the
+// block's records. Preliminary workers answer every pair question with
+// their accuracy (their errors freely violate transitivity, as real
+// crowd answers do).
+func EntityRes(rng *rand.Rand, cfg EntityResConfig) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pool, err := crowd.NewHeterogeneous(rng, cfg.Crowd)
+	if err != nil {
+		return nil, err
+	}
+	_, cp := pool.Split(cfg.Theta)
+	if len(cp) == 0 {
+		return nil, errors.New("dataset: no preliminary workers")
+	}
+	n := cfg.RecordsPerBlock
+	pairsPerBlock := belief.NumPairFacts(n)
+	nFacts := cfg.NumBlocks * pairsPerBlock
+	truth := make([]bool, nFacts)
+	tasks := make([][]int, cfg.NumBlocks)
+	for b := 0; b < cfg.NumBlocks; b++ {
+		// Ground-truth partition via sequential merge draws.
+		entity := make([]int, n)
+		nextEntity := 1
+		for r := 1; r < n; r++ {
+			if rngutil.Bernoulli(rng, cfg.MergeProb) {
+				entity[r] = entity[rng.Intn(r)] // join a random earlier record's entity
+			} else {
+				entity[r] = nextEntity
+				nextEntity++
+			}
+		}
+		facts := make([]int, pairsPerBlock)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				local, err := belief.PairIndex(i, j, n)
+				if err != nil {
+					return nil, err
+				}
+				f := b*pairsPerBlock + local
+				facts[local] = f
+				truth[f] = entity[i] == entity[j]
+			}
+		}
+		tasks[b] = facts
+	}
+	ids := make([]string, len(cp))
+	for wi, w := range cp {
+		ids[wi] = w.ID
+	}
+	matrix, err := NewMatrix(nFacts, ids)
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range cp {
+		for f := 0; f < nFacts; f++ {
+			v := truth[f]
+			if !rngutil.Bernoulli(rng, w.Accuracy) {
+				v = !v
+			}
+			if err := matrix.Add(f, wi, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ds := &Dataset{
+		Truth:  truth,
+		Tasks:  tasks,
+		Crowd:  pool,
+		Theta:  cfg.Theta,
+		Prelim: matrix,
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"testing"
+
+	"hcrowd/internal/belief"
+	"hcrowd/internal/rngutil"
+)
+
+func TestEntityResShape(t *testing.T) {
+	cfg := DefaultEntityResConfig()
+	cfg.NumBlocks = 20
+	ds, err := EntityRes(rngutil.New(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Tasks) != 20 {
+		t.Fatalf("blocks = %d", len(ds.Tasks))
+	}
+	if ds.NumFacts() != 20*6 { // C(4,2) = 6 pairs per block
+		t.Fatalf("facts = %d", ds.NumFacts())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntityResTruthIsTransitive(t *testing.T) {
+	cfg := DefaultEntityResConfig()
+	cfg.NumBlocks = 100
+	ds, err := EntityRes(rngutil.New(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.RecordsPerBlock
+	same := func(facts []int, i, j int) bool {
+		if i == j {
+			return true
+		}
+		if i > j {
+			i, j = j, i
+		}
+		idx, err := belief.PairIndex(i, j, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds.Truth[facts[idx]]
+	}
+	for b, facts := range ds.Tasks {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					if same(facts, i, j) && same(facts, j, k) && !same(facts, i, k) {
+						t.Fatalf("block %d ground truth violates transitivity", b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEntityResMergeProbExtremes(t *testing.T) {
+	// MergeProb 0: all records distinct, every pair fact false.
+	cfg := DefaultEntityResConfig()
+	cfg.NumBlocks = 10
+	cfg.MergeProb = 0
+	ds, err := EntityRes(rngutil.New(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, v := range ds.Truth {
+		if v {
+			t.Fatalf("fact %d true with MergeProb 0", f)
+		}
+	}
+	// MergeProb 1: one entity, every pair fact true.
+	cfg.MergeProb = 1
+	ds, err = EntityRes(rngutil.New(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, v := range ds.Truth {
+		if !v {
+			t.Fatalf("fact %d false with MergeProb 1", f)
+		}
+	}
+}
+
+func TestEntityResConfigValidate(t *testing.T) {
+	bad := []func(*EntityResConfig){
+		func(c *EntityResConfig) { c.NumBlocks = 0 },
+		func(c *EntityResConfig) { c.RecordsPerBlock = 1 },
+		func(c *EntityResConfig) { c.RecordsPerBlock = 9 },
+		func(c *EntityResConfig) { c.Theta = 0.3 },
+		func(c *EntityResConfig) { c.MergeProb = -0.1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultEntityResConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

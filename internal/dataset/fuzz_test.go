@@ -1,0 +1,70 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hcrowd/internal/rngutil"
+)
+
+// FuzzReadAnswersCSV hardens the CSV parser: arbitrary input must either
+// parse into a valid matrix or return an error — never panic, never
+// produce a matrix that fails its own invariants.
+func FuzzReadAnswersCSV(f *testing.F) {
+	f.Add("fact,worker,value\n0,w1,true\n1,w2,no\n")
+	f.Add("0,w,1\n0,w,0\n") // duplicate
+	f.Add(",,\n")
+	f.Add("9999999,w,true\n")
+	f.Add("fact,worker,value\n-3,w,yes\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadAnswersCSV(strings.NewReader(input), 0)
+		if err != nil {
+			return
+		}
+		if m.NumFacts() <= 0 || m.NumWorkers() <= 0 {
+			t.Fatalf("parsed matrix with empty dimensions from %q", input)
+		}
+		// Round trip must succeed and preserve counts.
+		var buf bytes.Buffer
+		if err := m.WriteAnswersCSV(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadAnswersCSV(&buf, m.NumFacts())
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumAnswers() != m.NumAnswers() {
+			t.Fatalf("round trip changed answer count")
+		}
+	})
+}
+
+// FuzzReadDataset hardens the JSON loader the CLI tools consume.
+func FuzzReadDataset(f *testing.F) {
+	// Seed with a valid dataset.
+	cfg := DefaultSentiConfig()
+	cfg.NumTasks = 2
+	ds, err := SentiLike(rngutil.New(1), cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"truth":[true],"tasks":[[0]],"workers":[{"id":"w","accuracy":0.7}],"theta":0.9,"answers":[]}`)
+	f.Add(`{}`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Anything that parses must satisfy the dataset invariants.
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Read returned invalid dataset: %v", err)
+		}
+	})
+}

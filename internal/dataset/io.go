@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hcrowd/internal/crowd"
+)
+
+// jsonAnswer is one answer in the serialized form.
+type jsonAnswer struct {
+	Fact   int    `json:"fact"`
+	Worker string `json:"worker"`
+	Value  bool   `json:"value"`
+}
+
+// jsonWorker serializes a crowd worker.
+type jsonWorker struct {
+	ID       string  `json:"id"`
+	Accuracy float64 `json:"accuracy"`
+}
+
+// jsonDataset is the on-disk representation consumed by the CLI tools.
+type jsonDataset struct {
+	Truth   []bool       `json:"truth"`
+	Tasks   [][]int      `json:"tasks"`
+	Workers []jsonWorker `json:"workers"`
+	Theta   float64      `json:"theta"`
+	Answers []jsonAnswer `json:"answers"`
+}
+
+// Write serializes the dataset as JSON.
+func (ds *Dataset) Write(w io.Writer) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	out := jsonDataset{
+		Truth: ds.Truth,
+		Tasks: ds.Tasks,
+		Theta: ds.Theta,
+	}
+	for _, wk := range ds.Crowd {
+		out.Workers = append(out.Workers, jsonWorker{ID: wk.ID, Accuracy: wk.Accuracy})
+	}
+	ids := ds.Prelim.WorkerIDs()
+	for f := 0; f < ds.Prelim.NumFacts(); f++ {
+		for _, o := range ds.Prelim.ByFact(f) {
+			out.Answers = append(out.Answers, jsonAnswer{Fact: f, Worker: ids[o.Worker], Value: o.Value})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// Read deserializes a dataset written by Write and validates it.
+func Read(r io.Reader) (*Dataset, error) {
+	var in jsonDataset
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	pool := make(crowd.Crowd, len(in.Workers))
+	for i, w := range in.Workers {
+		pool[i] = crowd.Worker{ID: w.ID, Accuracy: w.Accuracy}
+	}
+	// The preliminary matrix holds the CP workers (those below theta).
+	_, cp := pool.Split(in.Theta)
+	ids := make([]string, len(cp))
+	index := make(map[string]int, len(cp))
+	for i, w := range cp {
+		ids[i] = w.ID
+		index[w.ID] = i
+	}
+	if len(in.Truth) == 0 {
+		return nil, fmt.Errorf("dataset: file has no facts")
+	}
+	m, err := NewMatrix(len(in.Truth), ids)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range in.Answers {
+		wi, ok := index[a.Worker]
+		if !ok {
+			return nil, fmt.Errorf("dataset: answer from unknown or non-preliminary worker %q", a.Worker)
+		}
+		if err := m.Add(a.Fact, wi, a.Value); err != nil {
+			return nil, err
+		}
+	}
+	ds := &Dataset{
+		Truth:  in.Truth,
+		Tasks:  in.Tasks,
+		Crowd:  pool,
+		Theta:  in.Theta,
+		Prelim: m,
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

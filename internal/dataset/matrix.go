@@ -1,0 +1,189 @@
+// Package dataset provides the data substrate for the experiments: sparse
+// worker/fact answer matrices, task grouping (the paper aggregates 5
+// sentiment tasks into one correlated 5-fact task, §IV-A), a synthetic
+// generator that mirrors the paper's real sentiment dataset (see
+// DESIGN.md, substitution 1), and JSON serialization for the CLI tools.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Obs is one worker's answer to a fact, keyed by worker index.
+type Obs struct {
+	Worker int
+	Value  bool
+}
+
+// WObs is one answer keyed by fact, used for worker-centric passes.
+type WObs struct {
+	Fact  int
+	Value bool
+}
+
+// Matrix is a sparse binary answer matrix over facts × workers. A given
+// (fact, worker) pair holds at most one answer; aggregators consume the
+// matrix through the ByFact and ByWorker views.
+type Matrix struct {
+	workerIDs []string
+	byFact    [][]Obs
+	byWorker  [][]WObs
+	answered  map[int64]bool // fact<<20 | worker, duplicate guard
+	n         int
+}
+
+const workerBits = 20 // up to ~1M workers; fact index shares an int64 key
+
+// NewMatrix creates an empty matrix with numFacts facts and the given
+// worker identities (order defines worker indices).
+func NewMatrix(numFacts int, workerIDs []string) (*Matrix, error) {
+	if numFacts <= 0 {
+		return nil, errors.New("dataset: matrix needs at least one fact")
+	}
+	if len(workerIDs) == 0 {
+		return nil, errors.New("dataset: matrix needs at least one worker")
+	}
+	if len(workerIDs) >= 1<<workerBits {
+		return nil, fmt.Errorf("dataset: too many workers (%d)", len(workerIDs))
+	}
+	seen := make(map[string]bool, len(workerIDs))
+	for _, id := range workerIDs {
+		if seen[id] {
+			return nil, fmt.Errorf("dataset: duplicate worker ID %q", id)
+		}
+		seen[id] = true
+	}
+	ids := make([]string, len(workerIDs))
+	copy(ids, workerIDs)
+	return &Matrix{
+		workerIDs: ids,
+		byFact:    make([][]Obs, numFacts),
+		byWorker:  make([][]WObs, len(workerIDs)),
+		answered:  make(map[int64]bool),
+	}, nil
+}
+
+// NumFacts returns the number of facts (rows).
+func (m *Matrix) NumFacts() int { return len(m.byFact) }
+
+// NumWorkers returns the number of workers (columns).
+func (m *Matrix) NumWorkers() int { return len(m.workerIDs) }
+
+// NumAnswers returns the total number of answers stored.
+func (m *Matrix) NumAnswers() int { return m.n }
+
+// WorkerIDs returns the worker identities in index order (shared slice;
+// callers must not mutate).
+func (m *Matrix) WorkerIDs() []string { return m.workerIDs }
+
+// WorkerIndex returns the index of the worker with the given ID.
+func (m *Matrix) WorkerIndex(id string) (int, bool) {
+	for i, w := range m.workerIDs {
+		if w == id {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Add records worker w's answer to fact f. Duplicate (fact, worker) pairs
+// and out-of-range indices are errors.
+func (m *Matrix) Add(f, w int, value bool) error {
+	if f < 0 || f >= len(m.byFact) {
+		return fmt.Errorf("dataset: fact %d out of range [0,%d)", f, len(m.byFact))
+	}
+	if w < 0 || w >= len(m.workerIDs) {
+		return fmt.Errorf("dataset: worker %d out of range [0,%d)", w, len(m.workerIDs))
+	}
+	key := int64(f)<<workerBits | int64(w)
+	if m.answered[key] {
+		return fmt.Errorf("dataset: duplicate answer for fact %d by worker %d", f, w)
+	}
+	m.answered[key] = true
+	m.byFact[f] = append(m.byFact[f], Obs{Worker: w, Value: value})
+	m.byWorker[w] = append(m.byWorker[w], WObs{Fact: f, Value: value})
+	m.n++
+	return nil
+}
+
+// ByFact returns the answers recorded for fact f (shared slice; callers
+// must not mutate).
+func (m *Matrix) ByFact(f int) []Obs { return m.byFact[f] }
+
+// ByWorker returns the answers given by worker w (shared slice; callers
+// must not mutate).
+func (m *Matrix) ByWorker(w int) []WObs { return m.byWorker[w] }
+
+// Clone returns a deep copy; extending a matrix with budgeted expert
+// answers (Figure 2 baselines) clones first so the preliminary matrix
+// stays pristine.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{
+		workerIDs: append([]string{}, m.workerIDs...),
+		byFact:    make([][]Obs, len(m.byFact)),
+		byWorker:  make([][]WObs, len(m.byWorker)),
+		answered:  make(map[int64]bool, len(m.answered)),
+		n:         m.n,
+	}
+	for i, s := range m.byFact {
+		c.byFact[i] = append([]Obs{}, s...)
+	}
+	for i, s := range m.byWorker {
+		c.byWorker[i] = append([]WObs{}, s...)
+	}
+	for k, v := range m.answered {
+		c.answered[k] = v
+	}
+	return c
+}
+
+// AddWorkers appends new worker columns and returns the index of the
+// first; IDs must not collide with existing ones.
+func (m *Matrix) AddWorkers(ids ...string) (int, error) {
+	for _, id := range ids {
+		for _, old := range m.workerIDs {
+			if id == old {
+				return 0, fmt.Errorf("dataset: worker %q already present", id)
+			}
+		}
+	}
+	first := len(m.workerIDs)
+	m.workerIDs = append(m.workerIDs, ids...)
+	for range ids {
+		m.byWorker = append(m.byWorker, nil)
+	}
+	return first, nil
+}
+
+// Has reports whether worker w already answered fact f.
+func (m *Matrix) Has(f, w int) bool {
+	return m.answered[int64(f)<<workerBits|int64(w)]
+}
+
+// VoteShare returns the fraction of "Yes" answers for fact f, and the
+// total number of answers. Zero answers yields share 0.5 (no information).
+func (m *Matrix) VoteShare(f int) (share float64, n int) {
+	obs := m.byFact[f]
+	if len(obs) == 0 {
+		return 0.5, 0
+	}
+	yes := 0
+	for _, o := range obs {
+		if o.Value {
+			yes++
+		}
+	}
+	return float64(yes) / float64(len(obs)), len(obs)
+}
+
+// FactsAnsweredBy returns the sorted fact indices worker w answered.
+func (m *Matrix) FactsAnsweredBy(w int) []int {
+	out := make([]int, 0, len(m.byWorker[w]))
+	for _, o := range m.byWorker[w] {
+		out = append(out, o.Fact)
+	}
+	sort.Ints(out)
+	return out
+}

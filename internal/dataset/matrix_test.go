@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func newTestMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	m, err := NewMatrix(4, []string{"w0", "w1", "w2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(0, []string{"w"}); err == nil {
+		t.Error("zero facts accepted")
+	}
+	if _, err := NewMatrix(3, nil); err == nil {
+		t.Error("no workers accepted")
+	}
+	if _, err := NewMatrix(3, []string{"a", "a"}); err == nil {
+		t.Error("duplicate worker IDs accepted")
+	}
+}
+
+func TestMatrixAddAndViews(t *testing.T) {
+	m := newTestMatrix(t)
+	if err := m.Add(0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(0, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(2, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumAnswers() != 3 {
+		t.Errorf("NumAnswers = %d", m.NumAnswers())
+	}
+	obs := m.ByFact(0)
+	if len(obs) != 2 || obs[0] != (Obs{0, true}) || obs[1] != (Obs{1, false}) {
+		t.Errorf("ByFact(0) = %v", obs)
+	}
+	if len(m.ByFact(1)) != 0 {
+		t.Errorf("ByFact(1) = %v, want empty", m.ByFact(1))
+	}
+	wobs := m.ByWorker(0)
+	if len(wobs) != 2 || wobs[0] != (WObs{0, true}) || wobs[1] != (WObs{2, true}) {
+		t.Errorf("ByWorker(0) = %v", wobs)
+	}
+}
+
+func TestMatrixAddErrors(t *testing.T) {
+	m := newTestMatrix(t)
+	if err := m.Add(0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(0, 0, false); err == nil {
+		t.Error("duplicate answer accepted")
+	}
+	if err := m.Add(-1, 0, true); err == nil {
+		t.Error("negative fact accepted")
+	}
+	if err := m.Add(4, 0, true); err == nil {
+		t.Error("out-of-range fact accepted")
+	}
+	if err := m.Add(1, 9, true); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+}
+
+func TestMatrixHas(t *testing.T) {
+	m := newTestMatrix(t)
+	_ = m.Add(1, 2, true)
+	if !m.Has(1, 2) {
+		t.Error("Has(1,2) = false")
+	}
+	if m.Has(2, 1) {
+		t.Error("Has(2,1) = true")
+	}
+}
+
+func TestVoteShare(t *testing.T) {
+	m := newTestMatrix(t)
+	_ = m.Add(0, 0, true)
+	_ = m.Add(0, 1, true)
+	_ = m.Add(0, 2, false)
+	share, n := m.VoteShare(0)
+	if n != 3 || share < 0.66 || share > 0.67 {
+		t.Errorf("VoteShare = %v, %d", share, n)
+	}
+	share, n = m.VoteShare(3)
+	if n != 0 || share != 0.5 {
+		t.Errorf("VoteShare(empty) = %v, %d", share, n)
+	}
+}
+
+func TestWorkerIndex(t *testing.T) {
+	m := newTestMatrix(t)
+	if i, ok := m.WorkerIndex("w1"); !ok || i != 1 {
+		t.Errorf("WorkerIndex(w1) = %d,%v", i, ok)
+	}
+	if _, ok := m.WorkerIndex("nope"); ok {
+		t.Error("found nonexistent worker")
+	}
+}
+
+func TestMatrixCloneIndependent(t *testing.T) {
+	m := newTestMatrix(t)
+	_ = m.Add(0, 0, true)
+	c := m.Clone()
+	if err := c.Add(0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumAnswers() != 1 || c.NumAnswers() != 2 {
+		t.Errorf("clone aliased: m=%d c=%d", m.NumAnswers(), c.NumAnswers())
+	}
+	if m.Has(0, 1) {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestAddWorkers(t *testing.T) {
+	m := newTestMatrix(t)
+	first, err := m.AddWorkers("e0", "e1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 3 || m.NumWorkers() != 5 {
+		t.Errorf("first=%d workers=%d", first, m.NumWorkers())
+	}
+	if err := m.Add(0, first, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddWorkers("w0"); err == nil {
+		t.Error("colliding worker ID accepted")
+	}
+}
+
+func TestFactsAnsweredBy(t *testing.T) {
+	m := newTestMatrix(t)
+	_ = m.Add(3, 1, true)
+	_ = m.Add(0, 1, false)
+	got := m.FactsAnsweredBy(1)
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("FactsAnsweredBy = %v", got)
+	}
+}

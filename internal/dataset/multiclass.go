@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"hcrowd/internal/crowd"
+	"hcrowd/internal/rngutil"
+)
+
+// MultiClassConfig parameterizes the multi-class workload of §II-A: each
+// item carries exactly one of NumClasses labels, and the labeling task is
+// split into NumClasses binary facts ("should this item be labeled c?")
+// that form one mutually-exclusive task. Workers behave like human
+// classifiers: each picks a class — the true one with their accuracy,
+// otherwise a uniformly random wrong one — and answers "yes" for the pick
+// and "no" for the rest, which makes their per-fact errors structurally
+// correlated exactly as real classification answers are.
+type MultiClassConfig struct {
+	NumItems   int
+	NumClasses int
+	Crowd      crowd.HeterogeneousConfig
+	Theta      float64
+	// Skew biases the class distribution: class c has weight
+	// Skew^c (1 = balanced).
+	Skew float64
+}
+
+// DefaultMultiClassConfig is the shape used by the multiclass example:
+// 150 items over 4 classes with a mild skew.
+func DefaultMultiClassConfig() MultiClassConfig {
+	return MultiClassConfig{
+		NumItems:   150,
+		NumClasses: 4,
+		Crowd:      crowd.DefaultHeterogeneous(),
+		Theta:      0.9,
+		Skew:       0.8,
+	}
+}
+
+// Validate checks the configuration.
+func (c MultiClassConfig) Validate() error {
+	if c.NumItems <= 0 {
+		return errors.New("dataset: NumItems must be positive")
+	}
+	if c.NumClasses < 2 || c.NumClasses > 20 {
+		return fmt.Errorf("dataset: NumClasses %d outside [2, 20]", c.NumClasses)
+	}
+	if c.Theta < 0.5 || c.Theta > 1 {
+		return errors.New("dataset: Theta must be in [0.5, 1]")
+	}
+	if c.Skew <= 0 || c.Skew > 1 {
+		return errors.New("dataset: Skew must be in (0, 1]")
+	}
+	return nil
+}
+
+// MultiClass generates the one-hot dataset. The returned Dataset has one
+// task per item with NumClasses facts; exactly one fact per task is true.
+// Use belief.OneHotPrior (pipeline Config.Prior) so the beliefs carry the
+// exclusivity constraint.
+func MultiClass(rng *rand.Rand, cfg MultiClassConfig) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pool, err := crowd.NewHeterogeneous(rng, cfg.Crowd)
+	if err != nil {
+		return nil, err
+	}
+	_, cp := pool.Split(cfg.Theta)
+	if len(cp) == 0 {
+		return nil, errors.New("dataset: no preliminary workers")
+	}
+	weights := make([]float64, cfg.NumClasses)
+	w := 1.0
+	for c := range weights {
+		weights[c] = w
+		w *= cfg.Skew
+	}
+	nFacts := cfg.NumItems * cfg.NumClasses
+	truth := make([]bool, nFacts)
+	tasks := make([][]int, cfg.NumItems)
+	labels := make([]int, cfg.NumItems)
+	for i := 0; i < cfg.NumItems; i++ {
+		label := rngutil.Categorical(rng, weights)
+		labels[i] = label
+		facts := make([]int, cfg.NumClasses)
+		for c := 0; c < cfg.NumClasses; c++ {
+			f := i*cfg.NumClasses + c
+			facts[c] = f
+			truth[f] = c == label
+		}
+		tasks[i] = facts
+	}
+	ids := make([]string, len(cp))
+	for wi, wk := range cp {
+		ids[wi] = wk.ID
+	}
+	matrix, err := NewMatrix(nFacts, ids)
+	if err != nil {
+		return nil, err
+	}
+	for wi, wk := range cp {
+		for i := 0; i < cfg.NumItems; i++ {
+			pick := labels[i]
+			if !rngutil.Bernoulli(rng, wk.Accuracy) {
+				// A wrong classification: uniform over the other classes.
+				off := 1 + rng.Intn(cfg.NumClasses-1)
+				pick = (labels[i] + off) % cfg.NumClasses
+			}
+			for c := 0; c < cfg.NumClasses; c++ {
+				if err := matrix.Add(i*cfg.NumClasses+c, wi, c == pick); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	ds := &Dataset{
+		Truth:  truth,
+		Tasks:  tasks,
+		Crowd:  pool,
+		Theta:  cfg.Theta,
+		Prelim: matrix,
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// ClassOf recovers the item labels from a one-hot dataset's fact labels:
+// the class whose fact is true, or the first max if the labels are not
+// exactly one-hot (possible for thresholded aggregator output).
+func ClassOf(labels []bool, tasks [][]int) []int {
+	out := make([]int, len(tasks))
+	for i, facts := range tasks {
+		cls := 0
+		for c, f := range facts {
+			if labels[f] {
+				cls = c
+				break
+			}
+		}
+		out[i] = cls
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"hcrowd/internal/rngutil"
+)
+
+func TestMultiClassShape(t *testing.T) {
+	cfg := DefaultMultiClassConfig()
+	cfg.NumItems = 50
+	ds, err := MultiClass(rngutil.New(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumFacts() != 200 || len(ds.Tasks) != 50 {
+		t.Fatalf("shape: %d facts, %d tasks", ds.NumFacts(), len(ds.Tasks))
+	}
+	// Exactly one true fact per task.
+	for i, facts := range ds.Tasks {
+		trues := 0
+		for _, f := range facts {
+			if ds.Truth[f] {
+				trues++
+			}
+		}
+		if trues != 1 {
+			t.Fatalf("task %d has %d true facts", i, trues)
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiClassWorkerAnswersAreOneHot(t *testing.T) {
+	cfg := DefaultMultiClassConfig()
+	cfg.NumItems = 30
+	ds, err := MultiClass(rngutil.New(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each worker answers yes exactly once per item.
+	for w := 0; w < ds.Prelim.NumWorkers(); w++ {
+		yesPerItem := make(map[int]int)
+		for _, o := range ds.Prelim.ByWorker(w) {
+			if o.Value {
+				yesPerItem[o.Fact/cfg.NumClasses]++
+			}
+		}
+		for i := 0; i < cfg.NumItems; i++ {
+			if yesPerItem[i] != 1 {
+				t.Fatalf("worker %d item %d has %d yes answers", w, i, yesPerItem[i])
+			}
+		}
+	}
+}
+
+func TestMultiClassWorkerAccuracyRealized(t *testing.T) {
+	cfg := DefaultMultiClassConfig()
+	cfg.NumItems = 2000
+	ds, err := MultiClass(rngutil.New(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cp := ds.Split()
+	for wi, wk := range cp {
+		correct := 0
+		for _, o := range ds.Prelim.ByWorker(wi) {
+			if o.Value && ds.Truth[o.Fact] {
+				correct++
+			}
+		}
+		got := float64(correct) / float64(cfg.NumItems)
+		if math.Abs(got-wk.Accuracy) > 0.03 {
+			t.Errorf("worker %s empirical class accuracy %v vs %v", wk.ID, got, wk.Accuracy)
+		}
+	}
+}
+
+func TestMultiClassSkew(t *testing.T) {
+	cfg := DefaultMultiClassConfig()
+	cfg.NumItems = 4000
+	cfg.Skew = 0.5
+	ds, err := MultiClass(rngutil.New(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, cfg.NumClasses)
+	for _, facts := range ds.Tasks {
+		for c, f := range facts {
+			if ds.Truth[f] {
+				counts[c]++
+			}
+		}
+	}
+	for c := 1; c < cfg.NumClasses; c++ {
+		if counts[c] >= counts[c-1] {
+			t.Errorf("skew not realized: counts %v", counts)
+			break
+		}
+	}
+}
+
+func TestMultiClassConfigValidate(t *testing.T) {
+	bad := []func(*MultiClassConfig){
+		func(c *MultiClassConfig) { c.NumItems = 0 },
+		func(c *MultiClassConfig) { c.NumClasses = 1 },
+		func(c *MultiClassConfig) { c.NumClasses = 30 },
+		func(c *MultiClassConfig) { c.Theta = 0.2 },
+		func(c *MultiClassConfig) { c.Skew = 0 },
+		func(c *MultiClassConfig) { c.Skew = 1.5 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultMultiClassConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	tasks := [][]int{{0, 1, 2}, {3, 4, 5}}
+	labels := []bool{false, true, false, false, false, true}
+	got := ClassOf(labels, tasks)
+	if got[0] != 1 || got[1] != 2 {
+		t.Errorf("ClassOf = %v", got)
+	}
+	// All-false task falls back to class 0.
+	labels2 := []bool{false, false, false, false, false, true}
+	if got := ClassOf(labels2, tasks); got[0] != 0 {
+		t.Errorf("fallback class = %d", got[0])
+	}
+}
+
+func TestCatMatrixAccessors(t *testing.T) {
+	m, err := NewCatMatrix(3, 4, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumItems() != 3 || m.NumClasses() != 4 || m.NumWorkers() != 2 {
+		t.Fatalf("dims %d/%d/%d", m.NumItems(), m.NumClasses(), m.NumWorkers())
+	}
+	if err := m.Add(0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(1, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumAnswers() != 3 {
+		t.Errorf("answers = %d", m.NumAnswers())
+	}
+	if got := m.ByItem(0); len(got) != 2 || got[0] != (CatObs{0, 2}) {
+		t.Errorf("ByItem(0) = %v", got)
+	}
+	if got := m.ByWorker(0); len(got) != 2 || got[1] != (CatWObs{1, 3}) {
+		t.Errorf("ByWorker(0) = %v", got)
+	}
+	if ids := m.WorkerIDs(); ids[1] != "b" {
+		t.Errorf("WorkerIDs = %v", ids)
+	}
+	if err := m.Add(0, 9, 1); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+	if _, err := NewCatMatrix(2, 2, []string{"a", "a"}); err == nil {
+		t.Error("duplicate worker IDs accepted")
+	}
+	if _, err := NewCatMatrix(2, 2, nil); err == nil {
+		t.Error("no workers accepted")
+	}
+}
+
+func TestCatFromOneHotSkipsAmbiguous(t *testing.T) {
+	// A worker answering Yes for two classes (or none) of an item has no
+	// recoverable pick and must be skipped for that item.
+	m, err := NewMatrix(3, []string{"w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Add(0, 0, true)
+	_ = m.Add(1, 0, true) // two Yes answers in the same task
+	_ = m.Add(2, 0, false)
+	cat, err := CatFromOneHot(m, [][]int{{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.NumAnswers() != 0 {
+		t.Errorf("ambiguous pick recorded: %d answers", cat.NumAnswers())
+	}
+	if _, err := CatFromOneHot(m, nil); err == nil {
+		t.Error("no tasks accepted")
+	}
+	if _, err := CatFromOneHot(m, [][]int{{0, 1, 2}, {3}}); err == nil {
+		t.Error("ragged tasks accepted")
+	}
+}

@@ -1,0 +1,222 @@
+// Package eval provides the measurement and reporting substrate for the
+// experiment drivers: budget-indexed series (the figures' curves), plain
+// tables (Table III), aligned-text rendering for the terminal, and CSV
+// output for external plotting.
+package eval
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is one labeled curve: Y[i] is the metric at the grid's X[i].
+// Missing points are NaN and render as "-".
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Grid is a budget-indexed family of curves, the shape of every figure in
+// the paper's evaluation: an X grid (budgets) and one series per method or
+// parameter setting.
+type Grid struct {
+	Title  string
+	XLabel string
+	X      []float64
+	Series []Series
+}
+
+// Validate checks every series matches the X grid.
+func (g *Grid) Validate() error {
+	if len(g.X) == 0 {
+		return errors.New("eval: grid has no x points")
+	}
+	for _, s := range g.Series {
+		if len(s.Y) != len(g.X) {
+			return fmt.Errorf("eval: series %q has %d points, grid has %d", s.Name, len(s.Y), len(g.X))
+		}
+	}
+	return nil
+}
+
+// Render writes the grid as an aligned text table, one row per X value.
+func (g *Grid) Render(w io.Writer) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	headers := make([]string, 0, len(g.Series)+1)
+	headers = append(headers, g.XLabel)
+	for _, s := range g.Series {
+		headers = append(headers, s.Name)
+	}
+	rows := make([][]string, len(g.X))
+	for i, x := range g.X {
+		row := make([]string, 0, len(headers))
+		row = append(row, trimFloat(x))
+		for _, s := range g.Series {
+			row = append(row, formatCell(s.Y[i]))
+		}
+		rows[i] = row
+	}
+	return RenderTable(w, g.Title, headers, rows)
+}
+
+// CSV writes the grid as comma-separated values with a header row.
+func (g *Grid) CSV(w io.Writer) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{g.XLabel}, names(g.Series)...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, x := range g.X {
+		row := make([]string, 0, len(header))
+		row = append(row, strconv.FormatFloat(x, 'g', -1, 64))
+		for _, s := range g.Series {
+			if math.IsNaN(s.Y[i]) {
+				row = append(row, "")
+			} else {
+				row = append(row, strconv.FormatFloat(s.Y[i], 'g', -1, 64))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SeriesByName returns the series with the given name.
+func (g *Grid) SeriesByName(name string) (Series, bool) {
+	for _, s := range g.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// FinalValue returns the last non-NaN value of the named series.
+func (g *Grid) FinalValue(name string) (float64, bool) {
+	s, ok := g.SeriesByName(name)
+	if !ok {
+		return 0, false
+	}
+	for i := len(s.Y) - 1; i >= 0; i-- {
+		if !math.IsNaN(s.Y[i]) {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Table is a free-form result table (Table III's shape).
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Render writes the table aligned.
+func (t *Table) Render(w io.Writer) error {
+	return RenderTable(w, t.Title, t.Headers, t.Rows)
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderTable writes one aligned text table with a title line.
+func RenderTable(w io.Writer, title string, headers []string, rows [][]string) error {
+	for _, r := range rows {
+		if len(r) != len(headers) {
+			return fmt.Errorf("eval: row has %d cells, header has %d", len(r), len(headers))
+		}
+	}
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := len(headers)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatCell renders a metric value compactly; NaN becomes "-".
+func formatCell(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', 4, 64)
+}
+
+// trimFloat renders an X value without trailing zeros.
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func names(ss []Series) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// NaNs returns a slice of n NaNs, the starting state of a series being
+// filled in.
+func NaNs(n int) []float64 {
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = math.NaN()
+	}
+	return y
+}

@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleGrid() *Grid {
+	return &Grid{
+		Title:  "Fig X",
+		XLabel: "budget",
+		X:      []float64{0, 100, 200},
+		Series: []Series{
+			{Name: "HC", Y: []float64{0.85, 0.9, 0.92}},
+			{Name: "MV", Y: []float64{0.8, math.NaN(), 0.81}},
+		},
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	g := sampleGrid()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Grid{X: []float64{1}, Series: []Series{{Name: "a", Y: []float64{1, 2}}}}
+	if bad.Validate() == nil {
+		t.Error("mismatched series accepted")
+	}
+	if (&Grid{}).Validate() == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+func TestGridRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleGrid().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig X", "budget", "HC", "MV", "0.9200", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGridCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleGrid().CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d: %q", len(lines), buf.String())
+	}
+	if lines[0] != "budget,HC,MV" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "100,0.9,") {
+		t.Errorf("NaN cell not empty: %q", lines[2])
+	}
+}
+
+func TestSeriesByNameAndFinalValue(t *testing.T) {
+	g := sampleGrid()
+	if _, ok := g.SeriesByName("HC"); !ok {
+		t.Error("HC not found")
+	}
+	if _, ok := g.SeriesByName("zzz"); ok {
+		t.Error("phantom series found")
+	}
+	v, ok := g.FinalValue("MV")
+	if !ok || v != 0.81 {
+		t.Errorf("FinalValue(MV) = %v,%v", v, ok)
+	}
+	allNaN := &Grid{X: []float64{1}, Series: []Series{{Name: "n", Y: []float64{math.NaN()}}}}
+	if _, ok := allNaN.FinalValue("n"); ok {
+		t.Error("FinalValue on all-NaN series succeeded")
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tbl := &Table{
+		Title:   "Table III",
+		Headers: []string{"k", "OPT", "Approx"},
+		Rows: [][]string{
+			{"1", "15.99", "14.86"},
+			{"4", "timeout", "144.58"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "timeout") {
+		t.Error("render lost cell")
+	}
+	buf.Reset()
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "k,OPT,Approx\n") {
+		t.Errorf("csv = %q", buf.String())
+	}
+}
+
+func TestRenderTableRowMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderTable(&buf, "t", []string{"a", "b"}, [][]string{{"only one"}})
+	if err == nil {
+		t.Error("row/header mismatch accepted")
+	}
+}
+
+func TestNaNs(t *testing.T) {
+	y := NaNs(3)
+	if len(y) != 3 {
+		t.Fatalf("len = %d", len(y))
+	}
+	for _, v := range y {
+		if !math.IsNaN(v) {
+			t.Error("non-NaN entry")
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"hcrowd/internal/aggregate"
+	"hcrowd/internal/crowd"
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/eval"
+	"hcrowd/internal/pipeline"
+	"hcrowd/internal/rngutil"
+)
+
+// AblationPrior compares the correlated Markov prior (estimated from the
+// preliminary answers, DESIGN.md "factored vs joint initialization")
+// against the paper's plain Equation-15 product initialization, holding
+// everything else fixed.
+func AblationPrior(ctx context.Context, o Options) (*Figure, error) {
+	ds, err := o.sentiDataset()
+	if err != nil {
+		return nil, err
+	}
+	grid := o.budgets()
+	accGrid := &eval.Grid{
+		Title:  "Ablation: accuracy vs budget, correlated prior vs product init",
+		XLabel: "budget",
+		X:      grid,
+	}
+	qualGrid := &eval.Grid{
+		Title:  "Ablation: quality vs budget, correlated prior vs product init",
+		XLabel: "budget",
+		X:      grid,
+	}
+	couple, err := ds.EstimateCoupling()
+	if err != nil {
+		return nil, err
+	}
+	for _, variant := range []struct {
+		name   string
+		couple float64
+	}{
+		{fmt.Sprintf("prior (couple=%.2f)", couple), couple},
+		{"product (Eq. 15)", 0},
+	} {
+		cfg := pipeline.Config{
+			K:             1,
+			Budget:        o.maxBudget(),
+			Init:          aggregate.NewEBCC(o.Seed + 1),
+			Source:        pipeline.NewSimulated(o.Seed+2, ds),
+			PriorCoupling: variant.couple,
+		}
+		acc, qual, err := runHC(ctx, ds, cfg, grid)
+		if err != nil {
+			return nil, err
+		}
+		accGrid.Series = append(accGrid.Series, eval.Series{Name: variant.name, Y: acc})
+		qualGrid.Series = append(qualGrid.Series, eval.Series{Name: variant.name, Y: qual})
+	}
+	return &Figure{
+		ID:    "ablation-prior",
+		Title: "Correlated prior vs product-form initialization",
+		Grids: []*eval.Grid{accGrid, qualGrid},
+	}, nil
+}
+
+// AblationEstAcc compares HC driven by oracle worker accuracies against
+// accuracies estimated from a gold sample of the configured size (§II-A's
+// "easily estimated with a set of sample tasks").
+func AblationEstAcc(ctx context.Context, o Options) (*Figure, error) {
+	ds, err := o.sentiDataset()
+	if err != nil {
+		return nil, err
+	}
+	grid := o.budgets()
+	g := &eval.Grid{
+		Title:  "Ablation: accuracy vs budget, oracle vs estimated worker accuracies",
+		XLabel: "budget",
+		X:      grid,
+	}
+	goldSizes := []int{20, 100}
+	variants := []struct {
+		name string
+		ds   *dataset.Dataset
+	}{{"oracle rates", ds}}
+	for _, n := range goldSizes {
+		rng := rngutil.New(o.Seed + int64(n))
+		facts := make([]int, n)
+		for i := range facts {
+			facts[i] = i
+		}
+		fam := crowd.SimulateAnswerFamily(rng, ds.Crowd, facts, ds.TruthFn())
+		est := crowd.EstimateAccuracies(ds.Crowd, []crowd.AnswerFamily{fam}, ds.TruthFn())
+		copyDS := *ds
+		copyDS.Crowd = est
+		variants = append(variants, struct {
+			name string
+			ds   *dataset.Dataset
+		}{fmt.Sprintf("estimated (gold=%d)", n), &copyDS})
+	}
+	for _, v := range variants {
+		cfg, err := hcConfig(o, v.ds, 1)
+		if err != nil {
+			return nil, err
+		}
+		// Same answer stream for all variants: the true accuracies drive
+		// the simulation, the variant's rates drive the updates.
+		cfg.Source = pipeline.NewSimulated(o.Seed+2, ds)
+		acc, _, err := runHC(ctx, v.ds, cfg, grid)
+		if err != nil {
+			return nil, fmt.Errorf("ablation-estacc %s: %w", v.name, err)
+		}
+		g.Series = append(g.Series, eval.Series{Name: v.name, Y: acc})
+	}
+	return &Figure{
+		ID:    "ablation-estacc",
+		Title: "Oracle vs estimated worker accuracies",
+		Grids: []*eval.Grid{g},
+	}, nil
+}
+
+// AblationRobust measures how the HC pipeline degrades when the
+// preliminary crowd violates the error model: an always-yes spammer and
+// a three-worker collusion clique, against the honest baseline.
+func AblationRobust(ctx context.Context, o Options) (*Figure, error) {
+	base, err := o.sentiDataset()
+	if err != nil {
+		return nil, err
+	}
+	grid := o.budgets()
+	g := &eval.Grid{
+		Title:  "Ablation: accuracy vs budget under crowd misbehavior",
+		XLabel: "budget",
+		X:      grid,
+	}
+	variants := []struct {
+		name      string
+		behaviors map[int]dataset.Behavior
+	}{
+		{"honest", nil},
+		{"1 spammer", map[int]dataset.Behavior{0: dataset.SpammerYes}},
+		{"3-clique", map[int]dataset.Behavior{
+			0: dataset.CliqueMember, 1: dataset.CliqueMember, 2: dataset.CliqueMember,
+		}},
+	}
+	for _, v := range variants {
+		ds := base
+		if v.behaviors != nil {
+			ds, err = base.InjectBehaviors(rngutil.New(o.Seed+3), v.behaviors, 0.62)
+			if err != nil {
+				return nil, err
+			}
+		}
+		cfg, err := hcConfig(o, ds, 1)
+		if err != nil {
+			return nil, err
+		}
+		acc, _, err := runHC(ctx, ds, cfg, grid)
+		if err != nil {
+			return nil, fmt.Errorf("ablation-robust %s: %w", v.name, err)
+		}
+		g.Series = append(g.Series, eval.Series{Name: v.name, Y: acc})
+	}
+	return &Figure{
+		ID:    "ablation-robust",
+		Title: "HC under crowd misbehavior",
+		Grids: []*eval.Grid{g},
+	}, nil
+}

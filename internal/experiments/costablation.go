@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"hcrowd/internal/crowd"
+	"hcrowd/internal/eval"
+	"hcrowd/internal/pipeline"
+)
+
+// AblationCost compares the uniform design (every selected query answered
+// by the whole expert panel, the paper's Algorithm 3) against the
+// per-unit cost-aware selection (taskselect.CostGreedy, the §III-D
+// future-work extension) under an accuracy-linked price: an answer from a
+// worker with accuracy a costs 1 + 8·(a − 0.9). Both spend the same
+// monetary budget.
+func AblationCost(ctx context.Context, o Options) (*Figure, error) {
+	ds, err := o.sentiDataset()
+	if err != nil {
+		return nil, err
+	}
+	grid := o.budgets()
+	priceOf := func(w crowd.Worker) float64 { return 1 + 8*(w.MeanCorrect()-0.9) }
+
+	g := &eval.Grid{
+		Title:  "Ablation: quality vs budget, uniform panel vs per-unit cost greedy",
+		XLabel: "budget (cost units)",
+		X:      grid,
+	}
+	base, err := hcConfig(o, ds, 1)
+	if err != nil {
+		return nil, err
+	}
+	base.Cost = priceOf
+
+	uniform := base
+	uniform.Source = pipeline.NewSimulated(o.Seed+2, ds)
+	resU, err := pipeline.Run(ctx, ds, uniform)
+	if err != nil {
+		return nil, fmt.Errorf("ablation-cost uniform: %w", err)
+	}
+	_, qualU := curveFromRounds(resU, grid)
+	g.Series = append(g.Series, eval.Series{Name: "uniform panel", Y: qualU})
+
+	perUnit := base
+	perUnit.Source = pipeline.NewSimulated(o.Seed+2, ds)
+	resP, err := pipeline.RunCostAware(ctx, ds, perUnit)
+	if err != nil {
+		return nil, fmt.Errorf("ablation-cost per-unit: %w", err)
+	}
+	_, qualP := curveFromRounds(resP, grid)
+	g.Series = append(g.Series, eval.Series{Name: "per-unit cost greedy", Y: qualP})
+
+	return &Figure{
+		ID:    "ablation-cost",
+		Title: "Cost-aware per-unit selection vs the uniform panel",
+		Grids: []*eval.Grid{g},
+	}, nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"hcrowd/internal/aggregate"
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/eval"
+	"hcrowd/internal/rngutil"
+)
+
+// AblationCrossover locates where hierarchical checking stops paying:
+// it sweeps the preliminary crowd's mean accuracy and compares HC
+// against the strongest budget-matched aggregation baseline at a fixed
+// budget. When the preliminary tier is already near-expert the
+// initialization leaves little entropy for the checking loop to remove
+// and the curves converge — the "where the crossover falls" analysis the
+// θ discussion in §III-D gestures at.
+func AblationCrossover(ctx context.Context, o Options) (*Figure, error) {
+	bands := [][2]float64{
+		{0.55, 0.65}, {0.60, 0.70}, {0.65, 0.75},
+		{0.70, 0.80}, {0.75, 0.85}, {0.80, 0.90},
+	}
+	if o.Quick {
+		bands = [][2]float64{bands[0], bands[2], bands[4]}
+	}
+	budget := o.maxBudget() / 2
+	x := make([]float64, len(bands))
+	hcY := make([]float64, len(bands))
+	baseY := make([]float64, len(bands))
+	for i, band := range bands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		x[i] = (band[0] + band[1]) / 2
+		cfg := dataset.DefaultSentiConfig()
+		cfg.NumTasks = o.numTasks()
+		cfg.Crowd.PrelimLo, cfg.Crowd.PrelimHi = band[0], band[1]
+		ds, err := dataset.SentiLike(rngutil.New(o.Seed), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("crossover band %v: %w", band, err)
+		}
+		run, err := hcConfig(o, ds, 1)
+		if err != nil {
+			return nil, err
+		}
+		run.Budget = budget
+		acc, _, err := runHC(ctx, ds, run, []float64{budget})
+		if err != nil {
+			return nil, err
+		}
+		hcY[i] = acc[0]
+
+		// Strongest baseline at the same budget: extra random expert
+		// answers plus every aggregator; take the best.
+		m, err := ds.WithExpertAnswers(rngutil.New(o.Seed+5), int(budget))
+		if err != nil {
+			return nil, err
+		}
+		best := 0.0
+		for _, agg := range aggregate.Registry(o.Seed + 6) {
+			res, err := agg.Aggregate(m)
+			if err != nil {
+				return nil, err
+			}
+			a, err := res.Accuracy(ds.Truth)
+			if err != nil {
+				return nil, err
+			}
+			if a > best {
+				best = a
+			}
+		}
+		baseY[i] = best
+	}
+	g := &eval.Grid{
+		Title:  fmt.Sprintf("Ablation: HC vs best baseline at budget %.0f, sweeping preliminary accuracy", budget),
+		XLabel: "mean preliminary accuracy",
+		X:      x,
+		Series: []eval.Series{
+			{Name: "HC", Y: hcY},
+			{Name: "best baseline", Y: baseY},
+		},
+	}
+	return &Figure{
+		ID:    "ablation-crossover",
+		Title: "Where hierarchical checking stops paying",
+		Grids: []*eval.Grid{g},
+	}, nil
+}

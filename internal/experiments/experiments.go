@@ -1,0 +1,172 @@
+// Package experiments contains one driver per figure and table of the
+// paper's evaluation (§IV). Every driver is deterministic given
+// Options.Seed, returns renderable grids/tables, and has a Quick mode
+// with reduced sizes for CI and the benchmark harness. EXPERIMENTS.md
+// records the paper-vs-measured comparison each driver regenerates.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"hcrowd/internal/aggregate"
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/eval"
+	"hcrowd/internal/pipeline"
+	"hcrowd/internal/rngutil"
+)
+
+// Options configures a driver run.
+type Options struct {
+	// Seed drives every random choice; equal seeds give identical output.
+	Seed int64
+	// Quick shrinks the workload (fewer tasks, smaller budgets, smaller
+	// fact groups) so a full suite runs in seconds. The full-size runs
+	// mirror the paper's scale (200 tasks × 5 facts, budget 0..1000).
+	Quick bool
+}
+
+// budgets returns the budget grid of the figures.
+func (o Options) budgets() []float64 {
+	if o.Quick {
+		return []float64{0, 20, 40, 60, 80, 100}
+	}
+	return []float64{0, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+}
+
+// maxBudget is the last grid point.
+func (o Options) maxBudget() float64 {
+	b := o.budgets()
+	return b[len(b)-1]
+}
+
+// numTasks is the dataset size.
+func (o Options) numTasks() int {
+	if o.Quick {
+		return 30
+	}
+	return 200
+}
+
+// sentiDataset builds the standard experiment dataset.
+func (o Options) sentiDataset() (*dataset.Dataset, error) {
+	cfg := dataset.DefaultSentiConfig()
+	cfg.NumTasks = o.numTasks()
+	return dataset.SentiLike(rngutil.New(o.Seed), cfg)
+}
+
+// Figure bundles a driver's output: the grids (curves) and tables it
+// regenerates.
+type Figure struct {
+	ID     string
+	Title  string
+	Grids  []*eval.Grid
+	Tables []*eval.Table
+}
+
+// Render writes every grid and table of the figure.
+func (f *Figure) Render(w io.Writer) error {
+	fmt.Fprintf(w, "== %s: %s ==\n\n", f.ID, f.Title)
+	for _, g := range f.Grids {
+		if err := g.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	for _, t := range f.Tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Driver is a figure/table generator.
+type Driver func(context.Context, Options) (*Figure, error)
+
+// All returns every driver keyed by experiment ID.
+func All() map[string]Driver {
+	return map[string]Driver{
+		"fig2":               Fig2,
+		"fig3":               Fig3,
+		"fig4":               Fig4,
+		"fig5":               Fig5,
+		"fig6":               Fig6,
+		"fig7":               Fig7,
+		"table3":             Table3,
+		"ablation-cost":      AblationCost,
+		"ablation-crossover": AblationCrossover,
+		"ablation-prior":     AblationPrior,
+		"ablation-estacc":    AblationEstAcc,
+		"ablation-robust":    AblationRobust,
+	}
+}
+
+// IDs returns the experiment IDs in canonical order.
+func IDs() []string {
+	ids := make([]string, 0, len(All()))
+	for id := range All() {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// curveFromRounds samples a pipeline run's per-round trace onto the
+// budget grid: the value at budget b is the state after the last round
+// whose cumulative spend is <= b (the initialization value below the
+// first round).
+func curveFromRounds(res *pipeline.Result, grid []float64) (acc, qual []float64) {
+	acc = make([]float64, len(grid))
+	qual = make([]float64, len(grid))
+	for i, b := range grid {
+		a, q := res.InitAccuracy, res.InitQuality
+		for _, r := range res.Rounds {
+			if r.BudgetSpent > b {
+				break
+			}
+			a, q = r.Accuracy, r.Quality
+		}
+		acc[i] = a
+		qual[i] = q
+	}
+	return acc, qual
+}
+
+// hcConfig builds the standard HC run configuration: k queries per
+// round, greedy selection, EBCC initialization blended with the Markov
+// coupling estimated from the preliminary answers (the joint-distribution
+// input of Definition 6), and simulated expert answers.
+func hcConfig(o Options, ds *dataset.Dataset, k int) (pipeline.Config, error) {
+	couple, err := ds.EstimateCoupling()
+	if err != nil {
+		return pipeline.Config{}, err
+	}
+	return pipeline.Config{
+		K:             k,
+		Budget:        o.maxBudget(),
+		Init:          aggregate.NewEBCC(o.Seed + 1),
+		Source:        pipeline.NewSimulated(o.Seed+2, ds),
+		PriorCoupling: couple,
+	}, nil
+}
+
+// runHC executes one hierarchical-crowdsourcing run at the grid's
+// maximum budget and samples the curves. The answer-source seed is
+// derived from the dataset seed and a salt so different configurations
+// draw independent answers.
+func runHC(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Config, grid []float64) (acc, qual []float64, err error) {
+	res, err := pipeline.Run(ctx, ds, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	acc, qual = curveFromRounds(res, grid)
+	return acc, qual, nil
+}
+
+// round4 trims a metric for stable test comparisons.
+func round4(v float64) float64 { return math.Round(v*1e4) / 1e4 }

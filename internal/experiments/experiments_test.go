@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options { return Options{Seed: 1, Quick: true} }
+
+// run executes a driver in quick mode and validates the generic shape.
+func run(t *testing.T, d Driver) *Figure {
+	t.Helper()
+	fig, err := d(context.Background(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range fig.Grids {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", fig.ID, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatalf("%s render: %v", fig.ID, err)
+	}
+	if !strings.Contains(buf.String(), fig.ID) {
+		t.Errorf("%s render missing ID", fig.ID)
+	}
+	return fig
+}
+
+func TestFig2ShapeAndHCDominance(t *testing.T) {
+	fig := run(t, Fig2)
+	g := fig.Grids[0]
+	if len(g.Series) != 9 { // HC + 8 baselines
+		t.Fatalf("fig2 has %d series, want 9", len(g.Series))
+	}
+	hc, _ := g.SeriesByName("HC")
+	// At the final budget HC must beat every baseline (the paper's
+	// headline claim: "the accuracy of HC is consistently higher").
+	last := len(g.X) - 1
+	for _, s := range g.Series {
+		if s.Name == "HC" {
+			continue
+		}
+		if hc.Y[last] < s.Y[last]-1e-9 {
+			t.Errorf("fig2: HC %.4f below %s %.4f at max budget", hc.Y[last], s.Name, s.Y[last])
+		}
+	}
+	// HC accuracy must not degrade from start to finish.
+	if hc.Y[last] < hc.Y[0] {
+		t.Errorf("fig2: HC accuracy fell from %v to %v", hc.Y[0], hc.Y[last])
+	}
+}
+
+func TestFig3SmallerKWinsAtEqualBudget(t *testing.T) {
+	fig := run(t, Fig3)
+	if len(fig.Grids) != 2 {
+		t.Fatalf("fig3 grids = %d", len(fig.Grids))
+	}
+	qual := fig.Grids[1]
+	k1, ok1 := qual.SeriesByName("k=1")
+	k3, ok3 := qual.SeriesByName("k=3")
+	if !ok1 || !ok3 {
+		t.Fatal("missing k series")
+	}
+	last := len(qual.X) - 1
+	if k1.Y[last] < k3.Y[last]-1e-9 {
+		t.Errorf("fig3: k=1 quality %v below k=3 %v at max budget", k1.Y[last], k3.Y[last])
+	}
+}
+
+func TestFig4ThetaSeries(t *testing.T) {
+	fig := run(t, Fig4)
+	acc := fig.Grids[0]
+	if len(acc.Series) != 3 {
+		t.Fatalf("fig4 series = %d", len(acc.Series))
+	}
+	// All settings must improve with budget.
+	for _, s := range acc.Series {
+		if s.Y[len(acc.X)-1] < s.Y[0]-1e-9 {
+			t.Errorf("fig4 %s: accuracy fell from %v to %v", s.Name, s.Y[0], s.Y[len(acc.X)-1])
+		}
+	}
+}
+
+func TestFig5OptAndApproxBeatRandom(t *testing.T) {
+	fig := run(t, Fig5)
+	if len(fig.Grids) != 2 { // k=2 and k=3
+		t.Fatalf("fig5 grids = %d", len(fig.Grids))
+	}
+	for _, g := range fig.Grids {
+		opt, _ := g.SeriesByName("OPT")
+		apx, _ := g.SeriesByName("Approx")
+		rnd, _ := g.SeriesByName("Random")
+		last := len(g.X) - 1
+		if opt.Y[last] < rnd.Y[last]-1e-9 {
+			t.Errorf("%s: OPT %v below Random %v", g.Title, opt.Y[last], rnd.Y[last])
+		}
+		if apx.Y[last] < rnd.Y[last]-1e-9 {
+			t.Errorf("%s: Approx %v below Random %v", g.Title, apx.Y[last], rnd.Y[last])
+		}
+		// Approx must track OPT closely (paper: gap < 0.1 quality).
+		if math.Abs(apx.Y[last]-opt.Y[last]) > 0.15*math.Abs(opt.Y[last])+0.5 {
+			t.Errorf("%s: Approx %v far from OPT %v", g.Title, apx.Y[last], opt.Y[last])
+		}
+	}
+}
+
+func TestFig6AllInitializersImprove(t *testing.T) {
+	fig := run(t, Fig6)
+	qual := fig.Grids[0]
+	if len(qual.Series) != 8 {
+		t.Fatalf("fig6 series = %d", len(qual.Series))
+	}
+	last := len(qual.X) - 1
+	for _, s := range qual.Series {
+		if s.Y[last] < s.Y[0] {
+			t.Errorf("fig6 %s: quality fell from %v to %v", s.Name, s.Y[0], s.Y[last])
+		}
+	}
+}
+
+func TestFig7HCAboveNoHC(t *testing.T) {
+	fig := run(t, Fig7)
+	g := fig.Grids[0]
+	hc, _ := g.SeriesByName("HC")
+	flat, _ := g.SeriesByName("NO HC")
+	// The hierarchy must dominate the flat design at every budget point
+	// (Figure 7's claim: "the hierarchical design improves the data
+	// quality much faster").
+	for i := range g.X {
+		if hc.Y[i] < flat.Y[i]-1e-9 {
+			t.Errorf("fig7: HC %v below NO HC %v at budget %v", hc.Y[i], flat.Y[i], g.X[i])
+		}
+	}
+}
+
+func TestTable3ShapeAndMonotonicity(t *testing.T) {
+	fig := run(t, Table3)
+	tbl := fig.Tables[0]
+	ks := quickOpts().table3Ks()
+	if len(tbl.Rows) != len(ks) {
+		t.Fatalf("table3 rows = %d, want %d", len(tbl.Rows), len(ks))
+	}
+	// Once OPT times out it must stay timed out.
+	sawTimeout := false
+	for _, row := range tbl.Rows {
+		if row[1] == "timeout" {
+			sawTimeout = true
+		} else if sawTimeout {
+			t.Errorf("OPT recovered after timeout at k=%s", row[0])
+		}
+		if row[2] == "timeout" {
+			t.Errorf("Approx timed out at k=%s", row[0])
+		}
+	}
+}
+
+func TestDriversDeterministic(t *testing.T) {
+	a, err := Fig7(context.Background(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig7(context.Background(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, gb := a.Grids[0], b.Grids[0]
+	for si := range ga.Series {
+		for i := range ga.X {
+			if ga.Series[si].Y[i] != gb.Series[si].Y[i] {
+				t.Fatal("same seed, different figure output")
+			}
+		}
+	}
+}
+
+func TestAllRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{
+		"ablation-cost", "ablation-crossover", "ablation-estacc",
+		"ablation-prior", "ablation-robust",
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3",
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("IDs[%d] = %s, want %s", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestDriversHonorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for id, d := range All() {
+		if _, err := d(ctx, quickOpts()); err == nil {
+			t.Errorf("%s ignored cancellation", id)
+		}
+	}
+}
+
+func TestAblationPriorDominance(t *testing.T) {
+	fig := run(t, AblationPrior)
+	acc := fig.Grids[0]
+	prior := acc.Series[0]
+	product := acc.Series[1]
+	last := len(acc.X) - 1
+	if prior.Y[last] < product.Y[last]-1e-9 {
+		t.Errorf("correlated prior %v below product init %v", prior.Y[last], product.Y[last])
+	}
+}
+
+func TestAblationEstAccCloseToOracle(t *testing.T) {
+	fig := run(t, AblationEstAcc)
+	g := fig.Grids[0]
+	oracle, _ := g.SeriesByName("oracle rates")
+	est, ok := g.SeriesByName("estimated (gold=100)")
+	if !ok {
+		t.Fatal("estimated series missing")
+	}
+	last := len(g.X) - 1
+	if oracle.Y[last]-est.Y[last] > 0.05 {
+		t.Errorf("estimated accuracies cost %v accuracy", oracle.Y[last]-est.Y[last])
+	}
+}
+
+func TestAblationRobustOrdering(t *testing.T) {
+	fig := run(t, AblationRobust)
+	g := fig.Grids[0]
+	honest, _ := g.SeriesByName("honest")
+	clique, _ := g.SeriesByName("3-clique")
+	last := len(g.X) - 1
+	if clique.Y[last] > honest.Y[last] {
+		t.Errorf("clique run %v above honest %v", clique.Y[last], honest.Y[last])
+	}
+}
+
+func TestAveragedSmoothsCurves(t *testing.T) {
+	avg := Averaged(Fig7, 3)
+	fig, err := avg(context.Background(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig.Grids[0].Title, "mean of 3 seeds") {
+		t.Errorf("title = %q", fig.Grids[0].Title)
+	}
+	// Averaged HC must still dominate NO HC everywhere.
+	g := fig.Grids[0]
+	hc, _ := g.SeriesByName("HC")
+	flat, _ := g.SeriesByName("NO HC")
+	for i := range g.X {
+		if hc.Y[i] < flat.Y[i] {
+			t.Errorf("averaged HC below NO HC at %v", g.X[i])
+		}
+	}
+}
+
+func TestAveragedSingleIsIdentity(t *testing.T) {
+	a, err := Averaged(Fig7, 1)(context.Background(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig7(context.Background(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range a.Grids[0].Series {
+		for i := range a.Grids[0].X {
+			if a.Grids[0].Series[si].Y[i] != b.Grids[0].Series[si].Y[i] {
+				t.Fatal("Averaged(d, 1) changed output")
+			}
+		}
+	}
+}
+
+func TestAblationCrossoverShape(t *testing.T) {
+	fig := run(t, AblationCrossover)
+	g := fig.Grids[0]
+	hc, _ := g.SeriesByName("HC")
+	base, _ := g.SeriesByName("best baseline")
+	// HC leads on the weakest crowd, and the lead must shrink (or close)
+	// as the preliminary tier approaches expert quality.
+	firstGap := hc.Y[0] - base.Y[0]
+	lastGap := hc.Y[len(g.X)-1] - base.Y[len(g.X)-1]
+	if firstGap < 0 {
+		t.Errorf("HC behind baseline on weak crowd: gap %v", firstGap)
+	}
+	if lastGap > firstGap+0.02 {
+		t.Errorf("gap grew from %v to %v as crowd improved", firstGap, lastGap)
+	}
+}
+
+func TestAblationCostPerUnitCompetitive(t *testing.T) {
+	fig := run(t, AblationCost)
+	g := fig.Grids[0]
+	uni, _ := g.SeriesByName("uniform panel")
+	per, _ := g.SeriesByName("per-unit cost greedy")
+	last := len(g.X) - 1
+	// At the final budget the per-unit design must not trail the uniform
+	// panel materially (it usually leads: answers go where they buy the
+	// most entropy per cost unit).
+	if per.Y[last] < uni.Y[last]-1.0 {
+		t.Errorf("per-unit %v trails uniform %v", per.Y[last], uni.Y[last])
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"hcrowd/internal/aggregate"
+	"hcrowd/internal/eval"
+	"hcrowd/internal/rngutil"
+)
+
+// Fig2 reproduces Figure 2: accuracy vs. checking budget for hierarchical
+// crowdsourcing against the eight aggregation baselines. HC spends the
+// budget on selected checking queries answered by the expert tier
+// (initialized by EBCC as in §IV-A); each baseline spends the same budget
+// as uniformly assigned extra expert answers appended to the preliminary
+// matrix, then aggregates everything.
+func Fig2(ctx context.Context, o Options) (*Figure, error) {
+	ds, err := o.sentiDataset()
+	if err != nil {
+		return nil, err
+	}
+	grid := o.budgets()
+
+	g := &eval.Grid{
+		Title:  "Figure 2: accuracy vs budget, HC vs baselines",
+		XLabel: "budget",
+		X:      grid,
+	}
+
+	// HC curve.
+	cfg, err := hcConfig(o, ds, 1)
+	if err != nil {
+		return nil, err
+	}
+	acc, _, err := runHC(ctx, ds, cfg, grid)
+	if err != nil {
+		return nil, err
+	}
+	g.Series = append(g.Series, eval.Series{Name: "HC", Y: acc})
+
+	// Baselines: same budget as undirected extra expert redundancy.
+	for _, agg := range aggregate.Registry(o.Seed + 3) {
+		y := eval.NaNs(len(grid))
+		for i, b := range grid {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			m := ds.Prelim
+			if b > 0 {
+				m, err = ds.WithExpertAnswers(rngutil.New(o.Seed+10+int64(i)), int(b))
+				if err != nil {
+					return nil, err
+				}
+			}
+			res, err := agg.Aggregate(m)
+			if err != nil {
+				return nil, fmt.Errorf("fig2: %s at budget %v: %w", agg.Name(), b, err)
+			}
+			a, err := res.Accuracy(ds.Truth)
+			if err != nil {
+				return nil, err
+			}
+			y[i] = round4(a)
+		}
+		g.Series = append(g.Series, eval.Series{Name: agg.Name(), Y: y})
+	}
+	return &Figure{
+		ID:    "fig2",
+		Title: "Comparison with baseline algorithms",
+		Grids: []*eval.Grid{g},
+	}, nil
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"hcrowd/internal/eval"
+)
+
+// Fig3 reproduces Figure 3: accuracy (a) and quality (b) against budget
+// for varying per-round query counts k. Smaller k re-selects after every
+// update and should dominate at equal budget.
+func Fig3(ctx context.Context, o Options) (*Figure, error) {
+	ds, err := o.sentiDataset()
+	if err != nil {
+		return nil, err
+	}
+	grid := o.budgets()
+	ks := []int{1, 2, 3, 4, 5}
+	if o.Quick {
+		ks = []int{1, 2, 3}
+	}
+
+	accGrid := &eval.Grid{
+		Title:  "Figure 3(a): accuracy vs budget, varying k",
+		XLabel: "budget",
+		X:      grid,
+	}
+	qualGrid := &eval.Grid{
+		Title:  "Figure 3(b): quality vs budget, varying k",
+		XLabel: "budget",
+		X:      grid,
+	}
+	for _, k := range ks {
+		cfg, err := hcConfig(o, ds, k)
+		if err != nil {
+			return nil, err
+		}
+		acc, qual, err := runHC(ctx, ds, cfg, grid)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 k=%d: %w", k, err)
+		}
+		name := fmt.Sprintf("k=%d", k)
+		accGrid.Series = append(accGrid.Series, eval.Series{Name: name, Y: acc})
+		qualGrid.Series = append(qualGrid.Series, eval.Series{Name: name, Y: qual})
+	}
+	return &Figure{
+		ID:    "fig3",
+		Title: "Varying k",
+		Grids: []*eval.Grid{accGrid, qualGrid},
+	}, nil
+}

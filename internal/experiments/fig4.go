@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"hcrowd/internal/crowd"
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/eval"
+	"hcrowd/internal/rngutil"
+)
+
+// Fig4 reproduces Figure 4: accuracy and quality against budget for
+// varying expert thresholds θ ∈ {0.8, 0.85, 0.9}. The worker pool spans a
+// continuous accuracy range so moving θ genuinely re-partitions the crowd:
+// a larger θ yields fewer but stronger checkers (faster early gains, an
+// earlier plateau); a smaller θ yields more, weaker checkers.
+func Fig4(ctx context.Context, o Options) (*Figure, error) {
+	thetas := []float64{0.8, 0.85, 0.9}
+	grid := o.budgets()
+
+	accGrid := &eval.Grid{
+		Title:  "Figure 4(a): accuracy vs budget, varying theta",
+		XLabel: "budget",
+		X:      grid,
+	}
+	qualGrid := &eval.Grid{
+		Title:  "Figure 4(b): quality vs budget, varying theta",
+		XLabel: "budget",
+		X:      grid,
+	}
+	// One fixed pool spanning a continuous accuracy range; the split
+	// threshold is the only variable across the three runs.
+	pool := crowd.Crowd{
+		{ID: "w0", Accuracy: 0.68}, {ID: "w1", Accuracy: 0.72},
+		{ID: "w2", Accuracy: 0.76}, {ID: "w3", Accuracy: 0.81},
+		{ID: "w4", Accuracy: 0.84}, {ID: "w5", Accuracy: 0.87},
+		{ID: "w6", Accuracy: 0.91}, {ID: "w7", Accuracy: 0.95},
+	}
+	for _, theta := range thetas {
+		cfg := dataset.DefaultSentiConfig()
+		cfg.NumTasks = o.numTasks()
+		cfg.Theta = theta
+		cfg.Pool = pool
+		ds, err := dataset.SentiLike(rngutil.New(o.Seed), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 theta=%v: %w", theta, err)
+		}
+		run, err := hcConfig(o, ds, 1)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 theta=%v: %w", theta, err)
+		}
+		acc, qual, err := runHC(ctx, ds, run, grid)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 theta=%v: %w", theta, err)
+		}
+		name := fmt.Sprintf("theta=%.2f", theta)
+		accGrid.Series = append(accGrid.Series, eval.Series{Name: name, Y: acc})
+		qualGrid.Series = append(qualGrid.Series, eval.Series{Name: name, Y: qual})
+	}
+	return &Figure{
+		ID:    "fig4",
+		Title: "Varying theta",
+		Grids: []*eval.Grid{accGrid, qualGrid},
+	}, nil
+}

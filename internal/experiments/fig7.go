@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"hcrowd/internal/eval"
+	"hcrowd/internal/pipeline"
+)
+
+// Fig7 reproduces Figure 7: the hierarchical design (θ-split crowd,
+// belief initialized from the preliminary workers, experts check) against
+// the NO-HC brute-force alternative where every worker serves as a
+// checking worker and the belief starts uniform. At equal budget the
+// hierarchy converts cheap preliminary labor into a head start the flat
+// design must buy back answer by answer.
+func Fig7(ctx context.Context, o Options) (*Figure, error) {
+	ds, err := o.sentiDataset()
+	if err != nil {
+		return nil, err
+	}
+	grid := o.budgets()
+	g := &eval.Grid{
+		Title:  "Figure 7: quality vs budget, HC vs NO HC",
+		XLabel: "budget",
+		X:      grid,
+	}
+
+	// HC: standard run.
+	hc, err := hcConfig(o, ds, 1)
+	if err != nil {
+		return nil, err
+	}
+	_, qual, err := runHC(ctx, ds, hc, grid)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 HC: %w", err)
+	}
+	g.Series = append(g.Series, eval.Series{Name: "HC", Y: qual})
+
+	// NO HC: every worker is a checker (theta at the floor) and the
+	// belief starts uniform.
+	flat := *ds
+	flat.Theta = 0.5
+	noHC := pipeline.Config{
+		K:           1,
+		Budget:      o.maxBudget(),
+		UniformInit: true,
+		Source:      pipeline.NewSimulated(o.Seed+2, &flat),
+	}
+	_, qualFlat, err := runHC(ctx, &flat, noHC, grid)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 NO HC: %w", err)
+	}
+	g.Series = append(g.Series, eval.Series{Name: "NO HC", Y: qualFlat})
+
+	return &Figure{
+		ID:    "fig7",
+		Title: "HC vs NO HC",
+		Grids: []*eval.Grid{g},
+	}, nil
+}

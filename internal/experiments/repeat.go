@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// Averaged wraps a driver so it runs n times with consecutive seeds and
+// element-wise averages every grid series. Tables (wall-clock timings)
+// come from the first run — averaging formatted cells is meaningless.
+// Single-seed runs reproduce the paper's protocol; averaging tightens the
+// curves when judging shape claims (who wins, where the crossover falls).
+func Averaged(d Driver, n int) Driver {
+	if n <= 1 {
+		return d
+	}
+	return func(ctx context.Context, o Options) (*Figure, error) {
+		base, err := d(ctx, o)
+		if err != nil {
+			return nil, err
+		}
+		// Accumulate onto copies of the first run's grids.
+		sums := make([][][]float64, len(base.Grids))
+		counts := make([][][]int, len(base.Grids))
+		for gi, g := range base.Grids {
+			sums[gi] = make([][]float64, len(g.Series))
+			counts[gi] = make([][]int, len(g.Series))
+			for si, s := range g.Series {
+				sums[gi][si] = make([]float64, len(s.Y))
+				counts[gi][si] = make([]int, len(s.Y))
+				for i, v := range s.Y {
+					if !math.IsNaN(v) {
+						sums[gi][si][i] += v
+						counts[gi][si][i]++
+					}
+				}
+			}
+		}
+		for rep := 1; rep < n; rep++ {
+			opts := o
+			opts.Seed = o.Seed + int64(rep)
+			fig, err := d(ctx, opts)
+			if err != nil {
+				return nil, fmt.Errorf("repeat %d: %w", rep, err)
+			}
+			if len(fig.Grids) != len(base.Grids) {
+				return nil, fmt.Errorf("repeat %d: grid count changed", rep)
+			}
+			for gi, g := range fig.Grids {
+				if len(g.Series) != len(base.Grids[gi].Series) {
+					return nil, fmt.Errorf("repeat %d: series count changed", rep)
+				}
+				for si, s := range g.Series {
+					if len(s.Y) != len(sums[gi][si]) {
+						return nil, fmt.Errorf("repeat %d: series length changed", rep)
+					}
+					for i, v := range s.Y {
+						if !math.IsNaN(v) {
+							sums[gi][si][i] += v
+							counts[gi][si][i]++
+						}
+					}
+				}
+			}
+		}
+		for gi, g := range base.Grids {
+			g.Title += fmt.Sprintf(" (mean of %d seeds)", n)
+			for si := range g.Series {
+				for i := range g.Series[si].Y {
+					if counts[gi][si][i] == 0 {
+						g.Series[si].Y[i] = math.NaN()
+					} else {
+						g.Series[si].Y[i] = sums[gi][si][i] / float64(counts[gi][si][i])
+					}
+				}
+			}
+		}
+		return base, nil
+	}
+}

@@ -1,0 +1,9 @@
+// Package mathx provides the numeric substrate shared by the belief,
+// selection and aggregation packages: numerically stable entropy and
+// log-domain kernels, special functions (digamma, trigamma) needed by the
+// variational EM baselines, and small vector helpers.
+//
+// The module is offline and stdlib-only, so everything a SciPy-style
+// dependency would normally provide is implemented and tested here.
+// All functions operate on float64 and are deterministic.
+package mathx

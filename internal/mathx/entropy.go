@@ -1,0 +1,71 @@
+package mathx
+
+import "math"
+
+// XLogX returns x*ln(x) with the continuous extension 0 at x == 0.
+// It is the kernel of every entropy computation in this module; callers
+// must pass x >= 0 (probabilities), negative inputs return NaN just as
+// math.Log would.
+func XLogX(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return x * math.Log(x)
+}
+
+// Entropy returns the Shannon entropy H(p) = -sum p_i ln p_i in nats of a
+// probability vector. It does not verify that p sums to one; zero entries
+// contribute nothing. The result is never negative for a valid
+// distribution (tiny negative values from rounding are clamped to 0).
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, x := range p {
+		h -= XLogX(x)
+	}
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// NegEntropy returns sum p_i ln p_i, the quality function Q(F) = -H(O) of
+// Definition 2 in the paper. It equals -Entropy(p).
+func NegEntropy(p []float64) float64 {
+	var q float64
+	for _, x := range p {
+		q += XLogX(x)
+	}
+	if q > 0 {
+		return 0
+	}
+	return q
+}
+
+// BernoulliEntropy returns the entropy in nats of a Bernoulli(p) variable,
+// h(p) = -p ln p - (1-p) ln(1-p). It is 0 at p == 0 and p == 1.
+func BernoulliEntropy(p float64) float64 {
+	return -XLogX(p) - XLogX(1-p)
+}
+
+// KL returns the Kullback-Leibler divergence KL(p || q) in nats.
+// Entries where p_i == 0 contribute nothing; if p_i > 0 while q_i == 0 the
+// divergence is +Inf. Both inputs must be the same length.
+func KL(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("mathx: KL on vectors of different length")
+	}
+	var d float64
+	for i, pi := range p {
+		if pi == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			return math.Inf(1)
+		}
+		d += pi * math.Log(pi/q[i])
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,186 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-12
+
+func almostEqual(a, b, eps float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestXLogX(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0},
+		{1, 0},
+		{math.E, math.E},
+		{0.5, 0.5 * math.Log(0.5)},
+		{2, 2 * math.Log(2)},
+	}
+	for _, c := range cases {
+		if got := XLogX(c.x); !almostEqual(got, c.want, tol) {
+			t.Errorf("XLogX(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestXLogXNegativeIsNaN(t *testing.T) {
+	if !math.IsNaN(XLogX(-1)) {
+		t.Errorf("XLogX(-1) = %v, want NaN", XLogX(-1))
+	}
+}
+
+func TestEntropyUniform(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 32, 1024} {
+		p := make([]float64, n)
+		Fill(p, 1/float64(n))
+		want := math.Log(float64(n))
+		if got := Entropy(p); !almostEqual(got, want, 1e-10) {
+			t.Errorf("Entropy(uniform %d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestEntropyDegenerate(t *testing.T) {
+	p := []float64{0, 0, 1, 0}
+	if got := Entropy(p); got != 0 {
+		t.Errorf("Entropy(point mass) = %v, want 0", got)
+	}
+}
+
+func TestEntropyTableI(t *testing.T) {
+	// The joint distribution of Table I in the paper.
+	p := []float64{0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18}
+	h := Entropy(p)
+	var want float64
+	for _, x := range p {
+		want -= x * math.Log(x)
+	}
+	if !almostEqual(h, want, tol) {
+		t.Errorf("Entropy(Table I) = %v, want %v", h, want)
+	}
+	if q := NegEntropy(p); !almostEqual(q, -h, tol) {
+		t.Errorf("NegEntropy = %v, want %v", q, -h)
+	}
+}
+
+func TestNegEntropyIsMinusEntropy(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := make([]float64, len(raw))
+		for i, v := range raw {
+			p[i] = math.Abs(v)
+			if math.IsInf(p[i], 0) || math.IsNaN(p[i]) {
+				p[i] = 1
+			}
+		}
+		Normalize(p)
+		return almostEqual(Entropy(p), -NegEntropy(p), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntropyBoundedByLogN(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := make([]float64, len(raw))
+		for i, v := range raw {
+			p[i] = math.Abs(v)
+			if math.IsInf(p[i], 0) || math.IsNaN(p[i]) {
+				p[i] = 1
+			}
+		}
+		Normalize(p)
+		h := Entropy(p)
+		return h >= 0 && h <= math.Log(float64(len(p)))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBernoulliEntropy(t *testing.T) {
+	if got := BernoulliEntropy(0.5); !almostEqual(got, math.Log(2), tol) {
+		t.Errorf("h(0.5) = %v, want ln 2", got)
+	}
+	if got := BernoulliEntropy(0); got != 0 {
+		t.Errorf("h(0) = %v, want 0", got)
+	}
+	if got := BernoulliEntropy(1); got != 0 {
+		t.Errorf("h(1) = %v, want 0", got)
+	}
+	// Symmetry h(p) == h(1-p).
+	for _, p := range []float64{0.1, 0.25, 0.42, 0.9} {
+		if !almostEqual(BernoulliEntropy(p), BernoulliEntropy(1-p), tol) {
+			t.Errorf("h(%v) != h(%v)", p, 1-p)
+		}
+	}
+}
+
+func TestKL(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.9, 0.1}
+	want := 0.5*math.Log(0.5/0.9) + 0.5*math.Log(0.5/0.1)
+	if got := KL(p, q); !almostEqual(got, want, tol) {
+		t.Errorf("KL = %v, want %v", got, want)
+	}
+	if got := KL(p, p); got != 0 {
+		t.Errorf("KL(p,p) = %v, want 0", got)
+	}
+	if got := KL([]float64{1, 0}, []float64{0, 1}); !math.IsInf(got, 1) {
+		t.Errorf("KL with zero support = %v, want +Inf", got)
+	}
+}
+
+func TestKLNonNegative(t *testing.T) {
+	f := func(ra, rb []float64) bool {
+		n := len(ra)
+		if len(rb) < n {
+			n = len(rb)
+		}
+		if n == 0 {
+			return true
+		}
+		p := make([]float64, n)
+		q := make([]float64, n)
+		for i := 0; i < n; i++ {
+			p[i] = math.Abs(ra[i])
+			q[i] = math.Abs(rb[i]) + 1e-6
+			if math.IsInf(p[i], 0) || math.IsNaN(p[i]) {
+				p[i] = 1
+			}
+			if math.IsInf(q[i], 0) || math.IsNaN(q[i]) {
+				q[i] = 1
+			}
+		}
+		Normalize(p)
+		Normalize(q)
+		return KL(p, q) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKLLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("KL with mismatched lengths did not panic")
+		}
+	}()
+	KL([]float64{1}, []float64{0.5, 0.5})
+}

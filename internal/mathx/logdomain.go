@@ -1,0 +1,80 @@
+package mathx
+
+import "math"
+
+// LogSumExp returns ln(sum exp(x_i)) computed stably by factoring out the
+// maximum. An empty input yields -Inf (the log of an empty sum).
+func LogSumExp(x []float64) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	m := math.Inf(-1)
+	for _, v := range x {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, v := range x {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}
+
+// LogAdd returns ln(exp(a) + exp(b)) stably.
+func LogAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// SoftmaxInPlace exponentiates and normalizes a vector of log-weights in
+// place so that it becomes a probability distribution. It is stable for
+// arbitrarily large or small inputs. A vector whose entries are all -Inf
+// becomes uniform.
+func SoftmaxInPlace(logw []float64) {
+	if len(logw) == 0 {
+		return
+	}
+	m := math.Inf(-1)
+	for _, v := range logw {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		u := 1 / float64(len(logw))
+		for i := range logw {
+			logw[i] = u
+		}
+		return
+	}
+	var s float64
+	for i, v := range logw {
+		e := math.Exp(v - m)
+		logw[i] = e
+		s += e
+	}
+	for i := range logw {
+		logw[i] /= s
+	}
+}
+
+// Log returns ln(x), with ln(0) = -Inf rather than NaN for negative zero
+// robustness in probability code. Negative inputs still produce NaN.
+func Log(x float64) float64 {
+	if x == 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(x)
+}

@@ -1,0 +1,136 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogSumExp(t *testing.T) {
+	cases := []struct {
+		x    []float64
+		want float64
+	}{
+		{nil, math.Inf(-1)},
+		{[]float64{0}, 0},
+		{[]float64{0, 0}, math.Log(2)},
+		{[]float64{math.Log(1), math.Log(2), math.Log(3)}, math.Log(6)},
+		{[]float64{math.Inf(-1), math.Inf(-1)}, math.Inf(-1)},
+		{[]float64{-1000, -1000}, -1000 + math.Log(2)},
+		{[]float64{1000, 1000}, 1000 + math.Log(2)},
+	}
+	for _, c := range cases {
+		if got := LogSumExp(c.x); !almostEqual(got, c.want, tol) {
+			t.Errorf("LogSumExp(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLogSumExpDominates(t *testing.T) {
+	// LogSumExp >= max element always.
+	f := func(x []float64) bool {
+		if len(x) == 0 {
+			return true
+		}
+		for i, v := range x {
+			if math.IsNaN(v) {
+				x[i] = 0
+			}
+			if math.IsInf(v, 1) {
+				x[i] = 700
+			}
+		}
+		m := math.Inf(-1)
+		for _, v := range x {
+			if v > m {
+				m = v
+			}
+		}
+		return LogSumExp(x) >= m-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogAdd(t *testing.T) {
+	if got := LogAdd(math.Log(2), math.Log(3)); !almostEqual(got, math.Log(5), tol) {
+		t.Errorf("LogAdd(ln2, ln3) = %v, want ln5", got)
+	}
+	if got := LogAdd(math.Inf(-1), 1.5); got != 1.5 {
+		t.Errorf("LogAdd(-Inf, 1.5) = %v, want 1.5", got)
+	}
+	if got := LogAdd(1.5, math.Inf(-1)); got != 1.5 {
+		t.Errorf("LogAdd(1.5, -Inf) = %v, want 1.5", got)
+	}
+}
+
+func TestLogAddCommutative(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		a = Clamp(a, -700, 700)
+		b = Clamp(b, -700, 700)
+		return almostEqual(LogAdd(a, b), LogAdd(b, a), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxInPlace(t *testing.T) {
+	w := []float64{math.Log(1), math.Log(2), math.Log(7)}
+	SoftmaxInPlace(w)
+	want := []float64{0.1, 0.2, 0.7}
+	for i := range w {
+		if !almostEqual(w[i], want[i], 1e-12) {
+			t.Errorf("softmax[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+}
+
+func TestSoftmaxExtremes(t *testing.T) {
+	w := []float64{-1e308, 0, -1e308}
+	SoftmaxInPlace(w)
+	if !almostEqual(w[1], 1, 1e-12) {
+		t.Errorf("softmax peak = %v, want 1", w[1])
+	}
+	allNegInf := []float64{math.Inf(-1), math.Inf(-1)}
+	SoftmaxInPlace(allNegInf)
+	for _, v := range allNegInf {
+		if !almostEqual(v, 0.5, tol) {
+			t.Errorf("softmax of all -Inf = %v, want uniform", allNegInf)
+		}
+	}
+	SoftmaxInPlace(nil) // must not panic
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	f := func(x []float64) bool {
+		if len(x) == 0 {
+			return true
+		}
+		for i, v := range x {
+			if math.IsNaN(v) {
+				x[i] = 0
+			} else {
+				x[i] = Clamp(v, -1e6, 700)
+			}
+		}
+		SoftmaxInPlace(x)
+		return almostEqual(Sum(x), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogOfZero(t *testing.T) {
+	if got := Log(0); !math.IsInf(got, -1) {
+		t.Errorf("Log(0) = %v, want -Inf", got)
+	}
+	if got := Log(math.E); !almostEqual(got, 1, tol) {
+		t.Errorf("Log(e) = %v, want 1", got)
+	}
+}

@@ -1,0 +1,102 @@
+package mathx
+
+import "math"
+
+// Normalize scales p in place so it sums to one and returns the original
+// sum. If the sum is zero or not finite the vector is set to uniform and
+// the returned sum is 0; callers treat that as "no information".
+func Normalize(p []float64) float64 {
+	var s float64
+	for _, v := range p {
+		s += v
+	}
+	if s <= 0 || math.IsInf(s, 0) || math.IsNaN(s) {
+		u := 1 / float64(len(p))
+		for i := range p {
+			p[i] = u
+		}
+		return 0
+	}
+	inv := 1 / s
+	for i := range p {
+		p[i] *= inv
+	}
+	return s
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Dot returns the dot product of a and b, which must be the same length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mathx: Dot on vectors of different length")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// ArgMax returns the index of the largest element, breaking ties toward
+// the lowest index. It panics on an empty slice.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		panic("mathx: ArgMax of empty slice")
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	c := make([]float64, len(x))
+	copy(c, x)
+	return c
+}
+
+// MaxAbsDiff returns max_i |a_i - b_i| for equal-length vectors; it is the
+// convergence criterion used by the iterative aggregators.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mathx: MaxAbsDiff on vectors of different length")
+	}
+	var m float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,137 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	p := []float64{1, 2, 7}
+	sum := Normalize(p)
+	if !almostEqual(sum, 10, tol) {
+		t.Errorf("Normalize returned sum %v, want 10", sum)
+	}
+	want := []float64{0.1, 0.2, 0.7}
+	for i := range p {
+		if !almostEqual(p[i], want[i], tol) {
+			t.Errorf("p[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+}
+
+func TestNormalizeZeroVectorBecomesUniform(t *testing.T) {
+	p := []float64{0, 0, 0, 0}
+	if sum := Normalize(p); sum != 0 {
+		t.Errorf("Normalize(zeros) sum = %v, want 0", sum)
+	}
+	for _, v := range p {
+		if !almostEqual(v, 0.25, tol) {
+			t.Errorf("Normalize(zeros) = %v, want uniform", p)
+		}
+	}
+}
+
+func TestNormalizeNaNBecomesUniform(t *testing.T) {
+	p := []float64{math.NaN(), 1}
+	Normalize(p)
+	for _, v := range p {
+		if !almostEqual(v, 0.5, tol) {
+			t.Errorf("Normalize with NaN = %v, want uniform", p)
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := make([]float64, len(raw))
+		for i, v := range raw {
+			p[i] = math.Abs(v)
+			if math.IsInf(p[i], 0) || math.IsNaN(p[i]) {
+				p[i] = 1
+			}
+		}
+		Normalize(p)
+		q := Clone(p)
+		Normalize(q)
+		return MaxAbsDiff(p, q) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	cases := []struct {
+		x    []float64
+		want int
+	}{
+		{[]float64{1}, 0},
+		{[]float64{1, 3, 2}, 1},
+		{[]float64{5, 5, 5}, 0}, // ties break low
+		{[]float64{-1, -3}, 0},
+	}
+	for _, c := range cases {
+		if got := ArgMax(c.x); got != c.want {
+			t.Errorf("ArgMax(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestArgMaxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ArgMax(nil) did not panic")
+		}
+	}()
+	ArgMax(nil)
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if got := MaxAbsDiff([]float64{1, 2}, []float64{1.5, 1}); got != 1 {
+		t.Errorf("MaxAbsDiff = %v, want 1", got)
+	}
+	if got := MaxAbsDiff(nil, nil); got != 0 {
+		t.Errorf("MaxAbsDiff(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %v", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := []float64{1, 2}
+	b := Clone(a)
+	b[0] = 9
+	if a[0] != 1 {
+		t.Error("Clone aliases its input")
+	}
+}
+
+func TestFill(t *testing.T) {
+	x := make([]float64, 3)
+	Fill(x, 2.5)
+	for _, v := range x {
+		if v != 2.5 {
+			t.Errorf("Fill: %v", x)
+		}
+	}
+}

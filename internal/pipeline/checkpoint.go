@@ -1,0 +1,115 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"hcrowd/internal/belief"
+	"hcrowd/internal/dataset"
+)
+
+// Checkpoint captures a run's resumable state: the per-task beliefs and
+// the budget already spent. Long labeling jobs can persist it between
+// rounds and continue after a restart; the answer stream itself is not
+// replayed — the beliefs already incorporate it.
+type Checkpoint struct {
+	Beliefs     []*belief.Dist `json:"beliefs"`
+	BudgetSpent float64        `json:"budget_spent"`
+}
+
+// NewCheckpoint snapshots a result's state.
+func NewCheckpoint(res *Result) *Checkpoint {
+	beliefs := make([]*belief.Dist, len(res.Beliefs))
+	for i, b := range res.Beliefs {
+		beliefs[i] = b.Clone()
+	}
+	return &Checkpoint{Beliefs: beliefs, BudgetSpent: res.BudgetSpent}
+}
+
+// Write serializes the checkpoint as JSON.
+func (c *Checkpoint) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(c)
+}
+
+// ReadCheckpoint deserializes a checkpoint written by Write.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("pipeline: checkpoint: %w", err)
+	}
+	if len(c.Beliefs) == 0 {
+		return nil, errors.New("pipeline: checkpoint has no beliefs")
+	}
+	if c.BudgetSpent < 0 {
+		return nil, errors.New("pipeline: checkpoint has negative spend")
+	}
+	return &c, nil
+}
+
+// matches verifies the checkpoint fits the dataset's task structure.
+func (c *Checkpoint) matches(ds *dataset.Dataset) error {
+	if len(c.Beliefs) != len(ds.Tasks) {
+		return fmt.Errorf("pipeline: checkpoint has %d tasks, dataset has %d", len(c.Beliefs), len(ds.Tasks))
+	}
+	for t, b := range c.Beliefs {
+		if b == nil {
+			return fmt.Errorf("pipeline: checkpoint task %d belief missing", t)
+		}
+		if b.NumFacts() != len(ds.Tasks[t]) {
+			return fmt.Errorf("pipeline: checkpoint task %d has %d facts, dataset has %d",
+				t, b.NumFacts(), len(ds.Tasks[t]))
+		}
+	}
+	return nil
+}
+
+// Resume continues a run from a checkpoint: cfg.Budget is the job's total
+// budget, of which the checkpoint's spend is already consumed.
+// Initialization settings in cfg (Init, UniformInit, priors) are ignored —
+// the checkpointed beliefs are the state.
+func Resume(ctx context.Context, ds *dataset.Dataset, cfg Config, c *Checkpoint) (*Result, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.matches(ds); err != nil {
+		return nil, err
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("pipeline: K = %d, need >= 1", cfg.K)
+	}
+	if cfg.Source == nil {
+		return nil, errors.New("pipeline: Config.Source is required")
+	}
+	if cfg.Selector == nil {
+		cfg.Selector = defaultSelector()
+	}
+	ce, _ := ds.Split()
+	if len(ce) == 0 {
+		return nil, errors.New("pipeline: no expert workers above theta")
+	}
+	remaining := cfg.Budget - c.BudgetSpent
+	if remaining < 0 {
+		remaining = 0
+	}
+	cfg.Budget = remaining
+	beliefs := make([]*belief.Dist, len(c.Beliefs))
+	for i, b := range c.Beliefs {
+		beliefs[i] = b.Clone()
+	}
+	res, err := runLoop(ctx, ds, cfg, ce, beliefs)
+	if err != nil {
+		return nil, err
+	}
+	// Report cumulative spend and renumber rounds after the checkpoint.
+	res.BudgetSpent += c.BudgetSpent
+	for i := range res.Rounds {
+		res.Rounds[i].BudgetSpent += c.BudgetSpent
+	}
+	return res, nil
+}

@@ -1,0 +1,226 @@
+package rngutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	rng := New(7)
+	a := Split(rng)
+	b := Split(rng)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("split streams coincide on %d/100 draws", same)
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	rng := New(1)
+	const n = 200000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if Bernoulli(rng, p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) frequency %v", p, got)
+		}
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	rng := New(2)
+	w := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[Categorical(rng, w)]++
+	}
+	want := []float64{0.1, 0.2, 0.7}
+	for i, c := range counts {
+		got := float64(c) / n
+		if math.Abs(got-want[i]) > 0.01 {
+			t.Errorf("Categorical freq[%d] = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	rng := New(3)
+	for name, w := range map[string][]float64{
+		"empty":    {},
+		"zero":     {0, 0},
+		"negative": {1, -1},
+		"nan":      {math.NaN()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Categorical(%s) did not panic", name)
+				}
+			}()
+			Categorical(rng, w)
+		}()
+	}
+}
+
+func TestCategoricalDegenerate(t *testing.T) {
+	rng := New(4)
+	w := []float64{0, 0, 3, 0}
+	for i := 0; i < 100; i++ {
+		if got := Categorical(rng, w); got != 2 {
+			t.Fatalf("Categorical point mass returned %d", got)
+		}
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	rng := New(5)
+	const n = 200000
+	for _, shape := range []float64{0.5, 1, 2, 9} {
+		var sum, sum2 float64
+		for i := 0; i < n; i++ {
+			x := Gamma(rng, shape)
+			if x < 0 {
+				t.Fatalf("Gamma(%v) produced negative sample %v", shape, x)
+			}
+			sum += x
+			sum2 += x * x
+		}
+		mean := sum / n
+		variance := sum2/n - mean*mean
+		if math.Abs(mean-shape) > 0.05*shape+0.02 {
+			t.Errorf("Gamma(%v) mean = %v, want %v", shape, mean, shape)
+		}
+		if math.Abs(variance-shape) > 0.1*shape+0.05 {
+			t.Errorf("Gamma(%v) variance = %v, want %v", shape, variance, shape)
+		}
+	}
+}
+
+func TestGammaPanicsOnBadShape(t *testing.T) {
+	rng := New(6)
+	for _, shape := range []float64{0, -1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Gamma(%v) did not panic", shape)
+				}
+			}()
+			Gamma(rng, shape)
+		}()
+	}
+}
+
+func TestBetaMoments(t *testing.T) {
+	rng := New(7)
+	const n = 200000
+	cases := []struct{ a, b float64 }{{1, 1}, {2, 5}, {0.5, 0.5}, {10, 2}}
+	for _, c := range cases {
+		var sum float64
+		for i := 0; i < n; i++ {
+			x := Beta(rng, c.a, c.b)
+			if x < 0 || x > 1 {
+				t.Fatalf("Beta(%v,%v) sample %v out of [0,1]", c.a, c.b, x)
+			}
+			sum += x
+		}
+		mean := sum / n
+		want := c.a / (c.a + c.b)
+		if math.Abs(mean-want) > 0.01 {
+			t.Errorf("Beta(%v,%v) mean = %v, want %v", c.a, c.b, mean, want)
+		}
+	}
+}
+
+func TestDirichletSimplex(t *testing.T) {
+	rng := New(8)
+	alpha := []float64{1, 2, 3, 4}
+	for i := 0; i < 1000; i++ {
+		p := Dirichlet(rng, alpha)
+		var sum float64
+		for _, v := range p {
+			if v < 0 {
+				t.Fatalf("Dirichlet produced negative coordinate %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Dirichlet sample sums to %v", sum)
+		}
+	}
+}
+
+func TestDirichletMean(t *testing.T) {
+	rng := New(9)
+	alpha := []float64{2, 3, 5}
+	const n = 100000
+	means := make([]float64, 3)
+	for i := 0; i < n; i++ {
+		p := Dirichlet(rng, alpha)
+		for j, v := range p {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= n
+		want := alpha[j] / 10
+		if math.Abs(means[j]-want) > 0.005 {
+			t.Errorf("Dirichlet mean[%d] = %v, want %v", j, means[j], want)
+		}
+	}
+}
+
+func TestUniformIn(t *testing.T) {
+	rng := New(10)
+	for i := 0; i < 1000; i++ {
+		x := UniformIn(rng, 0.6, 0.9)
+		if x < 0.6 || x >= 0.9 {
+			t.Fatalf("UniformIn out of range: %v", x)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	rng := New(11)
+	p := Perm(rng, 50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	rng := New(12)
+	xs := []int{1, 2, 3, 4, 5}
+	Shuffle(rng, xs)
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 15 {
+		t.Errorf("Shuffle lost elements: %v", xs)
+	}
+}

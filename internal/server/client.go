@@ -1,0 +1,181 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Client is the Go consumer of the hcserve HTTP API. Expert-side tools
+// (or bridges to real crowdsourcing platforms) use it to poll for
+// checking queries and post answers.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 10 s timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the given server root.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			return resp.StatusCode, fmt.Errorf("server: decode %s: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Experts lists the worker IDs the session accepts answers from.
+func (c *Client) Experts(ctx context.Context) ([]string, error) {
+	var out struct {
+		Experts []string `json:"experts"`
+	}
+	code, err := c.getJSON(ctx, "/experts", &out)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("server: /experts returned %d", code)
+	}
+	return out.Experts, nil
+}
+
+// Query is one open checking round from the expert's point of view.
+type Query struct {
+	Round int   `json:"round"`
+	Facts []int `json:"facts"`
+}
+
+// Queries fetches the open round for the worker; ok is false when there
+// is nothing to answer right now.
+func (c *Client) Queries(ctx context.Context, workerID string) (Query, bool, error) {
+	var q Query
+	code, err := c.getJSON(ctx, "/queries?worker="+url.QueryEscape(workerID), &q)
+	if err != nil {
+		return Query{}, false, err
+	}
+	switch code {
+	case http.StatusOK:
+		return q, true, nil
+	case http.StatusNoContent:
+		return Query{}, false, nil
+	default:
+		return Query{}, false, fmt.Errorf("server: /queries returned %d", code)
+	}
+}
+
+// Answer posts one worker's answers for a round.
+func (c *Client) Answer(ctx context.Context, round int, workerID string, values []bool) error {
+	body, err := json.Marshal(map[string]any{
+		"round": round, "worker": workerID, "values": values,
+	})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/answers", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("server: /answers returned %d: %s", resp.StatusCode, msg)
+	}
+	return nil
+}
+
+// Status fetches the session's progress.
+func (c *Client) Status(ctx context.Context) (Status, error) {
+	var st Status
+	code, err := c.getJSON(ctx, "/status", &st)
+	if err != nil {
+		return Status{}, err
+	}
+	if code != http.StatusOK {
+		return Status{}, fmt.Errorf("server: /status returned %d", code)
+	}
+	return st, nil
+}
+
+// Labels fetches the final labels; it errors while labeling is still in
+// progress.
+func (c *Client) Labels(ctx context.Context) ([]bool, error) {
+	var out struct {
+		Labels []bool `json:"labels"`
+	}
+	code, err := c.getJSON(ctx, "/labels", &out)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("server: /labels returned %d", code)
+	}
+	return out.Labels, nil
+}
+
+// AnswerLoop polls for queries addressed to workerID and answers them
+// with the supplied function until the session completes or ctx is
+// cancelled. It is the building block for expert-side clients.
+func (c *Client) AnswerLoop(ctx context.Context, workerID string, answer func(facts []int) []bool, poll time.Duration) error {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx)
+		if err != nil {
+			return err
+		}
+		if st.Done {
+			return nil
+		}
+		q, ok, err := c.Queries(ctx, workerID)
+		if err != nil {
+			return err
+		}
+		if ok {
+			if err := c.Answer(ctx, q.Round, workerID, answer(q.Facts)); err != nil {
+				return err
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}

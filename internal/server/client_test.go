@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hcrowd/internal/pipeline"
+)
+
+func TestClientEndToEnd(t *testing.T) {
+	ds := testDataset(t)
+	s, err := NewSession(context.Background(), ds, pipeline.Config{K: 1, Budget: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	experts, err := c.Experts(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(experts) == 0 {
+		t.Fatal("no experts")
+	}
+
+	// One AnswerLoop per expert, answering from ground truth.
+	var wg sync.WaitGroup
+	errs := make(chan error, len(experts))
+	for _, id := range experts {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			errs <- c.AnswerLoop(ctx, id, func(facts []int) []bool {
+				values := make([]bool, len(facts))
+				for i, f := range facts {
+					values[i] = ds.Truth[f]
+				}
+				return values
+			}, time.Millisecond)
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done {
+		t.Fatal("session not done after answer loops returned")
+	}
+	labels, err := c.Labels(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != ds.NumFacts() {
+		t.Fatalf("labels = %d, want %d", len(labels), ds.NumFacts())
+	}
+	// Perfect checking answers: accuracy must be reported high.
+	if st.Accuracy == nil || *st.Accuracy < 0.7 {
+		t.Errorf("accuracy = %v", st.Accuracy)
+	}
+}
+
+func TestClientQueriesNoContent(t *testing.T) {
+	ds := testDataset(t)
+	s, err := NewSession(context.Background(), ds, pipeline.Config{K: 1, Budget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+	if _, ok, err := c.Queries(ctx, "not-an-expert"); err != nil || ok {
+		t.Errorf("queries for non-expert: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1") // nothing listens there
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if _, err := c.Experts(ctx); err == nil {
+		t.Error("dead server gave experts")
+	}
+	if _, err := c.Status(ctx); err == nil {
+		t.Error("dead server gave status")
+	}
+	if err := c.Answer(ctx, 1, "e0", []bool{true}); err == nil {
+		t.Error("dead server accepted answers")
+	}
+	if _, err := c.Labels(ctx); err == nil {
+		t.Error("dead server gave labels")
+	}
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler exposes a Session over HTTP:
+//
+//	GET  /experts              -> {"experts": ["e0", "e1"]}
+//	GET  /queries?worker=e0    -> {"round": 3, "facts": [12, 40]} or 204
+//	POST /answers              <- {"round": 3, "worker": "e0", "values": [true, false]}
+//	GET  /status               -> Status JSON
+//	GET  /labels               -> {"labels": [...]} once done, 409 before
+//
+// All bodies are JSON. The handler is safe for concurrent clients.
+func Handler(s *Session) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /experts", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"experts": s.Experts()})
+	})
+	mux.HandleFunc("GET /queries", func(w http.ResponseWriter, r *http.Request) {
+		worker := r.URL.Query().Get("worker")
+		if worker == "" {
+			httpError(w, http.StatusBadRequest, "missing worker parameter")
+			return
+		}
+		round, facts, ok := s.Queries(worker)
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"round": round, "facts": facts})
+	})
+	mux.HandleFunc("POST /answers", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Round  int    `json:"round"`
+			Worker string `json:"worker"`
+			Values []bool `json:"values"`
+		}
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad answer payload: "+err.Error())
+			return
+		}
+		if err := s.Answer(req.Round, req.Worker, req.Values); err != nil {
+			code := http.StatusConflict
+			if errors.Is(err, ErrClosed) {
+				code = http.StatusGone
+			}
+			httpError(w, code, err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Status())
+	})
+	mux.HandleFunc("GET /labels", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Status()
+		if !st.Done {
+			httpError(w, http.StatusConflict, "labeling still in progress")
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.runErr != nil {
+			httpError(w, http.StatusInternalServerError, s.runErr.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"labels": s.result.Labels})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,287 @@
+// Package server exposes the hierarchical crowdsourcing loop as a
+// long-running labeling service: the pipeline selects checking queries,
+// the server publishes them to expert clients over HTTP, collects their
+// answers, feeds them back into the Bayesian update, and reports
+// progress and final labels. It is the online counterpart of the
+// simulated-answer experiments — the paper's framework as a deployable
+// system.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hcrowd/internal/crowd"
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/pipeline"
+)
+
+// ErrClosed is returned when answering a session that already finished.
+var ErrClosed = errors.New("server: session closed")
+
+// pendingRound is one published query set awaiting expert answers.
+type pendingRound struct {
+	id       int
+	facts    []int                      // global fact indices
+	answers  map[string]crowd.AnswerSet // keyed by worker ID
+	done     chan struct{}              // closed when the round completes
+	complete bool                       // guards double-close of done
+}
+
+// Session runs one labeling job: the pipeline loop executes in a
+// background goroutine and blocks inside the queue source whenever it
+// needs expert answers.
+type Session struct {
+	ds      *dataset.Dataset
+	experts crowd.Crowd
+
+	mu      sync.Mutex
+	pending *pendingRound
+	nextID  int
+	result  *pipeline.Result
+	runErr  error
+	closed  bool
+
+	finished chan struct{}
+	cancel   context.CancelFunc
+
+	// roundTimeout, when positive, closes a round with the answers
+	// received so far once the deadline passes (at least one answer is
+	// required — an entirely silent panel keeps the round open). It
+	// prevents a single absent expert from deadlocking the session.
+	roundTimeout time.Duration
+}
+
+// NewSession starts the pipeline on ds with cfg; cfg.Source is replaced
+// by the session's answer queue. The loop runs until the budget is
+// exhausted, the context is cancelled, or Close is called.
+func NewSession(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Config) (*Session, error) {
+	return NewSessionTimeout(ctx, ds, cfg, 0)
+}
+
+// NewSessionTimeout is NewSession with a per-round timeout: a round that
+// has collected at least one answer when the deadline passes proceeds
+// with that partial family (the budget is charged only for answers
+// actually received).
+func NewSessionTimeout(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Config, roundTimeout time.Duration) (*Session, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	ce, _ := ds.Split()
+	if len(ce) == 0 {
+		return nil, errors.New("server: no expert workers above theta")
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	s := &Session{
+		ds:           ds,
+		experts:      ce,
+		finished:     make(chan struct{}),
+		cancel:       cancel,
+		roundTimeout: roundTimeout,
+	}
+	cfg.Source = queueSource{s: s, ctx: runCtx}
+	go func() {
+		defer close(s.finished)
+		res, err := pipeline.Run(runCtx, ds, cfg)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.result = res
+		s.runErr = err
+		s.closed = true
+		if s.pending != nil {
+			// Unblock any handler waiting on a round that will never
+			// complete.
+			s.pending = nil
+		}
+	}()
+	return s, nil
+}
+
+// queueSource adapts the session's answer queue to pipeline.AnswerSource.
+type queueSource struct {
+	s   *Session
+	ctx context.Context
+}
+
+// Answers implements pipeline.AnswerSource: publish the queries and block
+// until every expert answered or the session ends.
+func (q queueSource) Answers(experts crowd.Crowd, facts []int) (crowd.AnswerFamily, error) {
+	round := q.s.publish(facts)
+	select {
+	case <-round.done:
+	case <-q.ctx.Done():
+		return nil, q.ctx.Err()
+	}
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	fam := make(crowd.AnswerFamily, 0, len(experts))
+	for _, w := range experts {
+		if as, ok := round.answers[w.ID]; ok {
+			fam = append(fam, as)
+		}
+	}
+	if len(fam) == 0 {
+		return nil, fmt.Errorf("server: round %d completed with no answers", round.id)
+	}
+	q.s.pending = nil
+	return fam, nil
+}
+
+// publish installs a new pending round.
+func (s *Session) publish(facts []int) *pendingRound {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	sorted := append([]int{}, facts...)
+	sort.Ints(sorted)
+	round := &pendingRound{
+		id:      s.nextID,
+		facts:   sorted,
+		answers: make(map[string]crowd.AnswerSet, len(s.experts)),
+		done:    make(chan struct{}),
+	}
+	s.pending = round
+	if s.roundTimeout > 0 {
+		time.AfterFunc(s.roundTimeout, func() { s.expireRound(round) })
+	}
+	return round
+}
+
+// expireRound closes a round at its deadline if it gathered at least one
+// answer; an unanswered round stays open (and the timer re-arms) so the
+// loop never consumes empty evidence.
+func (s *Session) expireRound(round *pendingRound) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending != round || round.complete || s.closed {
+		return
+	}
+	if len(round.answers) == 0 {
+		time.AfterFunc(s.roundTimeout, func() { s.expireRound(round) })
+		return
+	}
+	round.complete = true
+	close(round.done)
+}
+
+// Queries returns the open round for the given expert: the round ID and
+// the facts still needing the expert's answers. ok is false when there is
+// no open round, the worker is not an expert, or the worker has already
+// answered.
+func (s *Session) Queries(workerID string) (roundID int, facts []int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == nil || s.closed {
+		return 0, nil, false
+	}
+	if _, isExpert := s.experts.ByID(workerID); !isExpert {
+		return 0, nil, false
+	}
+	if _, answered := s.pending.answers[workerID]; answered {
+		return 0, nil, false
+	}
+	return s.pending.id, append([]int{}, s.pending.facts...), true
+}
+
+// Answer records one expert's answers to the open round. The values must
+// be parallel to the round's fact list (ascending global fact order).
+func (s *Session) Answer(roundID int, workerID string, values []bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.pending == nil || s.pending.id != roundID {
+		return fmt.Errorf("server: round %d is not open", roundID)
+	}
+	w, isExpert := s.experts.ByID(workerID)
+	if !isExpert {
+		return fmt.Errorf("server: %q is not an expert worker", workerID)
+	}
+	if _, dup := s.pending.answers[workerID]; dup {
+		return fmt.Errorf("server: %s already answered round %d", workerID, roundID)
+	}
+	if len(values) != len(s.pending.facts) {
+		return fmt.Errorf("server: round %d needs %d answers, got %d", roundID, len(s.pending.facts), len(values))
+	}
+	as := crowd.AnswerSet{
+		Worker: w,
+		Facts:  append([]int{}, s.pending.facts...),
+		Values: append([]bool{}, values...),
+	}
+	if err := as.Validate(); err != nil {
+		return err
+	}
+	s.pending.answers[workerID] = as
+	if len(s.pending.answers) == len(s.experts) && !s.pending.complete {
+		s.pending.complete = true
+		close(s.pending.done)
+	}
+	return nil
+}
+
+// Status describes the session's progress.
+type Status struct {
+	Done        bool     `json:"done"`
+	Rounds      int      `json:"rounds"`
+	BudgetSpent float64  `json:"budget_spent"`
+	Quality     float64  `json:"quality"`
+	Accuracy    *float64 `json:"accuracy,omitempty"`
+	OpenRound   int      `json:"open_round,omitempty"`
+	OpenFacts   []int    `json:"open_facts,omitempty"`
+	Error       string   `json:"error,omitempty"`
+}
+
+// Status reports progress; final numbers come from the pipeline result
+// once the run ends.
+func (s *Session) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{Done: s.closed}
+	if s.pending != nil {
+		st.OpenRound = s.pending.id
+		st.OpenFacts = append([]int{}, s.pending.facts...)
+	}
+	if s.result != nil {
+		st.Rounds = len(s.result.Rounds)
+		st.BudgetSpent = s.result.BudgetSpent
+		st.Quality = s.result.Quality
+		acc := s.result.Accuracy
+		st.Accuracy = &acc
+	}
+	if s.runErr != nil {
+		st.Error = s.runErr.Error()
+	}
+	return st
+}
+
+// Experts lists the expert worker IDs clients may answer as.
+func (s *Session) Experts() []string {
+	ids := make([]string, len(s.experts))
+	for i, w := range s.experts {
+		ids[i] = w.ID
+	}
+	return ids
+}
+
+// Wait blocks until the pipeline finishes and returns its result.
+func (s *Session) Wait(ctx context.Context) (*pipeline.Result, error) {
+	select {
+	case <-s.finished:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.result, s.runErr
+}
+
+// Close cancels the run.
+func (s *Session) Close() {
+	s.cancel()
+	<-s.finished
+}

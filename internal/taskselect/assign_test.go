@@ -1,0 +1,211 @@
+package taskselect
+
+import (
+	"context"
+	"testing"
+
+	"hcrowd/internal/belief"
+	"hcrowd/internal/crowd"
+)
+
+func TestCondEntropyAssignMatchesFullCrowd(t *testing.T) {
+	// Assigning every expert to every query must equal CondEntropy.
+	for seed := int64(0); seed < 12; seed++ {
+		d := randomDist(t, 40000+seed, 3)
+		ce := experts(0.85, 0.95)
+		for _, facts := range [][]int{{0}, {0, 2}, {0, 1, 2}} {
+			var assigns []Assign
+			for _, w := range ce {
+				for _, f := range facts {
+					assigns = append(assigns, Assign{Fact: f, Worker: w})
+				}
+			}
+			ha, err := CondEntropyAssign(d, assigns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hc, err := CondEntropy(d, ce, facts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(ha, hc, 1e-9) {
+				t.Errorf("seed %d T=%v: assign %v != full %v", seed, facts, ha, hc)
+			}
+		}
+	}
+}
+
+func TestCondEntropyAssignPartial(t *testing.T) {
+	// A partial assignment carries less information than the full one,
+	// and more than nothing.
+	d := tableIDist(t)
+	ce := experts(0.9, 0.95)
+	full := []Assign{
+		{Fact: 0, Worker: ce[0]}, {Fact: 0, Worker: ce[1]},
+		{Fact: 2, Worker: ce[0]}, {Fact: 2, Worker: ce[1]},
+	}
+	partial := []Assign{
+		{Fact: 0, Worker: ce[0]},
+		{Fact: 2, Worker: ce[1]},
+	}
+	hFull, err := CondEntropyAssign(d, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hPartial, err := CondEntropyAssign(d, partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hFull < hPartial && hPartial < d.Entropy()) {
+		t.Errorf("ordering violated: full %v, partial %v, prior %v",
+			hFull, hPartial, d.Entropy())
+	}
+}
+
+func TestCondEntropyAssignValidation(t *testing.T) {
+	d := tableIDist(t)
+	w := crowd.Worker{ID: "e", Accuracy: 0.9}
+	if _, err := CondEntropyAssign(d, []Assign{{Fact: 9, Worker: w}}); err == nil {
+		t.Error("out-of-range fact accepted")
+	}
+	dup := []Assign{{Fact: 0, Worker: w}, {Fact: 0, Worker: w}}
+	if _, err := CondEntropyAssign(d, dup); err == nil {
+		t.Error("duplicate assignment accepted")
+	}
+	bad := crowd.Worker{ID: "b", Accuracy: 0.2}
+	if _, err := CondEntropyAssign(d, []Assign{{Fact: 0, Worker: bad}}); err == nil {
+		t.Error("invalid worker accepted")
+	}
+	h, err := CondEntropyAssign(d, nil)
+	if err != nil || !almostEqual(h, d.Entropy(), 1e-12) {
+		t.Errorf("empty assignment: %v, %v", h, err)
+	}
+}
+
+func TestCostGreedyRespectsBudget(t *testing.T) {
+	p := Problem{
+		Beliefs: []*belief.Dist{tableIDist(t), randomDist(t, 41000, 3)},
+		Experts: experts(0.9, 0.95),
+	}
+	cost := func(w crowd.Worker) float64 { return 1 + 5*(w.Accuracy-0.9) }
+	g := CostGreedy{Cost: cost}
+	picks, err := g.SelectAssign(context.Background(), p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) == 0 {
+		t.Fatal("no assignments selected")
+	}
+	var spent float64
+	for _, u := range picks {
+		spent += cost(u.Worker)
+	}
+	if spent > 4+1e-9 {
+		t.Errorf("spent %v of budget 4", spent)
+	}
+}
+
+func TestCostGreedyPrefersCheapWorkerWhenGainEqual(t *testing.T) {
+	// Two experts with identical accuracy but different prices: the first
+	// pick must be the cheap one (same gain, better ratio).
+	p := Problem{
+		Beliefs: []*belief.Dist{tableIDist(t)},
+		Experts: crowd.Crowd{
+			{ID: "cheap", Accuracy: 0.9},
+			{ID: "pricey", Accuracy: 0.9},
+		},
+	}
+	cost := func(w crowd.Worker) float64 {
+		if w.ID == "pricey" {
+			return 3
+		}
+		return 1
+	}
+	picks, err := CostGreedy{Cost: cost}.SelectAssign(context.Background(), p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 1 || picks[0].Worker.ID != "cheap" {
+		t.Errorf("picks = %v, want single cheap assignment", picks)
+	}
+}
+
+func TestCostGreedyMatchesGreedyAtUnitCost(t *testing.T) {
+	// With unit costs and budget k·|CE| the cost-aware selection is free
+	// to reproduce the plain greedy's value; its realized objective must
+	// be at least as good (it may split experts across facts).
+	ctx := context.Background()
+	for seed := int64(0); seed < 6; seed++ {
+		p := Problem{
+			Beliefs: []*belief.Dist{randomDist(t, 42000+seed, 3)},
+			Experts: experts(0.85, 0.92),
+		}
+		plain, err := Greedy{}.Select(ctx, p, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var plainAssigns []Assign
+		for _, c := range plain {
+			for _, w := range p.Experts {
+				plainAssigns = append(plainAssigns, Assign{Fact: c.Fact, Worker: w})
+			}
+		}
+		hPlain, err := CondEntropyAssign(p.Beliefs[0], plainAssigns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assigned, err := CostGreedy{}.SelectAssign(ctx, p, float64(len(plainAssigns)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var units []Assign
+		for _, u := range assigned {
+			units = append(units, Assign{Fact: u.Fact, Worker: u.Worker})
+		}
+		hAssigned, err := CondEntropyAssign(p.Beliefs[0], units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hAssigned > hPlain+0.05 {
+			t.Errorf("seed %d: cost-aware %v much worse than plain %v", seed, hAssigned, hPlain)
+		}
+	}
+}
+
+func TestCostGreedyValidation(t *testing.T) {
+	p := Problem{
+		Beliefs: []*belief.Dist{tableIDist(t)},
+		Experts: experts(0.9),
+	}
+	ctx := context.Background()
+	picks, err := CostGreedy{}.SelectAssign(ctx, p, 0)
+	if err != nil || picks != nil {
+		t.Errorf("zero budget: %v, %v", picks, err)
+	}
+	bad := CostGreedy{Cost: func(crowd.Worker) float64 { return 0 }}
+	if _, err := bad.SelectAssign(ctx, p, 5); err == nil {
+		t.Error("zero cost accepted")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := (CostGreedy{}).SelectAssign(cancelled, p, 5); err == nil {
+		t.Error("cancellation ignored")
+	}
+}
+
+func TestCostGreedyStopsAtZeroGain(t *testing.T) {
+	joint := make([]float64, 8)
+	joint[2] = 1
+	d, err := belief.FromJoint(joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Problem{Beliefs: []*belief.Dist{d}, Experts: experts(0.9)}
+	picks, err := CostGreedy{}.SelectAssign(context.Background(), p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 0 {
+		t.Errorf("selected %v from a certain belief", picks)
+	}
+}

@@ -1,0 +1,145 @@
+package taskselect
+
+import (
+	"context"
+	"testing"
+
+	"hcrowd/internal/belief"
+	"hcrowd/internal/crowd"
+	"hcrowd/internal/rngutil"
+)
+
+func asymExperts(rates ...[2]float64) crowd.Crowd {
+	c := make(crowd.Crowd, len(rates))
+	for i, r := range rates {
+		c[i] = crowd.Worker{ID: string(rune('A' + i)), TPR: r[0], TNR: r[1]}
+	}
+	return c
+}
+
+func TestAsymCondEntropyMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rngutil.New(20000 + seed)
+		m := 2 + rng.Intn(3)
+		d := randomDist(t, seed, m)
+		n := 1 + rng.Intn(2)
+		rates := make([][2]float64, n)
+		for i := range rates {
+			rates[i] = [2]float64{0.5 + 0.5*rng.Float64(), 0.5 + 0.5*rng.Float64()}
+		}
+		ce := asymExperts(rates...)
+		size := 1 + rng.Intn(m)
+		facts := rng.Perm(m)[:size]
+
+		fast, err := CondEntropy(d, ce, facts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := CondEntropyNaive(d, ce, facts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(fast, naive, 1e-9) {
+			t.Errorf("seed %d: asym fast %v != naive %v (m=%d rates=%v)", seed, fast, naive, m, rates)
+		}
+	}
+}
+
+func TestAsymEqualsSymmetricWhenRatesMatch(t *testing.T) {
+	// TPR == TNR == a must reproduce the symmetric evaluator exactly.
+	d := tableIDist(t)
+	for _, a := range []float64{0.6, 0.8, 0.95} {
+		sym := experts(a)
+		asym := asymExperts([2]float64{a, a})
+		for _, facts := range [][]int{{0}, {1, 2}, {0, 1, 2}} {
+			hs, err := CondEntropy(d, sym, facts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ha, err := CondEntropy(d, asym, facts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(hs, ha, 1e-12) {
+				t.Errorf("a=%v T=%v: sym %v != asym %v", a, facts, hs, ha)
+			}
+		}
+	}
+}
+
+func TestAsymInformationNeverHurts(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		d := randomDist(t, 21000+seed, 3)
+		ce := asymExperts([2]float64{0.95, 0.55}, [2]float64{0.6, 0.9})
+		for _, facts := range [][]int{{0}, {0, 2}, {0, 1, 2}} {
+			h, err := CondEntropy(d, ce, facts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h < 0 || h > d.Entropy()+1e-9 {
+				t.Errorf("seed %d T=%v: H=%v outside [0, %v]", seed, facts, h, d.Entropy())
+			}
+		}
+	}
+}
+
+func TestAsymTheorem1Identity(t *testing.T) {
+	// The brute-force Definition 5 expectation must match under the
+	// confusion model too.
+	d := randomDist(t, 77, 3)
+	ce := asymExperts([2]float64{0.9, 0.6})
+	facts := []int{0, 1}
+	s := len(facts)
+
+	var expQ float64
+	for famIdx := 0; famIdx < 4; famIdx++ {
+		vals := make([]bool, s)
+		for j := 0; j < s; j++ {
+			vals[j] = famIdx&(1<<uint(j)) != 0
+		}
+		fam := crowd.AnswerFamily{{Worker: ce[0], Facts: facts, Values: vals}}
+		pA, err := d.AnswerFamilyProb(fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pA == 0 {
+			continue
+		}
+		post := d.Clone()
+		if err := post.Update(fam); err != nil {
+			t.Fatal(err)
+		}
+		expQ += pA * post.Quality()
+	}
+	bruteGain := expQ - d.Quality()
+	gain, err := QualityGain(d, ce, facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(gain, bruteGain, 1e-9) {
+		t.Errorf("asym Theorem 1: %v != %v", gain, bruteGain)
+	}
+}
+
+func TestAsymGreedySelection(t *testing.T) {
+	// A one-sided expert (great at confirming true facts, poor at
+	// refuting) still drives valid greedy selection.
+	p := Problem{
+		Beliefs: []*belief.Dist{randomDist(t, 88, 4)},
+		Experts: asymExperts([2]float64{0.98, 0.55}),
+	}
+	picks, err := Greedy{}.Select(context.Background(), p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 2 {
+		t.Fatalf("picks = %v", picks)
+	}
+	h, err := p.Objective(context.Background(), picks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h > p.Beliefs[0].Entropy() {
+		t.Error("asym greedy selection increased objective")
+	}
+}

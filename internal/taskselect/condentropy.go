@@ -1,0 +1,327 @@
+// Package taskselect implements the paper's core optimization: selecting
+// checking tasks for the expert crowd. Theorem 1 reduces maximizing the
+// expected quality improvement ΔQ(F|T) to minimizing the conditional
+// entropy H(O | AS^T_CE) of the observations given the crowdsourced answer
+// families for the query set T (Theorem 2); the exact problem is NP-hard
+// (Theorem 3), so the package provides the greedy (1-1/e) approximation of
+// Algorithm 2 next to the exact brute-force selector and two baselines.
+package taskselect
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"hcrowd/internal/belief"
+	"hcrowd/internal/crowd"
+	"hcrowd/internal/mathx"
+)
+
+// maxFamilyBits caps the answer-family enumeration 2^(|T|·|CE|); above
+// this the exact conditional entropy is deliberately refused rather than
+// silently running for hours (the paper's Table III "timeout" regime).
+const maxFamilyBits = 26
+
+var (
+	// ErrNoExperts is returned when the expert crowd CE is empty: with no
+	// checkers the answer family is empty and selection is undefined.
+	ErrNoExperts = errors.New("taskselect: expert crowd is empty")
+	// ErrTooLarge is returned when 2^(|T|·|CE|) answer families exceed the
+	// enumeration cap.
+	ErrTooLarge = errors.New("taskselect: answer-family space too large to enumerate")
+)
+
+// validateQuerySet checks the query facts are in-range and distinct.
+func validateQuerySet(d *belief.Dist, facts []int) error {
+	seen := 0
+	for _, f := range facts {
+		if f < 0 || f >= d.NumFacts() {
+			return fmt.Errorf("taskselect: fact %d outside task with %d facts", f, d.NumFacts())
+		}
+		if seen&(1<<uint(f)) != 0 {
+			return fmt.Errorf("taskselect: duplicate fact %d in query set", f)
+		}
+		seen |= 1 << uint(f)
+	}
+	return nil
+}
+
+// projection returns q, the marginal distribution of the belief on the
+// query facts: q[p] = sum of P(o) over observations o whose truth values
+// on facts (in the given order) spell the bit pattern p.
+func projection(d *belief.Dist, facts []int) []float64 {
+	s := len(facts)
+	q := make([]float64, 1<<uint(s))
+	for o := 0; o < d.NumObservations(); o++ {
+		po := d.P(o)
+		if po == 0 {
+			continue
+		}
+		p := 0
+		for j, f := range facts {
+			if belief.Models(o, f) {
+				p |= 1 << uint(j)
+			}
+		}
+		q[p] += po
+	}
+	return q
+}
+
+// likelihoodTables precomputes, for every expert, the answer-pattern
+// likelihood indexed by Hamming distance: table[cr][d] =
+// Pr_cr^(s-d) · (1-Pr_cr)^d, the Lemma 1 likelihood of an answer pattern
+// disagreeing with the true pattern on exactly d of the s queries.
+func likelihoodTables(ce crowd.Crowd, s int) [][]float64 {
+	tables := make([][]float64, len(ce))
+	for i, w := range ce {
+		// tab[d] = pr^(s-d) * er^d, computed by direct powers so that an
+		// oracle worker (pr == 1, er == 0) is exact rather than 0/0.
+		tab := make([]float64, s+1)
+		pr, er := w.Accuracy, 1-w.Accuracy
+		for d := 0; d <= s; d++ {
+			v := 1.0
+			for t := 0; t < s-d; t++ {
+				v *= pr
+			}
+			for t := 0; t < d; t++ {
+				v *= er
+			}
+			tab[d] = v
+		}
+		tables[i] = tab
+	}
+	return tables
+}
+
+// CondEntropy computes H(O | AS^T_CE) of Equation 34 for the query set
+// `facts` (local indices into the task belief d) and expert crowd ce.
+//
+// It uses the identity H(O|AS) = H(O) − H(AS) + H(AS|O) with
+// H(AS|O) = |T| · Σ_cr h(Pr_cr): the answers depend on the observation
+// only through its projection onto T, and given that pattern every answer
+// is an independent Bernoulli with the worker's accuracy. This removes the
+// 2^m factor from the family enumeration; CondEntropyNaive retains the
+// textbook form and the tests assert both agree.
+func CondEntropy(d *belief.Dist, ce crowd.Crowd, facts []int) (float64, error) {
+	if len(ce) == 0 {
+		return 0, ErrNoExperts
+	}
+	if err := validateQuerySet(d, facts); err != nil {
+		return 0, err
+	}
+	if len(facts) == 0 {
+		return d.Entropy(), nil
+	}
+	s := len(facts)
+	w := len(ce)
+	if s*w > maxFamilyBits {
+		return 0, fmt.Errorf("%w: |T|=%d × |CE|=%d", ErrTooLarge, s, w)
+	}
+	for _, wk := range ce {
+		if wk.Asymmetric() {
+			return condEntropyAsym(d, ce, facts)
+		}
+	}
+	q := projection(d, facts)
+	tables := likelihoodTables(ce, s)
+
+	// H(AS): enumerate every family (one s-bit answer pattern per expert).
+	var hAS float64
+	nFam := 1 << uint(s*w)
+	mask := (1 << uint(s)) - 1
+	for fam := 0; fam < nFam; fam++ {
+		var pA float64
+		for p, qp := range q {
+			if qp == 0 {
+				continue
+			}
+			like := qp
+			for cr := 0; cr < w; cr++ {
+				a := (fam >> uint(cr*s)) & mask
+				like *= tables[cr][bits.OnesCount(uint(a^p))]
+			}
+			pA += like
+		}
+		hAS -= mathx.XLogX(pA)
+	}
+
+	// H(AS|O) = s · Σ_cr h(Pr_cr).
+	var hASgivenO float64
+	for _, wk := range ce {
+		hASgivenO += mathx.BernoulliEntropy(wk.Accuracy)
+	}
+	hASgivenO *= float64(s)
+
+	h := d.Entropy() - hAS + hASgivenO
+	if h < 0 { // rounding: conditional entropy is non-negative
+		h = 0
+	}
+	return h, nil
+}
+
+// condEntropyAsym is the confusion-model variant of the optimized
+// evaluator. The projection identity still holds — answers depend on the
+// observation only through its pattern on T — but the per-answer terms
+// are class-conditional (TPR/TNR), so the Hamming-distance tables are
+// replaced by per-position factors and H(AS|O) becomes pattern-dependent:
+// H(AS|O) = Σ_p q(p) Σ_cr Σ_j h(P(yes | p_j)).
+func condEntropyAsym(d *belief.Dist, ce crowd.Crowd, facts []int) (float64, error) {
+	s := len(facts)
+	w := len(ce)
+	q := projection(d, facts)
+
+	// pYes[cr][tv]: P(worker cr answers Yes | fact truth tv).
+	pYes := make([][2]float64, w)
+	for cr, wk := range ce {
+		pYes[cr][1] = wk.PCorrect(true)      // TPR
+		pYes[cr][0] = 1 - wk.PCorrect(false) // 1 - TNR
+	}
+
+	var hAS float64
+	nFam := 1 << uint(s*w)
+	mask := (1 << uint(s)) - 1
+	for fam := 0; fam < nFam; fam++ {
+		var pA float64
+		for p, qp := range q {
+			if qp == 0 {
+				continue
+			}
+			like := qp
+			for cr := 0; cr < w; cr++ {
+				a := (fam >> uint(cr*s)) & mask
+				for j := 0; j < s; j++ {
+					tv := (p >> uint(j)) & 1
+					py := pYes[cr][tv]
+					if a&(1<<uint(j)) != 0 {
+						like *= py
+					} else {
+						like *= 1 - py
+					}
+				}
+			}
+			pA += like
+		}
+		hAS -= mathx.XLogX(pA)
+	}
+
+	var hASgivenO float64
+	for p, qp := range q {
+		if qp == 0 {
+			continue
+		}
+		var hp float64
+		for cr := 0; cr < w; cr++ {
+			for j := 0; j < s; j++ {
+				tv := (p >> uint(j)) & 1
+				hp += mathx.BernoulliEntropy(pYes[cr][tv])
+			}
+		}
+		hASgivenO += qp * hp
+	}
+
+	h := d.Entropy() - hAS + hASgivenO
+	if h < 0 {
+		h = 0
+	}
+	return h, nil
+}
+
+// CondEntropyNaive computes H(O | AS^T_CE) directly from the definition:
+// for every possible answer family it forms the Bayesian posterior over
+// all observations and accumulates P(A)·H(O|A). It is exponentially more
+// expensive than CondEntropy (extra 2^m factor) and exists as the
+// reference implementation for tests and the naive-vs-fast ablation bench.
+func CondEntropyNaive(d *belief.Dist, ce crowd.Crowd, facts []int) (float64, error) {
+	if len(ce) == 0 {
+		return 0, ErrNoExperts
+	}
+	if err := validateQuerySet(d, facts); err != nil {
+		return 0, err
+	}
+	if len(facts) == 0 {
+		return d.Entropy(), nil
+	}
+	s := len(facts)
+	w := len(ce)
+	if s*w > maxFamilyBits {
+		return 0, fmt.Errorf("%w: |T|=%d × |CE|=%d", ErrTooLarge, s, w)
+	}
+	nFam := 1 << uint(s*w)
+	mask := (1 << uint(s)) - 1
+	nObs := d.NumObservations()
+	post := make([]float64, nObs)
+	var h float64
+	for fam := 0; fam < nFam; fam++ {
+		var pA float64
+		for o := 0; o < nObs; o++ {
+			po := d.P(o)
+			if po == 0 {
+				post[o] = 0
+				continue
+			}
+			// Project o onto the query facts.
+			p := 0
+			for j, f := range facts {
+				if belief.Models(o, f) {
+					p |= 1 << uint(j)
+				}
+			}
+			like := po
+			for cr := 0; cr < w; cr++ {
+				a := (fam >> uint(cr*s)) & mask
+				for j := 0; j < s; j++ {
+					tv := p&(1<<uint(j)) != 0
+					pc := ce[cr].PCorrect(tv)
+					if (a&(1<<uint(j)) != 0) == tv {
+						like *= pc
+					} else {
+						like *= 1 - pc
+					}
+				}
+			}
+			post[o] = like
+			pA += like
+		}
+		if pA == 0 {
+			continue
+		}
+		// P(A) · H(O|A) = -Σ_o P(o,A) ln (P(o,A)/P(A)).
+		for _, v := range post {
+			if v == 0 {
+				continue
+			}
+			h -= v * (mathx.Log(v) - mathx.Log(pA))
+		}
+	}
+	if h < 0 {
+		h = 0
+	}
+	return h, nil
+}
+
+// QualityGain returns the expected quality improvement of Theorem 1,
+// ΔQ(F|T) = H(O) − H(O | AS^T_CE); it is non-negative (information never
+// hurts in expectation).
+func QualityGain(d *belief.Dist, ce crowd.Crowd, facts []int) (float64, error) {
+	h, err := CondEntropy(d, ce, facts)
+	if err != nil {
+		return 0, err
+	}
+	g := d.Entropy() - h
+	if g < 0 {
+		g = 0
+	}
+	return g, nil
+}
+
+// ExpectedQuality returns Q(F|T) of Definition 5: the expectation over all
+// answer families of the posterior quality. By Theorem 1 it equals
+// Q(F) + ΔQ(F|T); the tests verify the identity by brute force.
+func ExpectedQuality(d *belief.Dist, ce crowd.Crowd, facts []int) (float64, error) {
+	g, err := QualityGain(d, ce, facts)
+	if err != nil {
+		return 0, err
+	}
+	return d.Quality() + g, nil
+}

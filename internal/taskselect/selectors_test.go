@@ -1,0 +1,343 @@
+package taskselect
+
+import (
+	"context"
+	"testing"
+
+	"hcrowd/internal/belief"
+	"hcrowd/internal/rngutil"
+)
+
+func twoTaskProblem(t *testing.T) Problem {
+	t.Helper()
+	d1 := tableIDist(t)
+	d2 := randomDist(t, 42, 3)
+	return Problem{
+		Beliefs: []*belief.Dist{d1, d2},
+		Experts: experts(0.9, 0.95),
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	p := twoTaskProblem(t)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Problem{}).Validate(); err == nil {
+		t.Error("empty problem accepted")
+	}
+	if err := (Problem{Beliefs: []*belief.Dist{nil}, Experts: experts(0.9)}).Validate(); err == nil {
+		t.Error("nil belief accepted")
+	}
+	if err := (Problem{Beliefs: p.Beliefs}).Validate(); err == nil {
+		t.Error("no experts accepted")
+	}
+}
+
+func TestProblemObjectiveDecomposes(t *testing.T) {
+	p := twoTaskProblem(t)
+	ctx := context.Background()
+	// No picks: objective is the sum of prior entropies.
+	h0, err := p.Objective(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Beliefs[0].Entropy() + p.Beliefs[1].Entropy()
+	if !almostEqual(h0, want, 1e-12) {
+		t.Errorf("objective(∅) = %v, want %v", h0, want)
+	}
+	// One pick in task 0: task 1 still contributes its full entropy.
+	h1, err := p.Objective(ctx, []Candidate{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce0, _ := CondEntropy(p.Beliefs[0], p.Experts, []int{1})
+	if !almostEqual(h1, ce0+p.Beliefs[1].Entropy(), 1e-12) {
+		t.Errorf("objective decomposition broken: %v", h1)
+	}
+}
+
+func TestGreedySelectsRequestedCount(t *testing.T) {
+	p := twoTaskProblem(t)
+	for k := 1; k <= 4; k++ {
+		picks, err := Greedy{}.Select(context.Background(), p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(picks) != k {
+			t.Errorf("k=%d: got %d picks", k, len(picks))
+		}
+		seen := map[Candidate]bool{}
+		for _, c := range picks {
+			if seen[c] {
+				t.Errorf("duplicate pick %v", c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestGreedyMatchesExactForK1(t *testing.T) {
+	// With k=1 the greedy choice is exactly the optimum (the paper:
+	// "if k equals 1 ... there is no difference between OPT and Approx").
+	for seed := int64(0); seed < 10; seed++ {
+		p := Problem{
+			Beliefs: []*belief.Dist{randomDist(t, 7000+seed, 3), randomDist(t, 7100+seed, 3)},
+			Experts: experts(0.85, 0.95),
+		}
+		ctx := context.Background()
+		g, err := Greedy{}.Select(ctx, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Exact{}.Select(ctx, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hg, _ := p.Objective(ctx, g)
+		he, _ := p.Objective(ctx, e)
+		if !almostEqual(hg, he, 1e-9) {
+			t.Errorf("seed %d: greedy %v (obj %v) != exact %v (obj %v)", seed, g, hg, e, he)
+		}
+	}
+}
+
+func TestGreedyWithinApproximationBound(t *testing.T) {
+	// Total gain of greedy must be ≥ (1 − 1/e) × gain of OPT.
+	const bound = 1 - 1/2.718281828459045
+	ctx := context.Background()
+	for seed := int64(0); seed < 8; seed++ {
+		p := Problem{
+			Beliefs: []*belief.Dist{randomDist(t, 8000+seed, 4)},
+			Experts: experts(0.8, 0.92),
+		}
+		prior := p.Beliefs[0].Entropy()
+		for _, k := range []int{2, 3} {
+			g, err := Greedy{}.Select(ctx, p, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := Exact{}.Select(ctx, p, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hg, _ := p.Objective(ctx, g)
+			he, _ := p.Objective(ctx, e)
+			gainG := prior - hg
+			gainE := prior - he
+			if gainG < bound*gainE-1e-9 {
+				t.Errorf("seed %d k=%d: greedy gain %v < (1-1/e)·%v", seed, k, gainG, gainE)
+			}
+			if he > hg+1e-9 {
+				t.Errorf("seed %d k=%d: OPT objective %v worse than greedy %v", seed, k, he, hg)
+			}
+		}
+	}
+}
+
+func TestExactBeatsRandom(t *testing.T) {
+	ctx := context.Background()
+	rng := rngutil.New(99)
+	better, worse := 0, 0
+	for seed := int64(0); seed < 10; seed++ {
+		p := Problem{
+			Beliefs: []*belief.Dist{randomDist(t, 9000+seed, 3), randomDist(t, 9100+seed, 3)},
+			Experts: experts(0.9),
+		}
+		e, err := Exact{}.Select(ctx, p, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Random{Rng: rng}.Select(ctx, p, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		he, _ := p.Objective(ctx, e)
+		hr, _ := p.Objective(ctx, r)
+		if he <= hr+1e-12 {
+			better++
+		} else {
+			worse++
+		}
+	}
+	if worse > 0 {
+		t.Errorf("OPT lost to Random on %d/10 instances", worse)
+	}
+}
+
+func TestRandomSelectorProperties(t *testing.T) {
+	p := twoTaskProblem(t)
+	r := Random{Rng: rngutil.New(5)}
+	picks, err := r.Select(context.Background(), p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 4 {
+		t.Fatalf("got %d picks", len(picks))
+	}
+	seen := map[Candidate]bool{}
+	for _, c := range picks {
+		if seen[c] {
+			t.Errorf("duplicate pick %v", c)
+		}
+		seen[c] = true
+		if c.Task < 0 || c.Task > 1 || c.Fact < 0 || c.Fact > 2 {
+			t.Errorf("pick out of range: %v", c)
+		}
+	}
+	// Requesting more than available truncates.
+	picks, err = r.Select(context.Background(), p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != p.NumFacts() {
+		t.Errorf("oversized k returned %d picks, want %d", len(picks), p.NumFacts())
+	}
+	if _, err := (Random{}).Select(context.Background(), p, 1); err == nil {
+		t.Error("Random without Rng accepted")
+	}
+}
+
+func TestMaxEntropySelector(t *testing.T) {
+	// Marginals: task 0 (Table I) has f3 at exactly 0.5 (max entropy).
+	p := Problem{
+		Beliefs: []*belief.Dist{tableIDist(t)},
+		Experts: experts(0.9),
+	}
+	picks, err := MaxEntropy{}.Select(context.Background(), p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 1 || picks[0] != (Candidate{0, 2}) {
+		t.Errorf("MaxEntropy picked %v, want {0 2} (P(f3)=0.5)", picks)
+	}
+}
+
+func TestMaxEntropyEqualsGreedySingleExpertK1(t *testing.T) {
+	// The paper notes the single-worker single-query case has the trivial
+	// solution "select the query with the maximum entropy". With one
+	// expert and k=1 greedy must agree with MaxEntropy.
+	ctx := context.Background()
+	for seed := int64(0); seed < 10; seed++ {
+		p := Problem{
+			Beliefs: []*belief.Dist{randomDist(t, 11000+seed, 3)},
+			Experts: experts(0.9),
+		}
+		g, err := Greedy{}.Select(ctx, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := MaxEntropy{}.Select(ctx, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hg, _ := p.Objective(ctx, g)
+		hm, _ := p.Objective(ctx, m)
+		if !almostEqual(hg, hm, 1e-9) {
+			t.Errorf("seed %d: greedy %v vs maxent %v objectives differ: %v vs %v",
+				seed, g, m, hg, hm)
+		}
+	}
+}
+
+func TestSelectZeroK(t *testing.T) {
+	p := twoTaskProblem(t)
+	ctx := context.Background()
+	for _, s := range []Selector{Greedy{}, Exact{}, Random{Rng: rngutil.New(1)}, MaxEntropy{}} {
+		picks, err := s.Select(ctx, p, 0)
+		if err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+		if len(picks) != 0 {
+			t.Errorf("%s returned picks for k=0: %v", s.Name(), picks)
+		}
+	}
+}
+
+func TestSelectCancellation(t *testing.T) {
+	p := Problem{
+		Beliefs: []*belief.Dist{randomDist(t, 1, 8), randomDist(t, 2, 8)},
+		Experts: experts(0.9, 0.95),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (Greedy{}).Select(ctx, p, 3); err == nil {
+		t.Error("greedy ignored cancellation")
+	}
+	if _, err := (Exact{}).Select(ctx, p, 3); err == nil {
+		t.Error("exact ignored cancellation")
+	}
+}
+
+func TestGreedyStopsWhenNoGain(t *testing.T) {
+	// A certain belief (point mass) offers zero gain everywhere: greedy
+	// must stop early per Algorithm 2 line 4.
+	joint := make([]float64, 8)
+	joint[5] = 1
+	d, err := belief.FromJoint(joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Problem{Beliefs: []*belief.Dist{d}, Experts: experts(0.9)}
+	picks, err := Greedy{}.Select(context.Background(), p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 0 {
+		t.Errorf("greedy selected %v from a certain belief", picks)
+	}
+}
+
+func TestSelectorNames(t *testing.T) {
+	names := map[string]Selector{
+		"Approx":     Greedy{},
+		"OPT":        Exact{},
+		"Random":     Random{},
+		"MaxEntropy": MaxEntropy{},
+	}
+	for want, s := range names {
+		if got := s.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestGreedyParallelMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 6; seed++ {
+		beliefs := make([]*belief.Dist, 12)
+		for i := range beliefs {
+			beliefs[i] = randomDist(t, 30000+seed*100+int64(i), 4)
+		}
+		p := Problem{Beliefs: beliefs, Experts: experts(0.9, 0.95)}
+		serial, err := Greedy{}.Select(ctx, p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := Greedy{Workers: 4}.Select(ctx, p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(serial) != len(parallel) {
+			t.Fatalf("seed %d: %v vs %v", seed, serial, parallel)
+		}
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("seed %d: pick %d differs: %v vs %v", seed, i, serial, parallel)
+			}
+		}
+	}
+}
+
+func TestGreedyParallelCancellation(t *testing.T) {
+	beliefs := make([]*belief.Dist, 20)
+	for i := range beliefs {
+		beliefs[i] = randomDist(t, 31000+int64(i), 6)
+	}
+	p := Problem{Beliefs: beliefs, Experts: experts(0.9, 0.95)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (Greedy{Workers: 8}).Select(ctx, p, 3); err == nil {
+		t.Error("parallel greedy ignored cancellation")
+	}
+}
