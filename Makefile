@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race determinism bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Reproducibility regression tests, run twice in one process (-count=2)
+# to catch per-process state leaks on top of seed-determinism.
+determinism:
+	$(GO) test -count=2 -run 'DeterministicGivenSeed' ./internal/pipeline/ ./internal/experiments/
+
+# One pass over every paper benchmark (including the incremental
+# selection engine's pick-identity + evals/round check).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+verify: build vet race determinism

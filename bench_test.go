@@ -272,6 +272,75 @@ func BenchmarkGreedyParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkGreedyIncremental compares the per-round cost of the checking
+// loop's two selection engines on the fig2 workload: the full per-round
+// rescan (Greedy) against the incremental SelectionState, driven exactly
+// as the pipeline drives them — select, apply the answers to the picked
+// tasks, invalidate, repeat. It reports CondEntropy evaluations per round
+// (the hardware-independent cost unit) and verifies pick-for-pick
+// equality between the engines while running.
+func BenchmarkGreedyIncremental(b *testing.B) {
+	ds := benchDataset(b)
+	ce, _ := ds.Split()
+	ctx := context.Background()
+	const rounds, k = 20, 3
+
+	runRounds := func(b *testing.B, sel hcrowd.Selector, record [][]hcrowd.Candidate) {
+		b.Helper()
+		beliefs, err := hcrowd.InitBeliefs(ds, hcrowd.MajorityVote(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := hcrowd.NewSimulatedSource(5, ds)
+		state, _ := sel.(*taskselect.SelectionState)
+		p := hcrowd.Problem{Beliefs: beliefs, Experts: ce}
+		for r := 0; r < rounds; r++ {
+			picks, err := sel.Select(ctx, p, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if record != nil {
+				if record[r] == nil {
+					record[r] = picks
+				} else if fmt.Sprintf("%v", picks) != fmt.Sprintf("%v", record[r]) {
+					b.Fatalf("round %d: engines diverged: %v vs %v", r, picks, record[r])
+				}
+			}
+			for _, c := range picks {
+				fam, err := src.Answers(ce, []int{ds.Tasks[c.Task][c.Fact]})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := range fam {
+					fam[i].Facts = []int{c.Fact} // re-index global -> local
+				}
+				if err := beliefs[c.Task].Update(fam); err != nil {
+					b.Fatal(err)
+				}
+				if state != nil {
+					state.Invalidate(c.Task)
+				}
+			}
+		}
+	}
+
+	picksByRound := make([][]hcrowd.Candidate, rounds)
+	b.Run("full-rescan", func(b *testing.B) {
+		taskselect.ResetEvalCount()
+		for i := 0; i < b.N; i++ {
+			runRounds(b, taskselect.Greedy{}, picksByRound)
+		}
+		b.ReportMetric(float64(taskselect.EvalCount())/float64(b.N*rounds), "evals/round")
+	})
+	b.Run("incremental", func(b *testing.B) {
+		taskselect.ResetEvalCount()
+		for i := 0; i < b.N; i++ {
+			runRounds(b, taskselect.NewSelectionState(0), picksByRound)
+		}
+		b.ReportMetric(float64(taskselect.EvalCount())/float64(b.N*rounds), "evals/round")
+	})
+}
+
 // BenchmarkCostGreedy measures the §III-D per-unit assignment selection.
 func BenchmarkCostGreedy(b *testing.B) {
 	ds := benchDataset(b)

@@ -175,6 +175,23 @@ func QualityGain(d *Belief, experts Crowd, facts []int) (float64, error) {
 // greedy selection.
 func GreedySelector() Selector { return taskselect.Greedy{} }
 
+// SelectionState is the incremental variant of GreedySelector: identical
+// picks round for round, but the per-task round-start gains are cached
+// between Select calls and recomputed only for tasks the caller has
+// Invalidated, so a steady-state round costs O(touched tasks) instead of
+// a full O(N·m) conditional-entropy scan. Run and its variants wire one
+// in automatically when cfg.Selector is GreedySelector() (or nil);
+// construct one with IncrementalSelector to drive a custom checking loop.
+type SelectionState = taskselect.SelectionState
+
+// IncrementalSelector returns a fresh incremental greedy selection
+// engine; workers bounds the goroutines of the invalidation re-scan
+// (<= 1 means serial). After mutating a task's belief, call
+// Invalidate(task) before the next Select.
+func IncrementalSelector(workers int) *SelectionState {
+	return taskselect.NewSelectionState(workers)
+}
+
 // ExactSelector returns the brute-force OPT selector (exponential; used
 // by the Figure 5 and Table III experiments).
 func ExactSelector() Selector { return taskselect.Exact{} }

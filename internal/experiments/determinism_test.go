@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestDriversDeterministicGivenSeed renders each checking-loop driver
+// twice with identical options and requires byte-identical output — the
+// `hcbench -exp fig2` reproducibility guarantee at reduced size. Fig3
+// covers K > 1 (several tasks per round, the shape that exposed the
+// map-order bug) and the cost ablation covers RunCostAware.
+func TestDriversDeterministicGivenSeed(t *testing.T) {
+	for _, d := range []struct {
+		name   string
+		driver Driver
+	}{
+		{"fig2", Fig2},
+		{"fig3", Fig3},
+		{"ablation-cost", AblationCost},
+	} {
+		t.Run(d.name, func(t *testing.T) {
+			render := func() []byte {
+				fig, err := d.driver(context.Background(), quickOpts())
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := fig.Render(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			first := render()
+			second := render()
+			if !bytes.Equal(first, second) {
+				t.Errorf("%s: identical seeds rendered different output", d.name)
+			}
+		})
+	}
+}

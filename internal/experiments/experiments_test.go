@@ -57,7 +57,14 @@ func TestFig2ShapeAndHCDominance(t *testing.T) {
 }
 
 func TestFig3SmallerKWinsAtEqualBudget(t *testing.T) {
-	fig := run(t, Fig3)
+	// The k ordering is a shape claim about expectation; a single quick
+	// seed can land within noise now that the final-round budget clamp
+	// lets every k spend the budget fully, so judge the seed-averaged
+	// curves (see Averaged's doc comment).
+	fig, err := Averaged(Fig3, 3)(context.Background(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(fig.Grids) != 2 {
 		t.Fatalf("fig3 grids = %d", len(fig.Grids))
 	}

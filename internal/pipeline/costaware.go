@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"hcrowd/internal/crowd"
 	"hcrowd/internal/dataset"
@@ -63,6 +64,10 @@ func RunCostAware(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result
 	selector := taskselect.CostGreedy{Cost: cost}
 	remaining := cfg.Budget
 	round := 0
+	// The guard mirrors runLoop's Algorithm 1 line 8 fix: the loop stops
+	// only when even the cheapest single answer is unaffordable, and the
+	// per-round chunk below is clamped to the remaining budget so the
+	// final round spends what is left instead of stranding it.
 	for remaining >= minCost {
 		if cfg.MaxRounds > 0 && round >= cfg.MaxRounds {
 			break
@@ -101,7 +106,21 @@ func RunCostAware(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result
 			spent += cost(u.Worker)
 			picks = append(picks, taskselect.Candidate{Task: u.Task, Fact: u.Fact})
 		}
-		for k, locals := range groups {
+		// Sorted iteration keeps the shared answer-source RNG on a
+		// deterministic schedule (map order is randomized per process);
+		// same fix as runLoop's byTask loop.
+		keys := make([]key, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].task != keys[j].task {
+				return keys[i].task < keys[j].task
+			}
+			return keys[i].worker < keys[j].worker
+		})
+		for _, k := range keys {
+			locals := groups[k]
 			globals := make([]int, len(locals))
 			for i, lf := range locals {
 				globals[i] = ds.Tasks[k.task][lf]

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"hcrowd/internal/aggregate"
 	"hcrowd/internal/belief"
@@ -142,7 +143,7 @@ func Run(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result, error) 
 		return nil, errors.New("pipeline: Config.Source is required")
 	}
 	if cfg.Selector == nil {
-		cfg.Selector = taskselect.Greedy{}
+		cfg.Selector = defaultSelector()
 	}
 	if cfg.Init == nil {
 		cfg.Init = aggregate.MV{}
@@ -251,6 +252,21 @@ func InitBeliefsWithPrior(ds *dataset.Dataset, init aggregate.Aggregator, unifor
 
 // runLoop is the shared round loop used by Run and the multi-tier variant.
 func runLoop(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Crowd, beliefs []*belief.Dist) (*Result, error) {
+	// The greedy selector is transparently upgraded to the incremental
+	// engine: picks are provably identical (see taskselect's equivalence
+	// tests), but cached per-task gains survive between rounds and only
+	// the tasks whose beliefs a round updates are re-scanned. The state is
+	// created here — never stored in cfg — so each run (and each tier,
+	// whose crowd differs) starts from a cold cache.
+	sel := cfg.Selector
+	var state *taskselect.SelectionState
+	switch v := sel.(type) {
+	case taskselect.Greedy:
+		state = taskselect.NewSelectionState(v.Workers)
+		sel = state
+	case *taskselect.SelectionState:
+		state = v
+	}
 	res := &Result{Beliefs: beliefs}
 	res.InitQuality = totalQuality(beliefs)
 	acc, err := totalAccuracy(ds, beliefs)
@@ -285,20 +301,27 @@ func runLoop(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Crow
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		// Budget check against the cheapest possible round (k picks).
-		minCost := float64(cfg.K * len(ce))
+		// Algorithm 1 line 8 stops only when even one more pick is
+		// unaffordable: a pick costs one answer from every expert, so the
+		// final round is clamped to the picks the remaining budget funds
+		// rather than stranding a full round's worth of budget.
+		perPick := float64(len(ce))
 		if cfg.Cost != nil {
 			var per float64
 			for _, w := range ce {
 				per += cfg.Cost(w)
 			}
-			minCost = float64(cfg.K) * per
+			perPick = per
 		}
-		if budget < minCost {
-			break // Algorithm 1/3 line 8: B < |T|·|CE|
+		k := cfg.K
+		if afford := int((budget + 1e-9) / perPick); afford < k {
+			k = afford
+		}
+		if k < 1 {
+			break // B < |CE|: not even a single pick is fundable
 		}
 		problem := taskselect.Problem{Beliefs: beliefs, Experts: ce, Frozen: frozen}
-		picks, err := cfg.Selector.Select(ctx, problem, cfg.K)
+		picks, err := sel.Select(ctx, problem, k)
 		if err != nil {
 			return nil, err
 		}
@@ -314,7 +337,17 @@ func runLoop(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Crow
 		for _, c := range picks {
 			byTask[c.Task] = append(byTask[c.Task], c)
 		}
-		for t, cs := range byTask {
+		// Iterate tasks in sorted order: Go map order is randomized, and
+		// every family draw advances the shared seeded RNG of the answer
+		// source, so any other order would make identical-seed runs
+		// diverge (the determinism regression tests pin this down).
+		tasks := make([]int, 0, len(byTask))
+		for t := range byTask {
+			tasks = append(tasks, t)
+		}
+		sort.Ints(tasks)
+		for _, t := range tasks {
+			cs := byTask[t]
 			globals := make([]int, len(cs))
 			locals := make([]int, len(cs))
 			for i, c := range cs {
@@ -359,6 +392,11 @@ func runLoop(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Crow
 					}
 				}
 			}
+		}
+		// Only the tasks that received answers changed; the incremental
+		// selector keeps every other task's cached gains.
+		if state != nil {
+			state.Invalidate(tasks...)
 		}
 		budget -= spent
 		res.BudgetSpent += spent

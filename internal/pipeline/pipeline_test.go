@@ -64,20 +64,30 @@ func TestRunBudgetAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	ce, _ := ds.Split()
-	perRound := float64(cfg.K * len(ce))
+	perPick := float64(len(ce))
 	if res.BudgetSpent > cfg.Budget {
 		t.Errorf("overspent: %v > %v", res.BudgetSpent, cfg.Budget)
 	}
-	if cfg.Budget-res.BudgetSpent >= perRound {
-		t.Errorf("stopped early: spent %v of %v with rounds costing %v",
-			res.BudgetSpent, cfg.Budget, perRound)
+	// Algorithm 1 line 8: the loop stops only when even one more pick is
+	// unaffordable, so at most one pick's worth of budget may be stranded.
+	if cfg.Budget-res.BudgetSpent >= perPick {
+		t.Errorf("stranded budget: spent %v of %v with picks costing %v",
+			res.BudgetSpent, cfg.Budget, perPick)
 	}
+	var cum float64
 	for i, r := range res.Rounds {
-		if want := perRound * float64(i+1); math.Abs(r.BudgetSpent-want) > 1e-9 {
-			t.Errorf("round %d cumulative budget %v, want %v", i, r.BudgetSpent, want)
+		cum += float64(len(r.Picks)) * perPick
+		if math.Abs(r.BudgetSpent-cum) > 1e-9 {
+			t.Errorf("round %d cumulative budget %v, want %v", i, r.BudgetSpent, cum)
 		}
-		if len(r.Picks) != cfg.K {
-			t.Errorf("round %d picked %d, want %d", i, len(r.Picks), cfg.K)
+		// Every round is a full K-pick round except a possibly clamped
+		// final one that spends the leftover budget.
+		if i < len(res.Rounds)-1 {
+			if len(r.Picks) != cfg.K {
+				t.Errorf("round %d picked %d, want %d", i, len(r.Picks), cfg.K)
+			}
+		} else if len(r.Picks) < 1 || len(r.Picks) > cfg.K {
+			t.Errorf("final round picked %d, want 1..%d", len(r.Picks), cfg.K)
 		}
 	}
 }

@@ -11,11 +11,25 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"hcrowd/internal/belief"
 	"hcrowd/internal/crowd"
 	"hcrowd/internal/mathx"
 )
+
+// evalCount tracks how many conditional-entropy evaluations (the 2^(s·w)
+// answer-family enumerations) have run. It is the package's cost unit: the
+// incremental-selection benchmarks compare engines by evaluations per
+// round, which is hardware-independent, rather than by wall clock.
+var evalCount atomic.Int64
+
+// EvalCount returns the number of conditional-entropy evaluations
+// performed since the last ResetEvalCount. Safe for concurrent use.
+func EvalCount() int64 { return evalCount.Load() }
+
+// ResetEvalCount zeroes the evaluation counter.
+func ResetEvalCount() { evalCount.Store(0) }
 
 // maxFamilyBits caps the answer-family enumeration 2^(|T|·|CE|); above
 // this the exact conditional entropy is deliberately refused rather than
@@ -125,6 +139,29 @@ func CondEntropy(d *belief.Dist, ce crowd.Crowd, facts []int) (float64, error) {
 	}
 	q := projection(d, facts)
 	tables := likelihoodTables(ce, s)
+	return condEntropySymCore(d.Entropy(), q, tables, symAnswerEntropy(ce), s, w), nil
+}
+
+// symAnswerEntropy returns Σ_cr h(Pr_cr), the per-query answer entropy of
+// a symmetric crowd. It depends only on the crowd, so the incremental
+// engine computes it once per run.
+func symAnswerEntropy(ce crowd.Crowd) float64 {
+	var h float64
+	for _, wk := range ce {
+		h += mathx.BernoulliEntropy(wk.Accuracy)
+	}
+	return h
+}
+
+// condEntropySymCore evaluates H(O|AS) for a symmetric crowd from the
+// precomputed pieces: the task entropy H(O), the projection q of the
+// belief onto the s query facts, the Hamming-distance likelihood tables,
+// and the crowd's per-query answer entropy. Splitting the evaluation from
+// the setup lets SelectionState memoize q (per task) and the tables (per
+// crowd and query size) across calls; the arithmetic is identical to the
+// inline form, so memoized and fresh evaluations agree bitwise.
+func condEntropySymCore(entropy float64, q []float64, tables [][]float64, hPerQuery float64, s, w int) float64 {
+	evalCount.Add(1)
 
 	// H(AS): enumerate every family (one s-bit answer pattern per expert).
 	var hAS float64
@@ -147,17 +184,13 @@ func CondEntropy(d *belief.Dist, ce crowd.Crowd, facts []int) (float64, error) {
 	}
 
 	// H(AS|O) = s · Σ_cr h(Pr_cr).
-	var hASgivenO float64
-	for _, wk := range ce {
-		hASgivenO += mathx.BernoulliEntropy(wk.Accuracy)
-	}
-	hASgivenO *= float64(s)
+	hASgivenO := hPerQuery * float64(s)
 
-	h := d.Entropy() - hAS + hASgivenO
+	h := entropy - hAS + hASgivenO
 	if h < 0 { // rounding: conditional entropy is non-negative
 		h = 0
 	}
-	return h, nil
+	return h
 }
 
 // condEntropyAsym is the confusion-model variant of the optimized
@@ -167,16 +200,27 @@ func CondEntropy(d *belief.Dist, ce crowd.Crowd, facts []int) (float64, error) {
 // replaced by per-position factors and H(AS|O) becomes pattern-dependent:
 // H(AS|O) = Σ_p q(p) Σ_cr Σ_j h(P(yes | p_j)).
 func condEntropyAsym(d *belief.Dist, ce crowd.Crowd, facts []int) (float64, error) {
-	s := len(facts)
-	w := len(ce)
 	q := projection(d, facts)
+	return condEntropyAsymCore(d.Entropy(), q, asymYesTable(ce), len(facts), len(ce)), nil
+}
 
-	// pYes[cr][tv]: P(worker cr answers Yes | fact truth tv).
-	pYes := make([][2]float64, w)
+// asymYesTable returns pYes[cr][tv]: P(worker cr answers Yes | fact truth
+// tv). It depends only on the crowd, so the incremental engine computes it
+// once per run.
+func asymYesTable(ce crowd.Crowd) [][2]float64 {
+	pYes := make([][2]float64, len(ce))
 	for cr, wk := range ce {
 		pYes[cr][1] = wk.PCorrect(true)      // TPR
 		pYes[cr][0] = 1 - wk.PCorrect(false) // 1 - TNR
 	}
+	return pYes
+}
+
+// condEntropyAsymCore is the evaluation half of condEntropyAsym, split out
+// (like condEntropySymCore) so the projection and the per-worker yes
+// probabilities can be memoized by the incremental engine.
+func condEntropyAsymCore(entropy float64, q []float64, pYes [][2]float64, s, w int) float64 {
+	evalCount.Add(1)
 
 	var hAS float64
 	nFam := 1 << uint(s*w)
@@ -220,11 +264,11 @@ func condEntropyAsym(d *belief.Dist, ce crowd.Crowd, facts []int) (float64, erro
 		hASgivenO += qp * hp
 	}
 
-	h := d.Entropy() - hAS + hASgivenO
+	h := entropy - hAS + hASgivenO
 	if h < 0 {
 		h = 0
 	}
-	return h, nil
+	return h
 }
 
 // CondEntropyNaive computes H(O | AS^T_CE) directly from the definition:

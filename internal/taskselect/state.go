@@ -1,0 +1,372 @@
+package taskselect
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"context"
+
+	"hcrowd/internal/belief"
+	"hcrowd/internal/crowd"
+)
+
+// SelectionState is the incremental variant of the Greedy selector. It
+// implements Selector with round-for-round identical picks (same values,
+// same deterministic tie-break) but amortizes the work of Algorithm 2
+// across the checking loop's rounds:
+//
+//   - The per-task round-start marginal gains gain^∅(f) = H(O_t) −
+//     H(O_t|AS^{{f}}) are cached between Select calls and recomputed only
+//     for tasks the caller has Invalidated (in the pipeline: the tasks
+//     whose beliefs the previous round's answers updated). A steady-state
+//     round with k picks therefore costs O(touched tasks), not O(N·m)
+//     CondEntropy evaluations.
+//   - The pick loop orders candidates through a lazy-deletion max-heap in
+//     the CELF style. A pick only perturbs the gains of its own task
+//     (tasks are independent), so those candidates are re-evaluated and
+//     re-pushed with a bumped version; superseded entries are discarded
+//     when they surface. The re-evaluation is eager — exactly Greedy's
+//     recompute schedule — rather than CELF's stale-until-popped variant:
+//     pure laziness needs stale gains to upper-bound fresh ones, and
+//     while submodularity guarantees that in exact arithmetic, rounding
+//     can violate it by a few ulps, which in the exact-tie regimes of a
+//     converged belief (dozens of candidates whose gains differ only in
+//     the last bits) silently changes the argmax and breaks pick-identity
+//     with Greedy. Eager refresh costs at most m−1 extra evaluations per
+//     pick and keeps the identity provable; the (1−1/e) guarantee carries
+//     over unchanged either way.
+//   - The crowd-only pieces of CondEntropy (Hamming-distance likelihood
+//     tables, Σ_cr h(Pr_cr), the asymmetric yes-probability table) are
+//     computed once per crowd, and the belief-dependent projection q is
+//     memoized per task until the task is invalidated.
+//
+// The caller owns cache coherence: after mutating a task's belief (or its
+// Frozen mask) it must call Invalidate(task) before the next Select. The
+// pipeline does this for every task that received answers. Select itself
+// detects crowd or problem-shape changes and resets wholesale, so one
+// state must only ever serve one logical run at a time.
+//
+// Workers > 1 re-scans invalidated tasks concurrently (the same
+// parallelism Greedy applies to its full scan). SelectionState is not safe
+// for concurrent Select calls.
+type SelectionState struct {
+	// Workers bounds the goroutines of the invalidation re-scan; <= 1
+	// means serial.
+	Workers int
+
+	// Crowd-derived memos, reset when the crowd signature changes.
+	crowdSig  string
+	ce        crowd.Crowd
+	asym      bool
+	hPerQuery float64      // symmetric: Σ_cr h(Pr_cr)
+	pYes      [][2]float64 // asymmetric: P(yes | truth) per worker
+
+	// tables[s] caches likelihoodTables(ce, s) per query-set size. The
+	// mutex makes get-or-create safe from the parallel re-scan.
+	tablesMu sync.Mutex
+	tables   map[int][][]float64
+
+	tasks []*taskCache
+}
+
+// taskCache holds the belief-derived memos for one task.
+type taskCache struct {
+	dirty   bool
+	entropy float64   // H(O_t)
+	gains   []float64 // round-start gain per fact; NaN marks frozen facts
+	frozen  []bool    // the mask gains was computed under
+	proj    map[string][]float64
+}
+
+// NewSelectionState returns an empty incremental selection engine; the
+// first Select populates it for the problem it sees.
+func NewSelectionState(workers int) *SelectionState {
+	return &SelectionState{Workers: workers}
+}
+
+// Name implements Selector. The engine reports the same name as Greedy
+// because it is the same algorithm — only the evaluation schedule differs.
+func (s *SelectionState) Name() string { return "Approx" }
+
+// Invalidate marks tasks whose beliefs (or frozen masks) changed since the
+// last Select, forcing their cached gains to be recomputed. Out-of-range
+// indices are ignored.
+func (s *SelectionState) Invalidate(tasks ...int) {
+	for _, t := range tasks {
+		if t >= 0 && t < len(s.tasks) && s.tasks[t] != nil {
+			s.tasks[t].dirty = true
+		}
+	}
+}
+
+// InvalidateAll drops every cached gain (keeping the crowd memos).
+func (s *SelectionState) InvalidateAll() {
+	for _, tc := range s.tasks {
+		if tc != nil {
+			tc.dirty = true
+		}
+	}
+}
+
+// crowdSignature fingerprints the crowd for cache-reset detection.
+func crowdSignature(ce crowd.Crowd) string {
+	var sb strings.Builder
+	for _, w := range ce {
+		fmt.Fprintf(&sb, "%s\x00%v\x00%v\x00%v\x01", w.ID, w.Accuracy, w.TPR, w.TNR)
+	}
+	return sb.String()
+}
+
+// sync aligns the cache with the problem: a crowd or shape change resets
+// everything, and a frozen-mask drift on a clean task dirties it.
+func (s *SelectionState) sync(p Problem) {
+	sig := crowdSignature(p.Experts)
+	if sig != s.crowdSig || len(p.Beliefs) != len(s.tasks) {
+		s.crowdSig = sig
+		s.ce = p.Experts
+		s.asym = false
+		for _, w := range p.Experts {
+			if w.Asymmetric() {
+				s.asym = true
+				break
+			}
+		}
+		if s.asym {
+			s.pYes = asymYesTable(p.Experts)
+		} else {
+			s.hPerQuery = symAnswerEntropy(p.Experts)
+		}
+		s.tables = make(map[int][][]float64)
+		s.tasks = make([]*taskCache, len(p.Beliefs))
+	}
+	for t := range s.tasks {
+		if s.tasks[t] == nil {
+			s.tasks[t] = &taskCache{dirty: true}
+			continue
+		}
+		tc := s.tasks[t]
+		if !tc.dirty && !frozenEqual(tc.frozen, p, t) {
+			tc.dirty = true
+		}
+	}
+}
+
+// frozenEqual reports whether the cached frozen mask matches the
+// problem's current mask for task t.
+func frozenEqual(cached []bool, p Problem, t int) bool {
+	n := p.Beliefs[t].NumFacts()
+	for f := 0; f < n; f++ {
+		was := cached != nil && f < len(cached) && cached[f]
+		if was != p.frozen(t, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// likelihoodTablesFor returns the memoized Hamming-distance tables for
+// query-set size sz, building them on first use.
+func (s *SelectionState) likelihoodTablesFor(sz int) [][]float64 {
+	s.tablesMu.Lock()
+	defer s.tablesMu.Unlock()
+	tbl, ok := s.tables[sz]
+	if !ok {
+		tbl = likelihoodTables(s.ce, sz)
+		s.tables[sz] = tbl
+	}
+	return tbl
+}
+
+// projectionFor returns the memoized projection of task tc's belief onto
+// the ordered fact list.
+func (tc *taskCache) projectionFor(d *belief.Dist, facts []int) []float64 {
+	key := make([]byte, len(facts))
+	for i, f := range facts {
+		key[i] = byte(f)
+	}
+	k := string(key)
+	if q, ok := tc.proj[k]; ok {
+		return q
+	}
+	q := projection(d, facts)
+	tc.proj[k] = q
+	return q
+}
+
+// condEntropy evaluates H(O_t | AS^facts) through the memos. It matches
+// CondEntropy bitwise: the cores run the identical arithmetic, only the
+// setup (projection, tables) comes from cache.
+func (s *SelectionState) condEntropy(tc *taskCache, d *belief.Dist, facts []int) (float64, error) {
+	if len(facts) == 0 {
+		return tc.entropy, nil
+	}
+	sz, w := len(facts), len(s.ce)
+	if sz*w > maxFamilyBits {
+		return 0, fmt.Errorf("%w: |T|=%d × |CE|=%d", ErrTooLarge, sz, w)
+	}
+	q := tc.projectionFor(d, facts)
+	if s.asym {
+		return condEntropyAsymCore(tc.entropy, q, s.pYes, sz, w), nil
+	}
+	return condEntropySymCore(tc.entropy, q, s.likelihoodTablesFor(sz), s.hPerQuery, sz, w), nil
+}
+
+// rescan rebuilds the round-start gain cache of task t.
+func (s *SelectionState) rescan(ctx context.Context, p Problem, t int) error {
+	tc := s.tasks[t]
+	d := p.Beliefs[t]
+	tc.entropy = d.Entropy()
+	tc.proj = make(map[string][]float64)
+	tc.gains = tc.gains[:0]
+	if cap(tc.gains) < d.NumFacts() {
+		tc.gains = make([]float64, 0, d.NumFacts())
+	}
+	tc.frozen = make([]bool, d.NumFacts())
+	for f := 0; f < d.NumFacts(); f++ {
+		tc.frozen[f] = p.frozen(t, f)
+		if tc.frozen[f] {
+			tc.gains = append(tc.gains, math.NaN())
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		h, err := s.condEntropy(tc, d, []int{f})
+		if err != nil {
+			return err
+		}
+		tc.gains = append(tc.gains, tc.entropy-h)
+	}
+	tc.dirty = false
+	return nil
+}
+
+// heapEntry is one candidate in the pick-ordering max-heap. version
+// stamps the number of picks its task had when gain was computed; a
+// mismatch means the entry was superseded by the eager refresh after a
+// pick in its task and is discarded when it surfaces (lazy deletion).
+type heapEntry struct {
+	task, fact int
+	gain       float64
+	version    int
+}
+
+// candHeap orders entries by gain descending, ties broken by ascending
+// (task, fact) — exactly the argmax order of Greedy's full scan, which is
+// what makes the two selectors' picks identical.
+type candHeap []heapEntry
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	if h[i].task != h[j].task {
+		return h[i].task < h[j].task
+	}
+	return h[i].fact < h[j].fact
+}
+func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)   { *h = append(*h, x.(heapEntry)) }
+func (h *candHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Select implements Selector. See the type comment for the contract; the
+// picks are identical to Greedy.Select on the same problem.
+func (s *SelectionState) Select(ctx context.Context, p Problem, k int) ([]Candidate, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	s.sync(p)
+
+	// Parallel invalidation re-scan: only dirty tasks pay the O(m)
+	// CondEntropy sweep.
+	var dirty []int
+	for t, tc := range s.tasks {
+		if tc.dirty {
+			dirty = append(dirty, t)
+		}
+	}
+	if len(dirty) > 0 {
+		// Pre-warm the size-1 table so the workers only read shared state.
+		if !s.asym {
+			s.likelihoodTablesFor(1)
+		}
+		err := scanAll(ctx, len(dirty), s.Workers, func(i int) error {
+			return s.rescan(ctx, p, dirty[i])
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Seed the CELF heap with every candidate's cached round-start gain.
+	h := make(candHeap, 0, len(s.tasks)*4)
+	for t, tc := range s.tasks {
+		for f, g := range tc.gains {
+			if math.IsNaN(g) {
+				continue
+			}
+			h = append(h, heapEntry{task: t, fact: f, gain: g})
+		}
+	}
+	heap.Init(&h)
+
+	selected := make(map[int][]int)
+	versions := make(map[int]int)
+	var picks []Candidate
+	for len(picks) < k && h.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		top := h[0]
+		t := top.task
+		if top.version != versions[t] {
+			// Superseded by the eager refresh after an earlier pick in this
+			// task; its replacement is already queued. Discard.
+			heap.Pop(&h)
+			continue
+		}
+		if top.gain <= gainEps {
+			// The heap max is current, so every live entry's gain is at most
+			// this — Algorithm 2 line 4 fires for the whole pool.
+			break
+		}
+		heap.Pop(&h)
+		picks = append(picks, Candidate{Task: t, Fact: top.fact})
+		selected[t] = append(selected[t], top.fact)
+		versions[t]++
+		// The enlarged selection's conditional entropy becomes the new gain
+		// baseline for task t; the projection memo makes this a cache hit of
+		// the winning candidate's own evaluation.
+		tc, d := s.tasks[t], p.Beliefs[t]
+		nh, err := s.condEntropy(tc, d, selected[t])
+		if err != nil {
+			return nil, err
+		}
+		// Eagerly re-evaluate task t's remaining candidates on exactly
+		// Greedy's recompute schedule (see the type comment for why a lazy
+		// CELF refresh is unsafe here) and supersede their heap entries.
+		chosen := 0
+		for _, f := range selected[t] {
+			chosen |= 1 << uint(f)
+		}
+		for f := 0; f < d.NumFacts(); f++ {
+			if chosen&(1<<uint(f)) != 0 || tc.frozen[f] {
+				continue
+			}
+			th, err := s.condEntropy(tc, d, append(append([]int{}, selected[t]...), f))
+			if err != nil {
+				return nil, err
+			}
+			heap.Push(&h, heapEntry{task: t, fact: f, gain: nh - th, version: versions[t]})
+		}
+	}
+	sortCandidates(picks)
+	return picks, nil
+}
