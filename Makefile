@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race determinism bench verify
+.PHONY: build test vet race determinism bench bench-snapshot snapshot-smoke verify
 
 build:
 	$(GO) build ./...
@@ -24,4 +24,16 @@ determinism:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-verify: build vet race determinism
+# Archive the core performance baseline (incremental-selection
+# evals/round for both loop flavors + the Fig2 end-to-end driver) as
+# BENCH_core.json for cross-commit diffing.
+bench-snapshot:
+	$(GO) test -run xxx -bench 'GreedyIncremental|CostGreedyIncremental|Fig2Baselines' -benchtime 1x . \
+		| $(GO) run ./cmd/hcsnap -out BENCH_core.json
+
+# Smoke-test the snapshot pipeline (one cheap benchmark, JSON to stdout)
+# without writing the baseline file.
+snapshot-smoke:
+	$(GO) test -run xxx -bench 'CondEntropyFast' -benchtime 1x . | $(GO) run ./cmd/hcsnap >/dev/null
+
+verify: build vet race determinism snapshot-smoke

@@ -11,6 +11,7 @@ import (
 
 	"hcrowd"
 	"hcrowd/internal/aggregate"
+	"hcrowd/internal/crowd"
 	"hcrowd/internal/experiments"
 	"hcrowd/internal/taskselect"
 )
@@ -358,6 +359,75 @@ func BenchmarkCostGreedy(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCostGreedyIncremental is BenchmarkGreedyIncremental for the
+// cost-aware loop: the stateless gain-per-cost greedy (CostGreedy)
+// against the incremental AssignState on the ablation-cost workload
+// (pricier experts are more accurate), driven the way RunCostAware drives
+// them — buy units, apply each purchased answer, invalidate, repeat. It
+// reports CondEntropyAssign evaluations per round and verifies
+// unit-for-unit pick equality between the engines while running.
+func BenchmarkCostGreedyIncremental(b *testing.B) {
+	ds := benchDataset(b)
+	ce, _ := ds.Split()
+	ctx := context.Background()
+	truth := func(f int) bool { return ds.Truth[f] }
+	ablation := func(w hcrowd.Worker) float64 { return 1 + 8*(w.Accuracy-0.9) }
+	const rounds = 20
+	const roundBudget = 4.0
+
+	runRounds := func(b *testing.B, sel hcrowd.AssignSelector, record [][]hcrowd.TaskAssign) {
+		b.Helper()
+		beliefs, err := hcrowd.InitBeliefs(ds, hcrowd.MajorityVote(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := hcrowd.NewRand(5)
+		state, _ := sel.(*hcrowd.AssignState)
+		p := hcrowd.Problem{Beliefs: beliefs, Experts: ce}
+		for r := 0; r < rounds; r++ {
+			units, err := sel.SelectAssign(ctx, p, roundBudget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if record != nil {
+				if record[r] == nil {
+					record[r] = units
+				} else if fmt.Sprintf("%v", units) != fmt.Sprintf("%v", record[r]) {
+					b.Fatalf("round %d: engines diverged: %v vs %v", r, units, record[r])
+				}
+			}
+			for _, u := range units {
+				fam := crowd.SimulateAnswerFamily(rng, hcrowd.Crowd{u.Worker}, []int{ds.Tasks[u.Task][u.Fact]}, truth)
+				for i := range fam {
+					fam[i].Facts = []int{u.Fact} // re-index global -> local
+				}
+				if err := beliefs[u.Task].Update(fam); err != nil {
+					b.Fatal(err)
+				}
+				if state != nil {
+					state.Invalidate(u.Task)
+				}
+			}
+		}
+	}
+
+	unitsByRound := make([][]hcrowd.TaskAssign, rounds)
+	b.Run("full-rescan", func(b *testing.B) {
+		taskselect.ResetEvalCount()
+		for i := 0; i < b.N; i++ {
+			runRounds(b, taskselect.CostGreedy{Cost: ablation}, unitsByRound)
+		}
+		b.ReportMetric(float64(taskselect.EvalCount())/float64(b.N*rounds), "evals/round")
+	})
+	b.Run("incremental", func(b *testing.B) {
+		taskselect.ResetEvalCount()
+		for i := 0; i < b.N; i++ {
+			runRounds(b, hcrowd.IncrementalAssignSelector(ablation, 0, 0), unitsByRound)
+		}
+		b.ReportMetric(float64(taskselect.EvalCount())/float64(b.N*rounds), "evals/round")
+	})
 }
 
 // BenchmarkCatDS measures multi-class Dawid-Skene on a 4-class matrix.

@@ -97,7 +97,11 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err = hcrowd.Resume(context.Background(), ds, cfg, ck)
+		resume := hcrowd.Resume
+		if *costMode {
+			resume = hcrowd.ResumeCostAware
+		}
+		res, err = resume(context.Background(), ds, cfg, ck)
 		if err != nil {
 			return err
 		}

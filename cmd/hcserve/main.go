@@ -13,10 +13,16 @@
 // truth under each expert's accuracy (the paper's simulation protocol) —
 // useful for demos and smoke tests.
 //
+// With -checkpoint the server persists the pipeline's warm checkpoint
+// after every completed round (written atomically); -resume loads such a
+// file and continues the job where it stopped, re-asking nothing.
+//
 // Usage:
 //
 //	hcserve -in dataset.json -addr :8080 -budget 500
 //	hcserve -in dataset.json -sim   # self-driving demo
+//	hcserve -in dataset.json -checkpoint job.ck          # crash-safe
+//	hcserve -in dataset.json -checkpoint job.ck -resume job.ck
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"hcrowd"
@@ -56,6 +63,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		seed   = fs.Int64("seed", 1, "seed (simulation mode)")
 		sim    = fs.Bool("sim", false, "answer queries internally from ground truth")
 		rt     = fs.Duration("round-timeout", 0, "proceed with partial answers after this long (0 = wait for all experts)")
+		ckPath = fs.String("checkpoint", "", "persist the warm checkpoint to this file after every round")
+		rsPath = fs.String("resume", "", "resume from a checkpoint file written by -checkpoint")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,14 +89,39 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sess, err := server.NewSessionTimeout(ctx, ds, pipeline.Config{
+	cfg := pipeline.Config{
 		K:             *k,
 		Budget:        *budget,
 		Init:          agg,
 		PriorCoupling: couple,
-	}, *rt)
-	if err != nil {
-		return err
+	}
+	if *ckPath != "" {
+		cfg.OnCheckpoint = func(ck *pipeline.Checkpoint) {
+			if err := writeCheckpoint(*ckPath, ck); err != nil {
+				fmt.Fprintln(os.Stderr, "hcserve: checkpoint:", err)
+			}
+		}
+	}
+	var sess *server.Session
+	if *rsPath != "" {
+		cf, err := os.Open(*rsPath)
+		if err != nil {
+			return err
+		}
+		ck, err := pipeline.ReadCheckpoint(cf)
+		cf.Close()
+		if err != nil {
+			return fmt.Errorf("resume %s: %w", *rsPath, err)
+		}
+		sess, err = server.NewSessionResumeTimeout(ctx, ds, cfg, ck, *rt)
+		if err != nil {
+			return err
+		}
+	} else {
+		sess, err = server.NewSessionTimeout(ctx, ds, cfg, *rt)
+		if err != nil {
+			return err
+		}
 	}
 	defer sess.Close()
 
@@ -123,6 +157,26 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	return nil
+}
+
+// writeCheckpoint persists a checkpoint atomically: write a temp file in
+// the target's directory, then rename over it, so a crash mid-write never
+// leaves a truncated checkpoint.
+func writeCheckpoint(path string, ck *pipeline.Checkpoint) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := ck.Write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // simulate answers every published round from the ground truth under each

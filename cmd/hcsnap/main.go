@@ -1,0 +1,146 @@
+// Command hcsnap converts `go test -bench` output into a JSON snapshot,
+// so CI can archive benchmark baselines (see `make bench-snapshot`) and
+// diff them across commits without re-parsing the text format.
+//
+// It reads benchmark result lines —
+//
+//	BenchmarkGreedyIncremental/incremental-8   12   913 ns/op   41.5 evals/round
+//
+// — from stdin (or -in) and writes
+//
+//	{"benchmarks": [{"name": ..., "iterations": 12,
+//	                 "metrics": {"ns/op": 913, "evals/round": 41.5}}]}
+//
+// Non-benchmark lines (goos/pkg headers, PASS, ok) are ignored.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchtime 1x . | hcsnap -out BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the output document.
+type Snapshot struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hcsnap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hcsnap", flag.ContinueOnError)
+	var (
+		in  = fs.String("in", "-", "benchmark output file (- for stdin)")
+		out = fs.String("out", "-", "JSON snapshot destination (- for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	snap, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+	w := stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Parse extracts every benchmark result line from go test -bench output.
+// A result line is "Benchmark<Name>[-P] <iterations> {<value> <unit>}..."
+// with at least one value/unit pair; anything else is skipped.
+func Parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// name + iterations + at least one value/unit pair, pairs complete
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       stripProcsSuffix(fields[0]),
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// stripProcsSuffix drops the trailing -GOMAXPROCS number go test appends
+// to benchmark names (when > 1), so snapshots from machines with
+// different core counts diff cleanly.
+func stripProcsSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 0 {
+		return name[:i]
+	}
+	return name
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: hcrowd
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkGreedyIncremental/full-rescan         	       2	  26678624 ns/op	      1500 evals/round
+BenchmarkGreedyIncremental/incremental-8       	       2	   3288458 ns/op	        68.80 evals/round
+BenchmarkCondEntropyFast                       	  482894	      2467 ns/op	     288 B/op	       5 allocs/op
+PASS
+ok  	hcrowd	0.033s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	first := snap.Benchmarks[0]
+	if first.Name != "BenchmarkGreedyIncremental/full-rescan" || first.Iterations != 2 {
+		t.Errorf("first = %+v", first)
+	}
+	if first.Metrics["ns/op"] != 26678624 || first.Metrics["evals/round"] != 1500 {
+		t.Errorf("first metrics = %v", first.Metrics)
+	}
+	// The -8 GOMAXPROCS suffix is stripped; custom metrics survive.
+	second := snap.Benchmarks[1]
+	if second.Name != "BenchmarkGreedyIncremental/incremental" {
+		t.Errorf("procs suffix not stripped: %q", second.Name)
+	}
+	if second.Metrics["evals/round"] != 68.80 {
+		t.Errorf("second metrics = %v", second.Metrics)
+	}
+	// -benchmem columns parse as plain metrics.
+	third := snap.Benchmarks[2]
+	if third.Metrics["allocs/op"] != 5 || third.Metrics["B/op"] != 288 {
+		t.Errorf("third metrics = %v", third.Metrics)
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	snap, err := Parse(strings.NewReader("PASS\nok hcrowd 1s\nBenchmarkBroken 2 notanumber ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 0 {
+		t.Fatalf("junk input produced %d benchmarks", len(snap.Benchmarks))
+	}
+}
+
+func TestRunWritesSnapshotFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-out", out}, strings.NewReader(sampleBench), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("snapshot has %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, strings.NewReader(sampleBench), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("stdout snapshot has %d benchmarks", len(snap.Benchmarks))
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, strings.NewReader("PASS\n"), &buf); err == nil {
+		t.Fatal("empty benchmark input accepted")
+	}
+}

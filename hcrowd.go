@@ -101,10 +101,20 @@ func SplitTiers(c Crowd, theta float64, n int, budget float64) ([]TierConfig, Cr
 	return pipeline.SplitTiers(c, theta, n, budget)
 }
 
-// Checkpoint captures a run's resumable state (beliefs + budget spent);
-// persist it between rounds of a long labeling job and continue with
-// Resume after a restart.
+// Checkpoint captures a run's resumable state: the beliefs and budget
+// spent, plus the optional warm sections (incremental selection cache,
+// stopping-rule votes). Persist it between rounds of a long labeling job
+// — see Config.OnCheckpoint — and continue with Resume (or
+// ResumeCostAware) after a restart.
 type Checkpoint = pipeline.Checkpoint
+
+// SelectionCache is the serialized round-start gain state of an
+// incremental selection engine, carried inside a Checkpoint so a resumed
+// loop re-scans no unchanged task.
+type SelectionCache = taskselect.SelectionCache
+
+// StopVotes is the stopping rule's checkpointed per-fact vote counts.
+type StopVotes = pipeline.StopVotes
 
 // NewCheckpoint snapshots a result's state for later Resume.
 func NewCheckpoint(res *Result) *Checkpoint { return pipeline.NewCheckpoint(res) }
@@ -113,9 +123,16 @@ func NewCheckpoint(res *Result) *Checkpoint { return pipeline.NewCheckpoint(res)
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) { return pipeline.ReadCheckpoint(r) }
 
 // Resume continues a run from a checkpoint; cfg.Budget is the job's
-// total budget, of which the checkpoint's spend is already consumed.
+// total budget, of which the checkpoint's spend is already consumed. A
+// checkpoint carrying the warm sections resumes without re-scanning any
+// unchanged task.
 func Resume(ctx context.Context, ds *Dataset, cfg Config, c *Checkpoint) (*Result, error) {
 	return pipeline.Resume(ctx, ds, cfg, c)
+}
+
+// ResumeCostAware is Resume for runs started by RunCostAware.
+func ResumeCostAware(ctx context.Context, ds *Dataset, cfg Config, c *Checkpoint) (*Result, error) {
+	return pipeline.ResumeCostAware(ctx, ds, cfg, c)
 }
 
 // NewSimulatedSource answers checking queries from the dataset's ground
@@ -190,6 +207,30 @@ type SelectionState = taskselect.SelectionState
 // Invalidate(task) before the next Select.
 func IncrementalSelector(workers int) *SelectionState {
 	return taskselect.NewSelectionState(workers)
+}
+
+// TaskAssign is one purchased answer unit of the cost-aware design: a
+// specific expert answering a specific fact of a specific task.
+type TaskAssign = taskselect.TaskAssign
+
+// AssignSelector chooses assignment units under a budget; the cost-aware
+// loop's counterpart of Selector.
+type AssignSelector = taskselect.AssignSelector
+
+// AssignState is the incremental assignment engine behind RunCostAware:
+// unit purchases identical to the stateless gain-per-cost greedy, with
+// per-task unit-gain tables cached between SelectAssign calls and
+// recomputed only for Invalidated tasks.
+type AssignState = taskselect.AssignState
+
+// IncrementalAssignSelector returns a fresh incremental cost-aware
+// assignment engine. cost prices one answer from a worker (nil = 1),
+// maxAssignsPerTask caps the answer variables accumulated per task
+// (<= 0 = 12), workers bounds the re-scan goroutines (<= 1 = serial).
+// After mutating a task's belief, call Invalidate(task) before the next
+// SelectAssign.
+func IncrementalAssignSelector(cost func(w Worker) float64, maxAssignsPerTask, workers int) *AssignState {
+	return taskselect.NewAssignState(cost, maxAssignsPerTask, workers)
 }
 
 // ExactSelector returns the brute-force OPT selector (exponential; used

@@ -3,6 +3,7 @@ package belief
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 )
 
 // jsonDist is the serialized form: the fact count is implied by the
@@ -17,8 +18,19 @@ func (d *Dist) MarshalJSON() ([]byte, error) {
 	return json.Marshal(jsonDist{Joint: d.Probs()})
 }
 
+// normalizedTol bounds how far an incoming joint's mass may sit from 1
+// while still being restored verbatim. A belief that went through Update
+// sums to 1 only up to accumulated rounding, so renormalizing it on load
+// would divide by that ≈1 sum and perturb the last ulps — enough to break
+// the byte-identical warm-resume guarantee, since Go's JSON float64
+// round-trip is otherwise exact.
+const normalizedTol = 1e-9
+
 // UnmarshalJSON restores a belief serialized by MarshalJSON, revalidating
-// the joint (non-negative, normalizable, power-of-two length).
+// the joint (non-negative, normalizable, power-of-two length). A joint
+// already normalized to within normalizedTol is restored bitwise; only a
+// materially denormalized one (hand-edited, produced elsewhere) is
+// renormalized.
 func (d *Dist) UnmarshalJSON(data []byte) error {
 	var in jsonDist
 	if err := json.Unmarshal(data, &in); err != nil {
@@ -27,6 +39,13 @@ func (d *Dist) UnmarshalJSON(data []byte) error {
 	restored, err := FromJoint(in.Joint)
 	if err != nil {
 		return err
+	}
+	var sum float64
+	for _, v := range in.Joint {
+		sum += v
+	}
+	if math.Abs(sum-1) <= normalizedTol {
+		copy(restored.p, in.Joint)
 	}
 	*d = *restored
 	return nil

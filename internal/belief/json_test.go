@@ -1,0 +1,75 @@
+package belief
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hcrowd/internal/crowd"
+)
+
+// TestJSONRoundTripBitwise pins the warm-resume guarantee: a belief that
+// has been through Bayesian updates (so its mass sums to 1 only up to
+// rounding) must survive marshal/unmarshal with every probability
+// bit-identical. Go's JSON encoder emits float64s in shortest
+// round-tripping form, so the only way to lose bits is to renormalize on
+// load — which UnmarshalJSON must therefore not do for an
+// already-normalized joint.
+func TestJSONRoundTripBitwise(t *testing.T) {
+	d, err := FromMarginals([]float64{0.62, 0.3, 0.81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := crowd.Worker{ID: "e", Accuracy: 0.9}
+	fam := crowd.AnswerFamily{{Worker: w, Facts: []int{0, 2}, Values: []bool{true, false}}}
+	for i := 0; i < 5; i++ {
+		if err := d.Update(fam); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Dist
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	want, got := d.Probs(), back.Probs()
+	if len(want) != len(got) {
+		t.Fatalf("round trip changed size: %d -> %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("p[%d] changed across round trip: %v -> %v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestJSONUnmarshalRenormalizesDenormalized: a materially denormalized
+// joint (hand-written, produced by other tooling) is still normalized on
+// load rather than trusted.
+func TestJSONUnmarshalRenormalizesDenormalized(t *testing.T) {
+	var d Dist
+	if err := json.Unmarshal([]byte(`{"joint":[2,2,2,2]}`), &d); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range d.Probs() {
+		if v != 0.25 {
+			t.Fatalf("p[%d] = %v, want 0.25", i, v)
+		}
+	}
+}
+
+// TestJSONUnmarshalRejectsInvalid keeps the validation intact.
+func TestJSONUnmarshalRejectsInvalid(t *testing.T) {
+	for _, raw := range []string{
+		`{"joint":[0.5,0.25,0.25]}`, // not a power of two
+		`{"joint":[1,-1]}`,          // negative mass
+		`{"joint":[0,0]}`,           // zero mass
+	} {
+		var d Dist
+		if err := json.Unmarshal([]byte(raw), &d); err == nil {
+			t.Errorf("%s accepted", raw)
+		}
+	}
+}

@@ -8,25 +8,54 @@ import (
 	"io"
 
 	"hcrowd/internal/belief"
+	"hcrowd/internal/crowd"
 	"hcrowd/internal/dataset"
+	"hcrowd/internal/taskselect"
 )
 
-// Checkpoint captures a run's resumable state: the per-task beliefs and
-// the budget already spent. Long labeling jobs can persist it between
-// rounds and continue after a restart; the answer stream itself is not
-// replayed — the beliefs already incorporate it.
-type Checkpoint struct {
-	Beliefs     []*belief.Dist `json:"beliefs"`
-	BudgetSpent float64        `json:"budget_spent"`
+// CheckpointVersion is the current checkpoint format version. Version 0
+// (the original beliefs+spend format, which predates the field) still
+// loads; the warm-resume sections below are optional.
+const CheckpointVersion = 1
+
+// StopVotes is the stopping rule's per-fact vote counts in global fact
+// order, checkpointed so a resumed run freezes exactly the facts the
+// interrupted run would have.
+type StopVotes struct {
+	Yes []int `json:"yes"`
+	No  []int `json:"no"`
 }
 
-// NewCheckpoint snapshots a result's state.
+// Checkpoint captures a run's resumable state: the per-task beliefs and
+// the budget already spent, plus — since version 1 — the optional warm
+// sections: the incremental selector's gain cache and the stopping
+// rule's vote counts. Long labeling jobs can persist it between rounds
+// (see Config.OnCheckpoint) and continue after a restart; the answer
+// stream itself is not replayed — the beliefs already incorporate it. A
+// warm resume re-scans no unchanged task: the selection cache holds the
+// round-start gains the interrupted run had already computed.
+type Checkpoint struct {
+	Version     int                        `json:"version,omitempty"`
+	Beliefs     []*belief.Dist             `json:"beliefs"`
+	BudgetSpent float64                    `json:"budget_spent"`
+	Selection   *taskselect.SelectionCache `json:"selection_cache,omitempty"`
+	StopVotes   *StopVotes                 `json:"stop_votes,omitempty"`
+}
+
+// NewCheckpoint snapshots a result's state, including the warm-resume
+// sections when the run produced them.
 func NewCheckpoint(res *Result) *Checkpoint {
 	beliefs := make([]*belief.Dist, len(res.Beliefs))
 	for i, b := range res.Beliefs {
 		beliefs[i] = b.Clone()
 	}
-	return &Checkpoint{Beliefs: beliefs, BudgetSpent: res.BudgetSpent}
+	return &Checkpoint{
+		Version:     CheckpointVersion,
+		Beliefs:     beliefs,
+		BudgetSpent: res.BudgetSpent,
+		Selection:   res.selCache,
+		StopVotes:   res.stopVotes,
+	}
 }
 
 // Write serializes the checkpoint as JSON.
@@ -35,7 +64,9 @@ func (c *Checkpoint) Write(w io.Writer) error {
 	return enc.Encode(c)
 }
 
-// ReadCheckpoint deserializes a checkpoint written by Write.
+// ReadCheckpoint deserializes a checkpoint written by Write. Checkpoints
+// from before the versioned format (no version field, no warm sections)
+// load as version 0 and resume cold.
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	var c Checkpoint
 	dec := json.NewDecoder(r)
@@ -43,11 +74,29 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if err := dec.Decode(&c); err != nil {
 		return nil, fmt.Errorf("pipeline: checkpoint: %w", err)
 	}
+	if c.Version < 0 || c.Version > CheckpointVersion {
+		return nil, fmt.Errorf("pipeline: checkpoint version %d, support <= %d", c.Version, CheckpointVersion)
+	}
 	if len(c.Beliefs) == 0 {
 		return nil, errors.New("pipeline: checkpoint has no beliefs")
 	}
 	if c.BudgetSpent < 0 {
 		return nil, errors.New("pipeline: checkpoint has negative spend")
+	}
+	if c.Selection != nil {
+		if err := c.Selection.Validate(); err != nil {
+			return nil, fmt.Errorf("pipeline: checkpoint: %w", err)
+		}
+	}
+	if v := c.StopVotes; v != nil {
+		if len(v.Yes) != len(v.No) {
+			return nil, fmt.Errorf("pipeline: checkpoint stop votes: %d yes vs %d no counts", len(v.Yes), len(v.No))
+		}
+		for i := range v.Yes {
+			if v.Yes[i] < 0 || v.No[i] < 0 {
+				return nil, fmt.Errorf("pipeline: checkpoint stop votes: negative count for fact %d", i)
+			}
+		}
 	}
 	return &c, nil
 }
@@ -69,29 +118,25 @@ func (c *Checkpoint) matches(ds *dataset.Dataset) error {
 	return nil
 }
 
-// Resume continues a run from a checkpoint: cfg.Budget is the job's total
-// budget, of which the checkpoint's spend is already consumed.
-// Initialization settings in cfg (Init, UniformInit, priors) are ignored —
-// the checkpointed beliefs are the state.
-func Resume(ctx context.Context, ds *dataset.Dataset, cfg Config, c *Checkpoint) (*Result, error) {
+// resumeSetup shares the validation and state reconstruction between the
+// two resume flavors: it clamps cfg.Budget to what remains and clones
+// the checkpointed beliefs.
+func resumeSetup(ds *dataset.Dataset, cfg *Config, c *Checkpoint) (crowd.Crowd, []*belief.Dist, error) {
 	if err := ds.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := c.matches(ds); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if cfg.K < 1 {
-		return nil, fmt.Errorf("pipeline: K = %d, need >= 1", cfg.K)
+		return nil, nil, fmt.Errorf("pipeline: K = %d, need >= 1", cfg.K)
 	}
 	if cfg.Source == nil {
-		return nil, errors.New("pipeline: Config.Source is required")
-	}
-	if cfg.Selector == nil {
-		cfg.Selector = defaultSelector()
+		return nil, nil, errors.New("pipeline: Config.Source is required")
 	}
 	ce, _ := ds.Split()
 	if len(ce) == 0 {
-		return nil, errors.New("pipeline: no expert workers above theta")
+		return nil, nil, errors.New("pipeline: no expert workers above theta")
 	}
 	remaining := cfg.Budget - c.BudgetSpent
 	if remaining < 0 {
@@ -102,14 +147,51 @@ func Resume(ctx context.Context, ds *dataset.Dataset, cfg Config, c *Checkpoint)
 	for i, b := range c.Beliefs {
 		beliefs[i] = b.Clone()
 	}
-	res, err := runLoop(ctx, ds, cfg, ce, beliefs)
+	return ce, beliefs, nil
+}
+
+// accumulate folds the pre-checkpoint spend back into a resumed result,
+// so the report reads cumulatively from the job's start.
+func accumulate(res *Result, spentBefore float64) *Result {
+	res.BudgetSpent += spentBefore
+	for i := range res.Rounds {
+		res.Rounds[i].BudgetSpent += spentBefore
+	}
+	return res
+}
+
+// Resume continues a run from a checkpoint: cfg.Budget is the job's total
+// budget, of which the checkpoint's spend is already consumed.
+// Initialization settings in cfg (Init, UniformInit, priors) are ignored —
+// the checkpointed beliefs are the state. A version-1 checkpoint resumes
+// warm: the selection cache skips the initial full gain scan, and the
+// stop votes restore the frozen facts.
+func Resume(ctx context.Context, ds *dataset.Dataset, cfg Config, c *Checkpoint) (*Result, error) {
+	if cfg.Selector == nil {
+		cfg.Selector = defaultSelector()
+	}
+	ce, beliefs, err := resumeSetup(ds, &cfg, c)
 	if err != nil {
 		return nil, err
 	}
-	// Report cumulative spend and renumber rounds after the checkpoint.
-	res.BudgetSpent += c.BudgetSpent
-	for i := range res.Rounds {
-		res.Rounds[i].BudgetSpent += c.BudgetSpent
+	res, err := runUniform(ctx, ds, cfg, ce, beliefs, c.Selection, c.StopVotes, c.BudgetSpent)
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return accumulate(res, c.BudgetSpent), nil
+}
+
+// ResumeCostAware is Resume for the cost-aware loop: it continues a run
+// started by RunCostAware from its checkpoint, warm when the checkpoint
+// carries the assignment engine's unit-gain cache.
+func ResumeCostAware(ctx context.Context, ds *dataset.Dataset, cfg Config, c *Checkpoint) (*Result, error) {
+	ce, beliefs, err := resumeSetup(ds, &cfg, c)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runCost(ctx, ds, cfg, ce, beliefs, c.Selection, c.StopVotes, c.BudgetSpent)
+	if err != nil {
+		return nil, err
+	}
+	return accumulate(res, c.BudgetSpent), nil
 }

@@ -4,8 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 
+	"hcrowd/internal/belief"
 	"hcrowd/internal/crowd"
 	"hcrowd/internal/dataset"
 	"hcrowd/internal/taskselect"
@@ -13,11 +13,14 @@ import (
 
 // RunCostAware executes the §III-D cost extension end to end: instead of
 // sending every selected query to every expert, each round greedily buys
-// individual (query, expert) answer units by gain-per-cost
-// (taskselect.CostGreedy) until the round's chunk of the budget is spent.
-// cfg.Cost prices one answer (unit cost when nil); cfg.K scales the
-// per-round chunk to K times the mean expert answer price, mirroring the
-// K·|CE| cadence of the uniform design.
+// individual (query, expert) answer units by gain-per-cost until the
+// round's chunk of the budget is spent. cfg.Cost prices one answer (unit
+// cost when nil); cfg.K scales the per-round chunk to K times the mean
+// expert answer price, mirroring the K·|CE| cadence of the uniform
+// design. It runs on the same round engine as Run — the budget is
+// charged for answers actually received, cfg.Stop freezes settled facts
+// out of the assignment selection, and unit gains are cached between
+// rounds (see taskselect.AssignState).
 func RunCostAware(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, err
@@ -32,133 +35,23 @@ func RunCostAware(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result
 	if len(ce) == 0 {
 		return nil, errors.New("pipeline: no expert workers above theta")
 	}
-	cost := cfg.Cost
-	if cost == nil {
-		cost = func(crowd.Worker) float64 { return 1 }
-	}
-	var minCost, meanCost float64
-	for i, w := range ce {
-		c := cost(w)
-		if c <= 0 {
-			return nil, errors.New("pipeline: non-positive worker cost")
-		}
-		if i == 0 || c < minCost {
-			minCost = c
-		}
-		meanCost += c
-	}
-	meanCost /= float64(len(ce))
-
 	beliefs, err := initFor(ds, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Beliefs: beliefs}
-	res.InitQuality = totalQuality(beliefs)
-	initAcc, err := totalAccuracy(ds, beliefs)
-	if err != nil {
-		return nil, err
-	}
-	res.InitAccuracy = initAcc
+	return runCost(ctx, ds, cfg, ce, beliefs, nil, nil, 0)
+}
 
-	selector := taskselect.CostGreedy{Cost: cost}
-	remaining := cfg.Budget
-	round := 0
-	// The guard mirrors runLoop's Algorithm 1 line 8 fix: the loop stops
-	// only when even the cheapest single answer is unaffordable, and the
-	// per-round chunk below is clamped to the remaining budget so the
-	// final round spends what is left instead of stranding it.
-	for remaining >= minCost {
-		if cfg.MaxRounds > 0 && round >= cfg.MaxRounds {
-			break
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		chunk := float64(cfg.K) * meanCost
-		if chunk > remaining {
-			chunk = remaining
-		}
-		problem := taskselect.Problem{Beliefs: beliefs, Experts: ce}
-		units, err := selector.SelectAssign(ctx, problem, chunk)
-		if err != nil {
-			return nil, err
-		}
-		if len(units) == 0 {
-			break
-		}
-		// Group the units per (task, worker): each group is one answer
-		// set, applied as its own single-member family (workers answer
-		// independently given the observation, so sequential updates are
-		// exact).
-		type key struct {
-			task   int
-			worker string
-		}
-		groups := make(map[key][]int) // local facts
-		workers := make(map[key]crowd.Worker)
-		var spent float64
-		var picks []taskselect.Candidate
-		for _, u := range units {
-			k := key{u.Task, u.Worker.ID}
-			groups[k] = append(groups[k], u.Fact)
-			workers[k] = u.Worker
-			spent += cost(u.Worker)
-			picks = append(picks, taskselect.Candidate{Task: u.Task, Fact: u.Fact})
-		}
-		// Sorted iteration keeps the shared answer-source RNG on a
-		// deterministic schedule (map order is randomized per process);
-		// same fix as runLoop's byTask loop.
-		keys := make([]key, 0, len(groups))
-		for k := range groups {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i].task != keys[j].task {
-				return keys[i].task < keys[j].task
-			}
-			return keys[i].worker < keys[j].worker
-		})
-		for _, k := range keys {
-			locals := groups[k]
-			globals := make([]int, len(locals))
-			for i, lf := range locals {
-				globals[i] = ds.Tasks[k.task][lf]
-			}
-			fam, err := cfg.Source.Answers(crowd.Crowd{workers[k]}, globals)
-			if err != nil {
-				return nil, err
-			}
-			local, err := relabelFamily(fam, globals, locals)
-			if err != nil {
-				return nil, err
-			}
-			if err := beliefs[k.task].Update(local); err != nil {
-				return nil, err
-			}
-		}
-		remaining -= spent
-		res.BudgetSpent += spent
-		round++
-		q := totalQuality(beliefs)
-		acc, err := totalAccuracy(ds, beliefs)
-		if err != nil {
-			return nil, err
-		}
-		res.Rounds = append(res.Rounds, RoundStats{
-			Round:       round,
-			Picks:       picks,
-			BudgetSpent: res.BudgetSpent,
-			Quality:     q,
-			Accuracy:    acc,
-		})
-	}
-	res.Quality = totalQuality(beliefs)
-	finalAcc, err := totalAccuracy(ds, beliefs)
+// runCost assembles the cost-aware flavor of the engine; the parameters
+// mirror runUniform. RunCostAware and ResumeCostAware share it.
+func runCost(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Crowd, beliefs []*belief.Dist, warm *taskselect.SelectionCache, votes *StopVotes, spentBefore float64) (*Result, error) {
+	plan, err := newCostPlan(cfg, ce, warm)
 	if err != nil {
 		return nil, err
 	}
-	res.Accuracy = finalAcc
-	res.Labels = finalLabels(ds, beliefs)
-	return res, nil
+	st, err := newStopState(ds, cfg.Stop, votes)
+	if err != nil {
+		return nil, err
+	}
+	return runEngine(ctx, ds, cfg, ce, beliefs, plan, st, spentBefore)
 }

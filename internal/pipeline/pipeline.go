@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"hcrowd/internal/aggregate"
 	"hcrowd/internal/belief"
@@ -105,6 +104,12 @@ type Config struct {
 	// MaxRounds caps the number of rounds as a safety net; 0 means
 	// unlimited (the budget is the binding constraint).
 	MaxRounds int
+	// OnCheckpoint, when set, receives a freshly built warm checkpoint
+	// after every completed round: cloned beliefs, cumulative spend, the
+	// incremental selector's gain cache and the stopping rule's vote
+	// counts. The callback owns the value (persist it, hand it to
+	// Resume/ResumeCostAware); it runs synchronously on the loop.
+	OnCheckpoint func(c *Checkpoint)
 }
 
 // RoundStats records one checking round for the experiment curves.
@@ -128,6 +133,12 @@ type Result struct {
 	InitQuality  float64
 	InitAccuracy float64
 	BudgetSpent  float64
+
+	// selCache and stopVotes carry the finished run's warm-resume state
+	// into NewCheckpoint; nil when the run used no incremental selector
+	// or no stopping rule.
+	selCache  *taskselect.SelectionCache
+	stopVotes *StopVotes
 }
 
 // Run executes Algorithm 3 (or Algorithm 1 when cfg.Selector is
@@ -156,7 +167,20 @@ func Run(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	return runLoop(ctx, ds, cfg, ce, beliefs)
+	return runUniform(ctx, ds, cfg, ce, beliefs, nil, nil, 0)
+}
+
+// runUniform assembles the uniform-pick flavor of the engine; warm and
+// votes prime a resumed run's selection cache and stop-rule counts,
+// spentBefore its cumulative spend. Run, Resume and RunTiers share it.
+func runUniform(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Crowd, beliefs []*belief.Dist, warm *taskselect.SelectionCache, votes *StopVotes, spentBefore float64) (*Result, error) {
+	st, err := newStopState(ds, cfg.Stop, votes)
+	if err != nil {
+		return nil, err
+	}
+	// The plan is created here — never stored in cfg — so each run (and
+	// each tier, whose crowd differs) starts from its own state.
+	return runEngine(ctx, ds, cfg, ce, beliefs, newUniformPlan(cfg, ce, warm), st, spentBefore)
 }
 
 // initFor resolves the configured initialization strategy.
@@ -248,180 +272,6 @@ func InitBeliefsWithPrior(ds *dataset.Dataset, init aggregate.Aggregator, unifor
 		beliefs[t] = d
 	}
 	return beliefs, nil
-}
-
-// runLoop is the shared round loop used by Run and the multi-tier variant.
-func runLoop(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Crowd, beliefs []*belief.Dist) (*Result, error) {
-	// The greedy selector is transparently upgraded to the incremental
-	// engine: picks are provably identical (see taskselect's equivalence
-	// tests), but cached per-task gains survive between rounds and only
-	// the tasks whose beliefs a round updates are re-scanned. The state is
-	// created here — never stored in cfg — so each run (and each tier,
-	// whose crowd differs) starts from a cold cache.
-	sel := cfg.Selector
-	var state *taskselect.SelectionState
-	switch v := sel.(type) {
-	case taskselect.Greedy:
-		state = taskselect.NewSelectionState(v.Workers)
-		sel = state
-	case *taskselect.SelectionState:
-		state = v
-	}
-	res := &Result{Beliefs: beliefs}
-	res.InitQuality = totalQuality(beliefs)
-	acc, err := totalAccuracy(ds, beliefs)
-	if err != nil {
-		return nil, err
-	}
-	res.InitAccuracy = acc
-
-	var frozen [][]bool
-	yes := make([]int, ds.NumFacts())
-	no := make([]int, ds.NumFacts())
-	if cfg.Stop != nil {
-		frozen = make([][]bool, len(ds.Tasks))
-		for t, facts := range ds.Tasks {
-			frozen[t] = make([]bool, len(facts))
-		}
-	}
-
-	answerCost := func(w crowd.Worker) float64 {
-		if cfg.Cost != nil {
-			return cfg.Cost(w)
-		}
-		return 1
-	}
-
-	budget := cfg.Budget
-	round := 0
-	for {
-		if cfg.MaxRounds > 0 && round >= cfg.MaxRounds {
-			break
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		// Algorithm 1 line 8 stops only when even one more pick is
-		// unaffordable: a pick costs one answer from every expert, so the
-		// final round is clamped to the picks the remaining budget funds
-		// rather than stranding a full round's worth of budget.
-		perPick := float64(len(ce))
-		if cfg.Cost != nil {
-			var per float64
-			for _, w := range ce {
-				per += cfg.Cost(w)
-			}
-			perPick = per
-		}
-		k := cfg.K
-		if afford := int((budget + 1e-9) / perPick); afford < k {
-			k = afford
-		}
-		if k < 1 {
-			break // B < |CE|: not even a single pick is fundable
-		}
-		problem := taskselect.Problem{Beliefs: beliefs, Experts: ce, Frozen: frozen}
-		picks, err := sel.Select(ctx, problem, k)
-		if err != nil {
-			return nil, err
-		}
-		if len(picks) == 0 {
-			break // nothing left worth checking
-		}
-		// Collect one answer family per touched task and update. The
-		// budget is charged for the answers actually received (equal to
-		// |T|·|CE| for a full family, fewer when a source returns a
-		// partial round, e.g. an expert timed out).
-		var spent float64
-		byTask := make(map[int][]taskselect.Candidate)
-		for _, c := range picks {
-			byTask[c.Task] = append(byTask[c.Task], c)
-		}
-		// Iterate tasks in sorted order: Go map order is randomized, and
-		// every family draw advances the shared seeded RNG of the answer
-		// source, so any other order would make identical-seed runs
-		// diverge (the determinism regression tests pin this down).
-		tasks := make([]int, 0, len(byTask))
-		for t := range byTask {
-			tasks = append(tasks, t)
-		}
-		sort.Ints(tasks)
-		for _, t := range tasks {
-			cs := byTask[t]
-			globals := make([]int, len(cs))
-			locals := make([]int, len(cs))
-			for i, c := range cs {
-				globals[i] = ds.Tasks[t][c.Fact]
-				locals[i] = c.Fact
-			}
-			fam, err := cfg.Source.Answers(ce, globals)
-			if err != nil {
-				return nil, err
-			}
-			if len(fam) == 0 {
-				return nil, fmt.Errorf("pipeline: source returned no answers for round %d", round+1)
-			}
-			for _, as := range fam {
-				spent += float64(len(as.Facts)) * answerCost(as.Worker)
-			}
-			// Re-index the family from global to local facts; the source
-			// returns facts sorted, and locals sort identically because a
-			// task's global facts are in ascending local order.
-			local, err := relabelFamily(fam, globals, locals)
-			if err != nil {
-				return nil, err
-			}
-			if err := beliefs[t].Update(local); err != nil {
-				return nil, err
-			}
-			if cfg.Stop != nil {
-				for _, as := range local {
-					for i, lf := range as.Facts {
-						g := ds.Tasks[t][lf]
-						if as.Values[i] {
-							yes[g]++
-						} else {
-							no[g]++
-						}
-					}
-				}
-				for _, lf := range locals {
-					g := ds.Tasks[t][lf]
-					if cfg.Stop.Stopped(yes[g], no[g]) {
-						frozen[t][lf] = true
-					}
-				}
-			}
-		}
-		// Only the tasks that received answers changed; the incremental
-		// selector keeps every other task's cached gains.
-		if state != nil {
-			state.Invalidate(tasks...)
-		}
-		budget -= spent
-		res.BudgetSpent += spent
-		round++
-		q := totalQuality(beliefs)
-		acc, err := totalAccuracy(ds, beliefs)
-		if err != nil {
-			return nil, err
-		}
-		res.Rounds = append(res.Rounds, RoundStats{
-			Round:       round,
-			Picks:       picks,
-			BudgetSpent: res.BudgetSpent,
-			Quality:     q,
-			Accuracy:    acc,
-		})
-	}
-	res.Quality = totalQuality(beliefs)
-	finalAcc, err := totalAccuracy(ds, beliefs)
-	if err != nil {
-		return nil, err
-	}
-	res.Accuracy = finalAcc
-	res.Labels = finalLabels(ds, beliefs)
-	return res, nil
 }
 
 // relabelFamily maps a family's global fact indices back to task-local

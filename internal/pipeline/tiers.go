@@ -59,7 +59,7 @@ func RunTiers(ctx context.Context, ds *dataset.Dataset, base Config, tiers []Tie
 	for i, tier := range tiers {
 		cfg := base
 		cfg.Budget = tier.Budget
-		res, err := runLoop(ctx, ds, cfg, tier.Experts, beliefs)
+		res, err := runUniform(ctx, ds, cfg, tier.Experts, beliefs, nil, nil, 0)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: tier %d: %w", i, err)
 		}

@@ -13,8 +13,13 @@ import (
 //	POST /answers              <- {"round": 3, "worker": "e0", "values": [true, false]}
 //	GET  /status               -> Status JSON
 //	GET  /labels               -> {"labels": [...]} once done, 409 before
+//	GET  /checkpoint           -> warm pipeline checkpoint JSON, 204 before
+//	                              the first round completes
 //
-// All bodies are JSON. The handler is safe for concurrent clients.
+// All bodies are JSON. The handler is safe for concurrent clients. The
+// checkpoint endpoint lets an operator persist the session's progress and
+// later restart the job with NewSessionResume (or hcrowd.Resume) without
+// re-asking the experts anything.
 func Handler(s *Session) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /experts", func(w http.ResponseWriter, r *http.Request) {
@@ -57,6 +62,14 @@ func Handler(s *Session) http.Handler {
 	})
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Status())
+	})
+	mux.HandleFunc("GET /checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		ck := s.Checkpoint()
+		if ck == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, ck)
 	})
 	mux.HandleFunc("GET /labels", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Status()

@@ -45,6 +45,9 @@ type Session struct {
 	result  *pipeline.Result
 	runErr  error
 	closed  bool
+	// checkpoint is the latest warm checkpoint the loop emitted (one per
+	// completed round); nil until the first round finishes.
+	checkpoint *pipeline.Checkpoint
 
 	finished chan struct{}
 	cancel   context.CancelFunc
@@ -68,6 +71,29 @@ func NewSession(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Config) (
 // with that partial family (the budget is charged only for answers
 // actually received).
 func NewSessionTimeout(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Config, roundTimeout time.Duration) (*Session, error) {
+	return newSession(ctx, ds, cfg, nil, roundTimeout)
+}
+
+// NewSessionResume starts a session from a pipeline checkpoint (see
+// Session.Checkpoint and pipeline.ReadCheckpoint): the loop continues
+// with the checkpointed beliefs, spend, stop votes and — when present —
+// the selection cache, so no unchanged task is re-scanned. cfg.Budget is
+// the job's total budget, of which the checkpoint's spend is consumed.
+func NewSessionResume(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Config, c *pipeline.Checkpoint) (*Session, error) {
+	return NewSessionResumeTimeout(ctx, ds, cfg, c, 0)
+}
+
+// NewSessionResumeTimeout is NewSessionResume with a per-round timeout.
+func NewSessionResumeTimeout(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Config, c *pipeline.Checkpoint, roundTimeout time.Duration) (*Session, error) {
+	if c == nil {
+		return nil, errors.New("server: nil checkpoint")
+	}
+	return newSession(ctx, ds, cfg, c, roundTimeout)
+}
+
+// newSession is the shared constructor; a non-nil checkpoint resumes
+// instead of starting fresh.
+func newSession(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Config, c *pipeline.Checkpoint, roundTimeout time.Duration) (*Session, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
@@ -82,11 +108,30 @@ func NewSessionTimeout(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Co
 		finished:     make(chan struct{}),
 		cancel:       cancel,
 		roundTimeout: roundTimeout,
+		checkpoint:   c,
 	}
 	cfg.Source = queueSource{s: s, ctx: runCtx}
+	// Capture every round's warm checkpoint so clients can persist the
+	// session's progress (GET /checkpoint) and resume after a restart;
+	// a caller-provided hook still runs.
+	userHook := cfg.OnCheckpoint
+	cfg.OnCheckpoint = func(ck *pipeline.Checkpoint) {
+		s.mu.Lock()
+		s.checkpoint = ck
+		s.mu.Unlock()
+		if userHook != nil {
+			userHook(ck)
+		}
+	}
 	go func() {
 		defer close(s.finished)
-		res, err := pipeline.Run(runCtx, ds, cfg)
+		var res *pipeline.Result
+		var err error
+		if c != nil {
+			res, err = pipeline.Resume(runCtx, ds, cfg, c)
+		} else {
+			res, err = pipeline.Run(runCtx, ds, cfg)
+		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		s.result = res
@@ -99,6 +144,16 @@ func NewSessionTimeout(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Co
 		}
 	}()
 	return s, nil
+}
+
+// Checkpoint returns the latest warm checkpoint the loop produced, or nil
+// before the first round completes. The value is immutable once emitted —
+// the loop clones its state into each checkpoint — so callers may
+// serialize it without holding any lock.
+func (s *Session) Checkpoint() *pipeline.Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpoint
 }
 
 // queueSource adapts the session's answer queue to pipeline.AnswerSource.

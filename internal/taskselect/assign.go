@@ -79,9 +79,22 @@ func CondEntropyAssign(d *belief.Dist, assigns []Assign) (float64, error) {
 		pYes[i][0] = 1 - a.Worker.PCorrect(false)
 		pos[i] = factPos[a.Fact]
 	}
+	return condEntropyAssignCore(d.Entropy(), q, pYes, pos), nil
+}
 
+// condEntropyAssignCore is the evaluation half of CondEntropyAssign,
+// split out (like condEntropySymCore) so AssignState can memoize the
+// projection and the per-worker yes probabilities across calls. The
+// arithmetic is identical to the inline form, so memoized and fresh
+// evaluations agree bitwise; pos[i] is the bit position of assign i's
+// fact in q's pattern space. It bumps the package eval counter — the
+// cost unit the incremental-assignment benchmarks compare by.
+func condEntropyAssignCore(entropy float64, q []float64, pYes [][2]float64, pos []int) float64 {
+	evalCount.Add(1)
+
+	n := len(pos)
 	var hAS float64
-	nFam := 1 << uint(len(assigns))
+	nFam := 1 << uint(n)
 	for fam := 0; fam < nFam; fam++ {
 		var pA float64
 		for p, qp := range q {
@@ -89,7 +102,7 @@ func CondEntropyAssign(d *belief.Dist, assigns []Assign) (float64, error) {
 				continue
 			}
 			like := qp
-			for i := range assigns {
+			for i := 0; i < n; i++ {
 				tv := (p >> uint(pos[i])) & 1
 				py := pYes[i][tv]
 				if fam&(1<<uint(i)) != 0 {
@@ -109,18 +122,28 @@ func CondEntropyAssign(d *belief.Dist, assigns []Assign) (float64, error) {
 			continue
 		}
 		var hp float64
-		for i := range assigns {
+		for i := 0; i < n; i++ {
 			tv := (p >> uint(pos[i])) & 1
 			hp += mathx.BernoulliEntropy(pYes[i][tv])
 		}
 		hASgivenO += qp * hp
 	}
 
-	h := d.Entropy() - hAS + hASgivenO
+	h := entropy - hAS + hASgivenO
 	if h < 0 {
 		h = 0
 	}
-	return h, nil
+	return h
+}
+
+// AssignSelector chooses assignment units — (task, fact, worker)
+// answer purchases — totaling at most budget in cost. CostGreedy is the
+// stateless implementation; AssignState is the incremental one with
+// cross-round gain caching, pick-identical to CostGreedy.
+type AssignSelector interface {
+	// Name identifies the selector in experiment output.
+	Name() string
+	SelectAssign(ctx context.Context, p Problem, budget float64) ([]TaskAssign, error)
 }
 
 // CostGreedy selects assignment units greedily by gain-per-cost until the

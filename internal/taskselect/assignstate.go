@@ -1,0 +1,413 @@
+package taskselect
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"hcrowd/internal/belief"
+	"hcrowd/internal/crowd"
+)
+
+// AssignState is the incremental variant of CostGreedy: identical unit
+// purchases buy for buy (same values, same deterministic tie-break), but
+// the per-task round-start unit gains gain^∅(f, cr) = H(O_t) −
+// H(O_t|A_{cr,f}) are cached between SelectAssign calls and recomputed
+// only for tasks the caller has Invalidated — in the pipeline, the tasks
+// whose beliefs the previous round's answers updated. CostGreedy re-scans
+// every (task, fact, worker) unit on every buy iteration of every round;
+// the state pays that scan once per touched task and orders the buy loop
+// through a lazy-deletion max-heap on gain-per-cost instead:
+//
+//   - The heap seeds from the cached round-start unit gains. A buy only
+//     perturbs the gains of its own task (tasks are independent), so that
+//     task's remaining units are re-evaluated eagerly — exactly
+//     CostGreedy's recompute schedule, for the same ulp-level reasons as
+//     SelectionState's eager refresh — and re-pushed with a bumped
+//     version; superseded entries are discarded when they surface.
+//   - Entries that cost more than the remaining chunk budget are dropped
+//     at pop time: within one call the budget only shrinks, so they can
+//     never become affordable again. CostGreedy filters the same units
+//     out of its scan, which is what keeps the argmax identical.
+//   - The crowd-derived pieces (yes-probability table, per-worker costs)
+//     are computed once per crowd, and the belief-dependent projection is
+//     memoized per task until the task is invalidated.
+//
+// The caller owns cache coherence exactly as with SelectionState: after
+// mutating a task's belief (or its Frozen mask) it must call
+// Invalidate(task) before the next SelectAssign. Crowd or problem-shape
+// changes reset the state wholesale. Workers > 1 re-scans invalidated
+// tasks concurrently. Not safe for concurrent SelectAssign calls.
+type AssignState struct {
+	// Cost prices one answer from a worker; nil means 1 per answer. Must
+	// match across calls — it is sampled per crowd at sync time.
+	Cost func(w crowd.Worker) float64
+	// MaxAssignsPerTask caps the answer variables accumulated in one task
+	// (the enumeration is exponential in them); default 12, as CostGreedy.
+	MaxAssignsPerTask int
+	// Workers bounds the goroutines of the invalidation re-scan; <= 1
+	// means serial.
+	Workers int
+
+	// Crowd-derived memos, reset when the crowd signature changes.
+	crowdSig string
+	ce       crowd.Crowd
+	costs    []float64    // cost per worker, crowd order
+	pYes     [][2]float64 // P(yes | truth) per worker
+
+	tasks []*assignTaskCache
+
+	// pending holds a cache restored via RestoreCache until the next sync
+	// adopts it.
+	pending *SelectionCache
+}
+
+// assignTaskCache holds the belief-derived memos for one task.
+type assignTaskCache struct {
+	dirty   bool
+	entropy float64     // H(O_t)
+	base    [][]float64 // round-start gain per [fact][worker]; NaN rows mark frozen facts
+	frozen  []bool      // the mask base was computed under
+	proj    map[string][]float64
+}
+
+// unitRef is one answer unit in crowd-index form: worker indexes the
+// synced crowd. Keeping indices rather than Worker values makes the
+// dedup and memo lookups allocation-free.
+type unitRef struct {
+	fact   int
+	worker int
+}
+
+// NewAssignState returns an empty incremental assignment engine; the
+// first SelectAssign populates it for the problem it sees. cost nil
+// means unit cost, maxAssignsPerTask <= 0 means 12, workers <= 1 means a
+// serial re-scan.
+func NewAssignState(cost func(w crowd.Worker) float64, maxAssignsPerTask, workers int) *AssignState {
+	return &AssignState{Cost: cost, MaxAssignsPerTask: maxAssignsPerTask, Workers: workers}
+}
+
+// Name implements AssignSelector. The engine reports the same name as
+// CostGreedy because it is the same algorithm — only the evaluation
+// schedule differs.
+func (s *AssignState) Name() string { return "CostGreedy" }
+
+// Invalidate marks tasks whose beliefs (or frozen masks) changed since
+// the last SelectAssign, forcing their cached unit gains to be
+// recomputed. Out-of-range indices are ignored.
+func (s *AssignState) Invalidate(tasks ...int) {
+	for _, t := range tasks {
+		if t >= 0 && t < len(s.tasks) && s.tasks[t] != nil {
+			s.tasks[t].dirty = true
+		}
+	}
+}
+
+// InvalidateAll drops every cached unit gain (keeping the crowd memos).
+func (s *AssignState) InvalidateAll() {
+	for _, tc := range s.tasks {
+		if tc != nil {
+			tc.dirty = true
+		}
+	}
+}
+
+// costOf applies the configured cost model.
+func (s *AssignState) costOf(w crowd.Worker) float64 {
+	if s.Cost != nil {
+		return s.Cost(w)
+	}
+	return 1
+}
+
+// maxPer resolves the per-task assignment cap.
+func (s *AssignState) maxPer() int {
+	if s.MaxAssignsPerTask > 0 {
+		return s.MaxAssignsPerTask
+	}
+	return 12
+}
+
+// sync aligns the cache with the problem: a crowd or shape change resets
+// everything (adopting a pending restored cache when it matches), and a
+// frozen-mask drift on a clean task dirties it.
+func (s *AssignState) sync(p Problem) {
+	sig := crowdSignature(p.Experts)
+	if sig != s.crowdSig || len(p.Beliefs) != len(s.tasks) {
+		s.crowdSig = sig
+		s.ce = p.Experts
+		s.pYes = asymYesTable(p.Experts)
+		s.costs = make([]float64, len(p.Experts))
+		for i, w := range p.Experts {
+			s.costs[i] = s.costOf(w)
+		}
+		s.tasks = make([]*assignTaskCache, len(p.Beliefs))
+		s.adoptPending(p)
+	}
+	s.pending = nil
+	for t := range s.tasks {
+		if s.tasks[t] == nil {
+			s.tasks[t] = &assignTaskCache{dirty: true}
+			continue
+		}
+		tc := s.tasks[t]
+		if !tc.dirty && !frozenEqual(tc.frozen, p, t) {
+			tc.dirty = true
+		}
+	}
+}
+
+// condEntropy evaluates H(O_t | units) through the memos. It matches
+// CondEntropyAssign bitwise for units listed in the same order: the core
+// runs the identical arithmetic, only the setup (projection, per-worker
+// yes probabilities) comes from cache.
+func (s *AssignState) condEntropy(tc *assignTaskCache, d *belief.Dist, units []unitRef) (float64, error) {
+	if len(units) == 0 {
+		return tc.entropy, nil
+	}
+	if len(units) > maxFamilyBits {
+		return 0, fmt.Errorf("%w: %d answer variables", ErrTooLarge, len(units))
+	}
+	// Distinct facts in encounter order, then sorted — the same fact list
+	// CondEntropyAssign derives, so the projection patterns line up.
+	facts := make([]int, 0, len(units))
+	seen := make(map[int]bool, len(units))
+	for _, u := range units {
+		if !seen[u.fact] {
+			seen[u.fact] = true
+			facts = append(facts, u.fact)
+		}
+	}
+	sort.Ints(facts)
+	factPos := make(map[int]int, len(facts))
+	for i, f := range facts {
+		factPos[f] = i
+	}
+	q := memoProjection(tc.proj, d, facts)
+	pYes := make([][2]float64, len(units))
+	pos := make([]int, len(units))
+	for i, u := range units {
+		pYes[i] = s.pYes[u.worker]
+		pos[i] = factPos[u.fact]
+	}
+	return condEntropyAssignCore(tc.entropy, q, pYes, pos), nil
+}
+
+// rescan rebuilds the round-start unit-gain cache of task t.
+func (s *AssignState) rescan(ctx context.Context, p Problem, t int) error {
+	tc := s.tasks[t]
+	d := p.Beliefs[t]
+	tc.entropy = d.Entropy()
+	tc.proj = make(map[string][]float64)
+	m, w := d.NumFacts(), len(s.ce)
+	tc.frozen = make([]bool, m)
+	tc.base = make([][]float64, m)
+	for f := 0; f < m; f++ {
+		row := make([]float64, w)
+		tc.base[f] = row
+		tc.frozen[f] = p.frozen(t, f)
+		if tc.frozen[f] {
+			for wi := range row {
+				row[wi] = math.NaN()
+			}
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for wi := 0; wi < w; wi++ {
+			h, err := s.condEntropy(tc, d, []unitRef{{fact: f, worker: wi}})
+			if err != nil {
+				return err
+			}
+			row[wi] = tc.entropy - h
+		}
+	}
+	tc.dirty = false
+	return nil
+}
+
+// assignEntry is one candidate unit in the buy-ordering max-heap;
+// version stamps the number of buys its task had when gain was computed
+// (lazy deletion, as SelectionState's heapEntry).
+type assignEntry struct {
+	task, fact, worker int
+	gain, cost, ratio  float64
+	version            int
+}
+
+// assignHeap orders entries by gain-per-cost descending, ties broken by
+// ascending (task, fact, worker index) — exactly the first-strict-max
+// order of CostGreedy's scan over tasks, facts and the crowd slice,
+// which is what makes the two selectors' purchases identical.
+type assignHeap []assignEntry
+
+func (h assignHeap) Len() int { return len(h) }
+func (h assignHeap) Less(i, j int) bool {
+	if h[i].ratio != h[j].ratio {
+		return h[i].ratio > h[j].ratio
+	}
+	if h[i].task != h[j].task {
+		return h[i].task < h[j].task
+	}
+	if h[i].fact != h[j].fact {
+		return h[i].fact < h[j].fact
+	}
+	return h[i].worker < h[j].worker
+}
+func (h assignHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *assignHeap) Push(x any)   { *h = append(*h, x.(assignEntry)) }
+func (h *assignHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// hasUnit reports whether the unit list already contains (worker, fact).
+func hasUnit(units []unitRef, worker, fact int) bool {
+	for _, u := range units {
+		if u.worker == worker && u.fact == fact {
+			return true
+		}
+	}
+	return false
+}
+
+// SelectAssign implements AssignSelector. See the type comment for the
+// contract; the purchases are identical to CostGreedy.SelectAssign with
+// the same cost model on the same problem.
+func (s *AssignState) SelectAssign(ctx context.Context, p Problem, budget float64) ([]TaskAssign, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		return nil, nil
+	}
+	for _, w := range p.Experts {
+		if s.costOf(w) <= 0 {
+			return nil, errors.New("taskselect: non-positive worker cost")
+		}
+	}
+	maxPer := s.maxPer()
+	s.sync(p)
+
+	// Parallel invalidation re-scan: only dirty tasks pay the O(m·|CE|)
+	// unit-gain sweep.
+	var dirty []int
+	for t, tc := range s.tasks {
+		if tc.dirty {
+			dirty = append(dirty, t)
+		}
+	}
+	if len(dirty) > 0 {
+		err := scanAll(ctx, len(dirty), s.Workers, func(i int) error {
+			return s.rescan(ctx, p, dirty[i])
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Seed the heap with every unit's cached round-start gain-per-cost.
+	h := make(assignHeap, 0, len(s.tasks)*4)
+	for t, tc := range s.tasks {
+		for f, row := range tc.base {
+			if tc.frozen[f] {
+				continue
+			}
+			for wi, g := range row {
+				h = append(h, assignEntry{
+					task: t, fact: f, worker: wi,
+					gain: g, cost: s.costs[wi], ratio: g / s.costs[wi],
+				})
+			}
+		}
+	}
+	heap.Init(&h)
+
+	current := make(map[int][]unitRef) // task -> bought units, buy order
+	versions := make(map[int]int)
+	var picks []TaskAssign
+	remaining := budget
+	for h.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		top := h[0]
+		t := top.task
+		if top.version != versions[t] {
+			// Superseded by the eager refresh after an earlier buy in this
+			// task (or the task hit its assignment cap). Discard.
+			heap.Pop(&h)
+			continue
+		}
+		if top.cost > remaining {
+			// The chunk budget only shrinks within a call, so the unit can
+			// never become affordable again; CostGreedy's affordability
+			// filter excludes it the same way.
+			heap.Pop(&h)
+			continue
+		}
+		if top.gain <= gainEps {
+			// The heap max is current and affordable, so it is exactly the
+			// unit CostGreedy's scan would pick — and its gain says stop.
+			break
+		}
+		heap.Pop(&h)
+		picks = append(picks, TaskAssign{Task: t, Fact: top.fact, Worker: s.ce[top.worker]})
+		current[t] = append(current[t], unitRef{fact: top.fact, worker: top.worker})
+		versions[t]++
+		remaining -= top.cost
+		if remaining <= 0 {
+			break
+		}
+		if len(current[t]) >= maxPer {
+			continue // stale entries of t die by version mismatch
+		}
+		// The enlarged selection's conditional entropy becomes the new
+		// gain baseline for task t; eagerly re-evaluate its remaining
+		// units on exactly CostGreedy's recompute schedule and supersede
+		// their heap entries.
+		tc, d := s.tasks[t], p.Beliefs[t]
+		nh, err := s.condEntropy(tc, d, current[t])
+		if err != nil {
+			return nil, err
+		}
+		for f := 0; f < d.NumFacts(); f++ {
+			if tc.frozen[f] {
+				continue
+			}
+			for wi := range s.ce {
+				if s.costs[wi] > remaining || hasUnit(current[t], wi, f) {
+					continue
+				}
+				trial := append(append([]unitRef{}, current[t]...), unitRef{fact: f, worker: wi})
+				th, err := s.condEntropy(tc, d, trial)
+				if err != nil {
+					return nil, err
+				}
+				g := nh - th
+				heap.Push(&h, assignEntry{
+					task: t, fact: f, worker: wi,
+					gain: g, cost: s.costs[wi], ratio: g / s.costs[wi],
+					version: versions[t],
+				})
+			}
+		}
+	}
+	sort.Slice(picks, func(i, j int) bool {
+		if picks[i].Task != picks[j].Task {
+			return picks[i].Task < picks[j].Task
+		}
+		if picks[i].Fact != picks[j].Fact {
+			return picks[i].Fact < picks[j].Fact
+		}
+		return picks[i].Worker.ID < picks[j].Worker.ID
+	})
+	return picks, nil
+}

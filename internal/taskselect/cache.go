@@ -1,0 +1,277 @@
+package taskselect
+
+import (
+	"fmt"
+	"math"
+)
+
+// CacheVersion is the serialized selection-cache format version.
+const CacheVersion = 1
+
+// Cache kinds identify which incremental engine wrote a SelectionCache;
+// restoring into the other engine fails (and the pipeline degrades to a
+// cold start rather than guessing).
+const (
+	// CacheKindGreedy marks a SelectionState (uniform Algorithm 2) cache.
+	CacheKindGreedy = "greedy"
+	// CacheKindAssign marks an AssignState (per-unit cost-aware) cache.
+	CacheKindAssign = "assign"
+)
+
+// SelectionCache is the serializable round-start state of an incremental
+// selection engine: the per-task gain tables that survive between rounds.
+// Exported from a running state with ExportCache and fed back with
+// RestoreCache, it lets a resumed checking loop skip the full re-scan for
+// every task whose belief the interrupted run had already cached — a warm
+// resume performs zero full-rescan rounds on unchanged tasks. The cache
+// is advisory: a crowd or shape mismatch at restore time silently falls
+// back to a cold scan, and the picks are identical either way (the cached
+// values are bitwise the ones a cold scan would recompute).
+type SelectionCache struct {
+	Version  int    `json:"version"`
+	Kind     string `json:"kind"`
+	CrowdSig string `json:"crowd_sig"`
+	// Tasks is indexed like Problem.Beliefs.
+	Tasks []TaskGainCache `json:"tasks"`
+}
+
+// TaskGainCache holds one task's cached round-start gains.
+type TaskGainCache struct {
+	// Dirty marks a task whose gains were stale at export (its belief
+	// changed after the last scan); it re-scans on first use after
+	// restore and the table fields are absent.
+	Dirty bool `json:"dirty,omitempty"`
+	// Entropy is H(O_t) of the belief the gains were computed under.
+	Entropy float64 `json:"entropy,omitempty"`
+	// Gains is the per-fact round-start gain table of the uniform engine
+	// (CacheKindGreedy). Frozen facts carry 0 here — NaN, the in-memory
+	// marker, is not valid JSON — and are identified by Frozen.
+	Gains []float64 `json:"gains,omitempty"`
+	// UnitGains is the per-fact, per-worker (crowd order) gain table of
+	// the assignment engine (CacheKindAssign); frozen rows carry 0.
+	UnitGains [][]float64 `json:"unit_gains,omitempty"`
+	// Frozen is the stopping-rule mask the gains were computed under.
+	Frozen []bool `json:"frozen,omitempty"`
+}
+
+// Validate checks the cache's internal consistency (kind, version, table
+// shapes). Shape checks against a concrete problem happen at adoption.
+func (c *SelectionCache) Validate() error {
+	if c.Version != CacheVersion {
+		return fmt.Errorf("taskselect: selection-cache version %d, support %d", c.Version, CacheVersion)
+	}
+	if c.Kind != CacheKindGreedy && c.Kind != CacheKindAssign {
+		return fmt.Errorf("taskselect: unknown selection-cache kind %q", c.Kind)
+	}
+	for t := range c.Tasks {
+		tg := &c.Tasks[t]
+		if tg.Dirty {
+			continue
+		}
+		n := len(tg.Gains)
+		if c.Kind == CacheKindAssign {
+			n = len(tg.UnitGains)
+		}
+		if tg.Frozen != nil && len(tg.Frozen) != n {
+			return fmt.Errorf("taskselect: selection-cache task %d frozen mask covers %d of %d facts", t, len(tg.Frozen), n)
+		}
+	}
+	return nil
+}
+
+// ExportCache snapshots the state's per-task gain caches for
+// serialization (e.g. into a pipeline checkpoint). Tasks invalidated
+// since the last Select export as dirty placeholders. Returns nil when
+// the state has never synced to a problem.
+func (s *SelectionState) ExportCache() *SelectionCache {
+	if len(s.tasks) == 0 {
+		return nil
+	}
+	c := &SelectionCache{
+		Version:  CacheVersion,
+		Kind:     CacheKindGreedy,
+		CrowdSig: s.crowdSig,
+		Tasks:    make([]TaskGainCache, len(s.tasks)),
+	}
+	for t, tc := range s.tasks {
+		if tc == nil || tc.dirty {
+			c.Tasks[t] = TaskGainCache{Dirty: true}
+			continue
+		}
+		gains := make([]float64, len(tc.gains))
+		for f, g := range tc.gains {
+			if !math.IsNaN(g) {
+				gains[f] = g
+			}
+		}
+		c.Tasks[t] = TaskGainCache{
+			Entropy: tc.entropy,
+			Gains:   gains,
+			Frozen:  append([]bool{}, tc.frozen...),
+		}
+	}
+	return c
+}
+
+// RestoreCache primes the state with a cache exported by ExportCache.
+// Adoption is deferred to the next Select: the crowd memos are
+// recomputed there, and the per-task gains are taken over only when the
+// cache's crowd signature and shape match the live problem — otherwise
+// the tasks re-scan cold. Restoring a cache of the wrong kind errors.
+func (s *SelectionState) RestoreCache(c *SelectionCache) error {
+	if c == nil {
+		return nil
+	}
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if c.Kind != CacheKindGreedy {
+		return fmt.Errorf("taskselect: selection-cache kind %q, want %q", c.Kind, CacheKindGreedy)
+	}
+	s.pending = c
+	return nil
+}
+
+// adoptPending installs the pending cache's clean tasks into the freshly
+// reset task table; called from sync after a crowd/shape reset.
+func (s *SelectionState) adoptPending(p Problem) {
+	pc := s.pending
+	if pc == nil || pc.CrowdSig != s.crowdSig || len(pc.Tasks) != len(p.Beliefs) {
+		return
+	}
+	for t := range pc.Tasks {
+		tg := &pc.Tasks[t]
+		m := p.Beliefs[t].NumFacts()
+		if tg.Dirty || len(tg.Gains) != m {
+			continue
+		}
+		s.tasks[t] = &taskCache{
+			entropy: tg.Entropy,
+			gains:   restoreGainRow(tg.Gains, tg.Frozen),
+			frozen:  restoreFrozen(tg.Frozen, m),
+			proj:    make(map[string][]float64),
+		}
+	}
+}
+
+// restoreGainRow rebuilds an in-memory gain row from its serialized
+// form, re-marking frozen entries with NaN.
+func restoreGainRow(gains []float64, frozen []bool) []float64 {
+	out := make([]float64, len(gains))
+	copy(out, gains)
+	for f := range out {
+		if f < len(frozen) && frozen[f] {
+			out[f] = math.NaN()
+		}
+	}
+	return out
+}
+
+// restoreFrozen clones a serialized frozen mask, padding to m facts (an
+// omitted mask freezes nothing).
+func restoreFrozen(frozen []bool, m int) []bool {
+	out := make([]bool, m)
+	copy(out, frozen)
+	return out
+}
+
+// ExportCache snapshots the assignment engine's per-task unit-gain
+// caches; see (*SelectionState).ExportCache for the contract.
+func (s *AssignState) ExportCache() *SelectionCache {
+	if len(s.tasks) == 0 {
+		return nil
+	}
+	c := &SelectionCache{
+		Version:  CacheVersion,
+		Kind:     CacheKindAssign,
+		CrowdSig: s.crowdSig,
+		Tasks:    make([]TaskGainCache, len(s.tasks)),
+	}
+	for t, tc := range s.tasks {
+		if tc == nil || tc.dirty {
+			c.Tasks[t] = TaskGainCache{Dirty: true}
+			continue
+		}
+		ug := make([][]float64, len(tc.base))
+		for f, row := range tc.base {
+			r := make([]float64, len(row))
+			for wi, g := range row {
+				if !math.IsNaN(g) {
+					r[wi] = g
+				}
+			}
+			ug[f] = r
+		}
+		c.Tasks[t] = TaskGainCache{
+			Entropy:   tc.entropy,
+			UnitGains: ug,
+			Frozen:    append([]bool{}, tc.frozen...),
+		}
+	}
+	return c
+}
+
+// RestoreCache primes the assignment engine with a cache exported by its
+// ExportCache; see (*SelectionState).RestoreCache for the contract.
+func (s *AssignState) RestoreCache(c *SelectionCache) error {
+	if c == nil {
+		return nil
+	}
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if c.Kind != CacheKindAssign {
+		return fmt.Errorf("taskselect: selection-cache kind %q, want %q", c.Kind, CacheKindAssign)
+	}
+	s.pending = c
+	return nil
+}
+
+// adoptPending installs the pending cache's clean tasks after a reset;
+// the assignment-engine counterpart of (*SelectionState).adoptPending.
+func (s *AssignState) adoptPending(p Problem) {
+	pc := s.pending
+	if pc == nil || pc.CrowdSig != s.crowdSig || len(pc.Tasks) != len(p.Beliefs) {
+		return
+	}
+	for t := range pc.Tasks {
+		tg := &pc.Tasks[t]
+		m := p.Beliefs[t].NumFacts()
+		if tg.Dirty || len(tg.UnitGains) != m {
+			continue
+		}
+		base := make([][]float64, m)
+		ok := true
+		for f, row := range tg.UnitGains {
+			if len(row) != len(s.ce) {
+				ok = false
+				break
+			}
+			frozenF := f < len(tg.Frozen) && tg.Frozen[f]
+			r := make([]float64, len(row))
+			copy(r, row)
+			if frozenF {
+				for wi := range r {
+					r[wi] = math.NaN()
+				}
+			}
+			base[f] = r
+		}
+		if !ok {
+			continue
+		}
+		s.tasks[t] = &assignTaskCache{
+			entropy: tg.Entropy,
+			base:    base,
+			frozen:  restoreFrozen(tg.Frozen, m),
+			proj:    make(map[string][]float64),
+		}
+	}
+}
+
+// compile-time interface checks for the incremental engines.
+var (
+	_ Selector       = (*SelectionState)(nil)
+	_ AssignSelector = CostGreedy{}
+	_ AssignSelector = (*AssignState)(nil)
+)

@@ -70,6 +70,11 @@ type SelectionState struct {
 	tables   map[int][][]float64
 
 	tasks []*taskCache
+
+	// pending holds a cache restored via RestoreCache until the next sync
+	// adopts it (the crowd memos must be recomputed for the live crowd
+	// before the per-task gains are trusted).
+	pending *SelectionCache
 }
 
 // taskCache holds the belief-derived memos for one task.
@@ -141,7 +146,9 @@ func (s *SelectionState) sync(p Problem) {
 		}
 		s.tables = make(map[int][][]float64)
 		s.tasks = make([]*taskCache, len(p.Beliefs))
+		s.adoptPending(p)
 	}
+	s.pending = nil
 	for t := range s.tasks {
 		if s.tasks[t] == nil {
 			s.tasks[t] = &taskCache{dirty: true}
@@ -183,16 +190,22 @@ func (s *SelectionState) likelihoodTablesFor(sz int) [][]float64 {
 // projectionFor returns the memoized projection of task tc's belief onto
 // the ordered fact list.
 func (tc *taskCache) projectionFor(d *belief.Dist, facts []int) []float64 {
+	return memoProjection(tc.proj, d, facts)
+}
+
+// memoProjection is the shared get-or-compute for per-task projection
+// memos (SelectionState and AssignState key them identically).
+func memoProjection(proj map[string][]float64, d *belief.Dist, facts []int) []float64 {
 	key := make([]byte, len(facts))
 	for i, f := range facts {
 		key[i] = byte(f)
 	}
 	k := string(key)
-	if q, ok := tc.proj[k]; ok {
+	if q, ok := proj[k]; ok {
 		return q
 	}
 	q := projection(d, facts)
-	tc.proj[k] = q
+	proj[k] = q
 	return q
 }
 
