@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race determinism bench bench-snapshot snapshot-smoke verify
+.PHONY: build test vet race determinism bench bench-snapshot snapshot-smoke metrics-smoke verify
 
 build:
 	$(GO) build ./...
@@ -36,4 +36,9 @@ bench-snapshot:
 snapshot-smoke:
 	$(GO) test -run xxx -bench 'CondEntropyFast' -benchtime 1x . | $(GO) run ./cmd/hcsnap >/dev/null
 
-verify: build vet race determinism snapshot-smoke
+# End-to-end observability smoke: boot a -sim hcserve, scrape GET
+# /metrics while it labels, and assert the round counters advance.
+metrics-smoke:
+	$(GO) test -run 'RunSimMetricsSmoke' -count=1 ./cmd/hcserve/
+
+verify: build vet race determinism snapshot-smoke metrics-smoke

@@ -9,10 +9,12 @@
 //	hcbench -exp fig2,fig5  # a subset
 //	hcbench -quick          # CI-sized workloads (seconds)
 //	hcbench -csv out/       # also write out/<exp>_<n>.csv
+//	hcbench -metrics m.json # dump per-round pipeline metrics as JSON
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"hcrowd"
 	"hcrowd/internal/experiments"
 )
 
@@ -39,11 +42,17 @@ func run(args []string, stdout io.Writer) error {
 		seed    = fs.Int64("seed", 1, "experiment seed")
 		csvDir  = fs.String("csv", "", "directory for CSV export (created if missing)")
 		repeats = fs.Int("repeats", 1, "average curves over this many consecutive seeds")
+		mPath   = fs.String("metrics", "", "write per-round pipeline metrics (all runs, in order) to this JSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	var recorder *hcrowd.MetricsRecorder
+	if *mPath != "" {
+		recorder = &hcrowd.MetricsRecorder{}
+		opts.Metrics = recorder
+	}
 	drivers := experiments.All()
 
 	var ids []string
@@ -84,7 +93,26 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
+	if recorder != nil {
+		if err := writeMetrics(*mPath, recorder); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "(metrics: %d rounds -> %s)\n", len(recorder.Rounds()), *mPath)
+	}
 	return nil
+}
+
+// writeMetrics dumps every recorded checking round as indented JSON, in
+// the order the drivers ran them.
+func writeMetrics(path string, rec *hcrowd.MetricsRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec.Rounds())
 }
 
 // exportCSV writes each grid and table of the figure as

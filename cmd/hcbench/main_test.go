@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hcrowd"
 )
 
 func TestRunQuickSubset(t *testing.T) {
@@ -34,6 +37,36 @@ func TestRunCSVExport(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(data), "k,OPT,Approx") {
 		t.Errorf("csv header: %q", string(data[:30]))
+	}
+}
+
+// TestRunMetricsExport checks -metrics dumps every checking round of the
+// drivers' pipeline runs as JSON, in order and with the selector stats
+// filled in.
+func TestRunMetricsExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-exp", "fig2", "-metrics", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "metrics:") {
+		t.Errorf("output missing metrics line: %q", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rounds []hcrowd.RoundMetrics
+	if err := json.Unmarshal(data, &rounds); err != nil {
+		t.Fatalf("metrics file not JSON: %v", err)
+	}
+	if len(rounds) == 0 {
+		t.Fatal("no rounds exported")
+	}
+	for i, r := range rounds {
+		if r.Round < 1 || r.QueriesBought <= 0 || r.Selector.Evals <= 0 {
+			t.Errorf("round %d malformed: %+v", i, r)
+		}
 	}
 }
 

@@ -17,12 +17,22 @@
 // after every completed round (written atomically); -resume loads such a
 // file and continues the job where it stopped, re-asking nothing.
 //
+// Observability: GET /metrics returns the session's full metrics
+// snapshot as JSON — per-route HTTP request counts and latency
+// histograms, round-lifecycle counters (published / completed / expired
+// / rejected answers by reason), and per-round pipeline and selector
+// counters. Round transitions are logged to stderr. With -pprof the
+// standard net/http/pprof profiling endpoints are additionally mounted
+// under /debug/pprof/ (off by default: profiles can reveal more about
+// the host than a labeling endpoint should).
+//
 // Usage:
 //
 //	hcserve -in dataset.json -addr :8080 -budget 500
 //	hcserve -in dataset.json -sim   # self-driving demo
 //	hcserve -in dataset.json -checkpoint job.ck          # crash-safe
 //	hcserve -in dataset.json -checkpoint job.ck -resume job.ck
+//	hcserve -in dataset.json -pprof # also serve /debug/pprof/
 package main
 
 import (
@@ -30,8 +40,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -65,6 +77,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		rt     = fs.Duration("round-timeout", 0, "proceed with partial answers after this long (0 = wait for all experts)")
 		ckPath = fs.String("checkpoint", "", "persist the warm checkpoint to this file after every round")
 		rsPath = fs.String("resume", "", "resume from a checkpoint file written by -checkpoint")
+		pprofd = fs.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,7 +115,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			}
 		}
 	}
-	var sess *server.Session
+	logger := log.New(os.Stderr, "hcserve: ", log.LstdFlags)
+	opts := server.SessionOptions{RoundTimeout: *rt, Logger: logger}
 	if *rsPath != "" {
 		cf, err := os.Open(*rsPath)
 		if err != nil {
@@ -113,15 +127,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("resume %s: %w", *rsPath, err)
 		}
-		sess, err = server.NewSessionResumeTimeout(ctx, ds, cfg, ck, *rt)
-		if err != nil {
-			return err
-		}
-	} else {
-		sess, err = server.NewSessionTimeout(ctx, ds, cfg, *rt)
-		if err != nil {
-			return err
-		}
+		opts.Checkpoint = ck
+	}
+	sess, err := server.NewSessionOpts(ctx, ds, cfg, opts)
+	if err != nil {
+		return err
 	}
 	defer sess.Close()
 
@@ -129,7 +139,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: server.Handler(sess)}
+	handler := server.HandlerLogged(sess, logger)
+	if *pprofd {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)

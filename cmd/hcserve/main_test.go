@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"hcrowd"
+	"hcrowd/internal/obsv"
 )
 
 func writeDataset(t *testing.T) string {
@@ -96,6 +98,111 @@ func TestRunServesHTTP(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not shut down")
+	}
+}
+
+// TestRunSimMetricsSmoke is the end-to-end observability smoke: start a
+// self-driving (-sim) server with -pprof, scrape GET /metrics while the
+// session runs, and assert the round counters advance and the pprof
+// index answers. The budget is large enough that the session outlives
+// the test, so the scrapes are deterministic; the test stops the server
+// by cancelling the context. This is the check `make verify` runs.
+func TestRunSimMetricsSmoke(t *testing.T) {
+	path := writeDataset(t)
+	var out bytes.Buffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const addr = "127.0.0.1:18765"
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-in", path, "-addr", addr, "-budget", "1e7", "-sim", "-pprof"}, &out)
+	}()
+
+	scrape := func() (map[string]obsv.MetricSnapshot, error) {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("/metrics = %d", resp.StatusCode)
+		}
+		var snap map[string]obsv.MetricSnapshot
+		return snap, json.NewDecoder(resp.Body).Decode(&snap)
+	}
+	counter := func(snap map[string]obsv.MetricSnapshot, name string) float64 {
+		if ms, ok := snap[name]; ok && ms.Value != nil {
+			return *ms.Value
+		}
+		return 0
+	}
+
+	// Scrape until the pipeline has completed at least one round.
+	var snap map[string]obsv.MetricSnapshot
+	deadline := time.After(20 * time.Second)
+	for {
+		s, err := scrape()
+		if err == nil && counter(s, "pipeline_rounds_total") > 0 {
+			snap = s
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("metrics never advanced (last err: %v)", err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	for _, name := range []string{
+		"session_rounds_published_total",
+		"session_rounds_completed_total",
+		"session_answers_accepted_total",
+		"selector_evals_total",
+	} {
+		if counter(snap, name) <= 0 {
+			t.Errorf("counter %s not advancing: %+v", name, snap[name])
+		}
+	}
+	// The counters keep advancing while the sim runs.
+	first := counter(snap, "pipeline_rounds_total")
+	deadline = time.After(20 * time.Second)
+	for {
+		s, err := scrape()
+		if err == nil && counter(s, "pipeline_rounds_total") > first {
+			snap = s
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("pipeline_rounds_total stuck at %v (last err: %v)", first, err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	// By now at least the first scrape has been counted per route.
+	if hr, ok := snap["http_requests_total"]; !ok || len(hr.Values) == 0 {
+		t.Errorf("no per-route HTTP stats: %+v", hr)
+	}
+
+	// -pprof mounted the profiling index on the same listener.
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "listening on") {
+		t.Errorf("output: %q", out.String())
 	}
 }
 

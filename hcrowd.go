@@ -61,6 +61,26 @@ type (
 	// live crowdsourcing platform, or use NewSimulatedSource.
 	AnswerSource = pipeline.AnswerSource
 
+	// RoundMetrics is one checking round's observability record: wall
+	// time, queries bought, answers requested vs received, spend, quality
+	// movement and selector cache statistics. Purely observational —
+	// attaching a sink never changes a run's results.
+	RoundMetrics = pipeline.RoundMetrics
+	// MetricsSink receives one RoundMetrics per completed round; set it
+	// via Config.Metrics.
+	MetricsSink = pipeline.MetricsSink
+	// MetricsRecorder is the in-memory MetricsSink: it appends every
+	// record and hands back the ordered slice via Rounds(). The zero
+	// value is ready to use.
+	MetricsRecorder = pipeline.MetricsRecorder
+	// MultiMetrics fans records out to several sinks (nils are skipped).
+	MultiMetrics = pipeline.MultiMetrics
+
+	// SelectStats counts the selection engine's work during a round:
+	// Select calls, CondEntropy evaluations, task re-scans and cache
+	// reuses.
+	SelectStats = taskselect.SelectStats
+
 	// Aggregator is a label-aggregation algorithm (truth inference).
 	Aggregator = aggregate.Aggregator
 	// AggregateResult is an aggregation outcome: per-fact posteriors and

@@ -49,6 +49,7 @@ func AblationPrior(ctx context.Context, o Options) (*Figure, error) {
 			Init:          aggregate.NewEBCC(o.Seed + 1),
 			Source:        pipeline.NewSimulated(o.Seed+2, ds),
 			PriorCoupling: variant.couple,
+			Metrics:       o.Metrics,
 		}
 		acc, qual, err := runHC(ctx, ds, cfg, grid)
 		if err != nil {

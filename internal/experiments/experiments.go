@@ -27,6 +27,10 @@ type Options struct {
 	// fact groups) so a full suite runs in seconds. The full-size runs
 	// mirror the paper's scale (200 tasks × 5 facts, budget 0..1000).
 	Quick bool
+	// Metrics, when non-nil, receives one RoundMetrics record per
+	// checking round of every pipeline run a driver performs. Metrics are
+	// purely observational: attaching a sink never changes the results.
+	Metrics pipeline.MetricsSink
 }
 
 // budgets returns the budget grid of the figures.
@@ -152,6 +156,7 @@ func hcConfig(o Options, ds *dataset.Dataset, k int) (pipeline.Config, error) {
 		Init:          aggregate.NewEBCC(o.Seed + 1),
 		Source:        pipeline.NewSimulated(o.Seed+2, ds),
 		PriorCoupling: couple,
+		Metrics:       o.Metrics,
 	}, nil
 }
 

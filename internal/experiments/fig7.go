@@ -46,6 +46,7 @@ func Fig7(ctx context.Context, o Options) (*Figure, error) {
 		Budget:      o.maxBudget(),
 		UniformInit: true,
 		Source:      pipeline.NewSimulated(o.Seed+2, &flat),
+		Metrics:     o.Metrics,
 	}
 	_, qualFlat, err := runHC(ctx, &flat, noHC, grid)
 	if err != nil {

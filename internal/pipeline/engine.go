@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"context"
 
@@ -40,6 +41,11 @@ type roundPlan interface {
 	// cache exports the plan's warm-resume selection state (nil when the
 	// selector is not incremental).
 	cache() *taskselect.SelectionCache
+	// flavor names the plan for metrics ("uniform" or "costaware").
+	flavor() string
+	// stats snapshots the plan's cumulative selector work counters (zero
+	// when the selector is not incremental).
+	stats() taskselect.SelectStats
 }
 
 // stopState tracks the per-fact vote counts and frozen masks of the
@@ -111,6 +117,19 @@ func (s *stopState) observe(ds *dataset.Dataset, task int, locals []int, fam cro
 	}
 }
 
+// frozenCount counts the (task, fact) pairs the rule has settled.
+func (s *stopState) frozenCount() int {
+	n := 0
+	for _, row := range s.frozen {
+		for _, f := range row {
+			if f {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // snapshot exports the vote counts for checkpointing; nil without a rule.
 func (s *stopState) snapshot() *StopVotes {
 	if s.rule == nil {
@@ -146,12 +165,21 @@ func runEngine(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Cr
 
 	budget := cfg.Budget
 	round := 0
+	prevQ := res.InitQuality
 	for {
 		if cfg.MaxRounds > 0 && round >= cfg.MaxRounds {
 			break
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		// Metrics bookkeeping is gated on the sink so an uninstrumented run
+		// pays nothing; none of it feeds back into the loop.
+		var roundStart time.Time
+		var statsBefore taskselect.SelectStats
+		if cfg.Metrics != nil {
+			roundStart = time.Now()
+			statsBefore = plan.stats()
 		}
 		problem := taskselect.Problem{Beliefs: beliefs, Experts: ce, Frozen: st.frozen}
 		buys, picks, err := plan.plan(ctx, problem, budget)
@@ -170,7 +198,9 @@ func runEngine(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Cr
 		// round, e.g. an expert timed out.
 		var spent float64
 		var touched []int
+		var requested, received int
 		for _, bu := range buys {
+			requested += len(bu.locals) * len(bu.panel)
 			globals := make([]int, len(bu.locals))
 			for i, lf := range bu.locals {
 				globals[i] = ds.Tasks[bu.task][lf]
@@ -183,6 +213,7 @@ func runEngine(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Cr
 				return nil, fmt.Errorf("pipeline: source returned no answers for round %d", round+1)
 			}
 			for _, as := range fam {
+				received += len(as.Facts)
 				spent += float64(len(as.Facts)) * answerCost(as.Worker)
 			}
 			// Re-index the family from global to local facts; the source
@@ -218,6 +249,23 @@ func runEngine(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Cr
 			Quality:     q,
 			Accuracy:    acc,
 		})
+		if cfg.Metrics != nil {
+			cfg.Metrics.RecordRound(RoundMetrics{
+				Round:            round,
+				Flavor:           plan.flavor(),
+				Duration:         time.Since(roundStart),
+				QueriesBought:    len(picks),
+				AnswersRequested: requested,
+				AnswersReceived:  received,
+				Spent:            spent,
+				BudgetSpent:      spentBefore + res.BudgetSpent,
+				Quality:          q,
+				QualityDelta:     q - prevQ,
+				FrozenFacts:      st.frozenCount(),
+				Selector:         plan.stats().Sub(statsBefore),
+			})
+		}
+		prevQ = q
 		if cfg.OnCheckpoint != nil {
 			cfg.OnCheckpoint(engineCheckpoint(res, plan, st, spentBefore))
 		}
@@ -336,6 +384,15 @@ func (u *uniformPlan) cache() *taskselect.SelectionCache {
 	return nil
 }
 
+func (u *uniformPlan) flavor() string { return "uniform" }
+
+func (u *uniformPlan) stats() taskselect.SelectStats {
+	if u.state != nil {
+		return u.state.Stats()
+	}
+	return taskselect.SelectStats{}
+}
+
 // costPlan is the §III-D cost extension's purchasing: each round greedily
 // buys individual (query, expert) answer units by gain-per-cost until the
 // round's chunk of the budget is spent. The chunk is K times the mean
@@ -433,3 +490,7 @@ func (c *costPlan) plan(ctx context.Context, p taskselect.Problem, remaining flo
 func (c *costPlan) invalidate(tasks []int) { c.state.Invalidate(tasks...) }
 
 func (c *costPlan) cache() *taskselect.SelectionCache { return c.state.ExportCache() }
+
+func (c *costPlan) flavor() string { return "costaware" }
+
+func (c *costPlan) stats() taskselect.SelectStats { return c.state.Stats() }

@@ -1,0 +1,128 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"hcrowd/internal/crowd"
+)
+
+// TestMetricsDeterministicGivenSeed proves the acceptance criterion that
+// instrumentation does not perturb determinism: a run with a metrics sink
+// attached is byte-identical (same trace string) to the same-seed run
+// without one, for both the uniform and the cost-aware flavor. The name
+// keeps it inside the Makefile's determinism suite (-run
+// 'DeterministicGivenSeed' -count=2).
+func TestMetricsDeterministicGivenSeed(t *testing.T) {
+	costModel := func(ds interface {
+		Split() (crowd.Crowd, crowd.Crowd)
+	}) func(w crowd.Worker) float64 {
+		pricey := ""
+		if ce, _ := ds.Split(); len(ce) > 0 {
+			pricey = ce[0].ID
+		}
+		return func(w crowd.Worker) float64 {
+			if w.ID == pricey {
+				return 2
+			}
+			return 1
+		}
+	}
+	variants := []struct {
+		name string
+		run  func(t *testing.T, rec *MetricsRecorder) string
+	}{
+		{"uniform", func(t *testing.T, rec *MetricsRecorder) string {
+			ds := smallDataset(t, 4)
+			cfg := fig2StyleConfig(t, ds, 40)
+			if rec != nil {
+				cfg.Metrics = rec
+			}
+			res, err := Run(context.Background(), ds, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return trace(res)
+		}},
+		{"cost-aware", func(t *testing.T, rec *MetricsRecorder) string {
+			ds := smallDataset(t, 4)
+			cfg := fig2StyleConfig(t, ds, 40)
+			cfg.Budget = 30
+			cfg.Cost = costModel(ds)
+			if rec != nil {
+				cfg.Metrics = rec
+			}
+			res, err := RunCostAware(context.Background(), ds, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return trace(res)
+		}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			bare := v.run(t, nil)
+			rec := &MetricsRecorder{}
+			instrumented := v.run(t, rec)
+			if bare != instrumented {
+				t.Errorf("metrics sink perturbed the run:\n bare:    %.200s…\n metrics: %.200s…", bare, instrumented)
+			}
+			rounds := rec.Rounds()
+			if len(rounds) == 0 {
+				t.Fatal("sink recorded no rounds")
+			}
+			flavor := "uniform"
+			if v.name == "cost-aware" {
+				flavor = "costaware"
+			}
+			var prevSpent float64
+			for i, m := range rounds {
+				if m.Round != i+1 {
+					t.Errorf("round %d recorded as %d", i+1, m.Round)
+				}
+				if m.Flavor != flavor {
+					t.Errorf("round %d flavor = %q, want %q", m.Round, m.Flavor, flavor)
+				}
+				if m.QueriesBought <= 0 {
+					t.Errorf("round %d bought %d queries", m.Round, m.QueriesBought)
+				}
+				// The simulated source always delivers the full family.
+				if m.AnswersReceived != m.AnswersRequested || m.AnswersReceived <= 0 {
+					t.Errorf("round %d answers %d/%d", m.Round, m.AnswersReceived, m.AnswersRequested)
+				}
+				if m.Spent <= 0 || m.BudgetSpent <= prevSpent {
+					t.Errorf("round %d spend %v (cumulative %v after %v)", m.Round, m.Spent, m.BudgetSpent, prevSpent)
+				}
+				prevSpent = m.BudgetSpent
+				if m.Duration < 0 {
+					t.Errorf("round %d duration %v", m.Round, m.Duration)
+				}
+				// Both flavors run on an incremental selector here, so every
+				// round evaluates CondEntropy at least once.
+				if m.Selector.Selects != 1 || m.Selector.Evals <= 0 {
+					t.Errorf("round %d selector stats %+v", m.Round, m.Selector)
+				}
+				// Steady state reuses caches: after round 1 only the touched
+				// tasks rescan, so some task must be reused (4 tasks, K=3).
+				if i > 0 && m.Selector.Reused == 0 {
+					t.Errorf("round %d reused no task caches: %+v", m.Round, m.Selector)
+				}
+			}
+		})
+	}
+}
+
+// TestMultiMetricsFanOut checks the fan-out sink delivers to every child
+// and tolerates nil entries.
+func TestMultiMetricsFanOut(t *testing.T) {
+	a, b := &MetricsRecorder{}, &MetricsRecorder{}
+	mm := MultiMetrics{a, nil, b}
+	mm.RecordRound(RoundMetrics{Round: 1})
+	mm.RecordRound(RoundMetrics{Round: 2})
+	if len(a.Rounds()) != 2 || len(b.Rounds()) != 2 {
+		t.Fatalf("fan-out delivered %d/%d", len(a.Rounds()), len(b.Rounds()))
+	}
+	if a.Rounds()[1].Round != 2 {
+		t.Fatalf("order lost: %+v", a.Rounds())
+	}
+}

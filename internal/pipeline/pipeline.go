@@ -110,6 +110,10 @@ type Config struct {
 	// counts. The callback owns the value (persist it, hand it to
 	// Resume/ResumeCostAware); it runs synchronously on the loop.
 	OnCheckpoint func(c *Checkpoint)
+	// Metrics, when set, receives one RoundMetrics per completed round.
+	// Purely observational: attaching a sink never changes the run's
+	// picks, answers, spend or labels.
+	Metrics MetricsSink
 }
 
 // RoundStats records one checking round for the experiment curves.

@@ -4,12 +4,28 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"time"
 )
+
+// StatusError reports a non-success HTTP status from the labeling
+// service, keeping the code inspectable so callers can tell benign
+// races (409: the round moved on; 410: the session finished) from real
+// failures.
+type StatusError struct {
+	Path string
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server: %s returned %d: %s", e.Path, e.Code, e.Msg)
+}
 
 // Client is the Go consumer of the hcserve HTTP API. Expert-side tools
 // (or bridges to real crowdsourcing platforms) use it to poll for
@@ -19,6 +35,15 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to a client with a 10 s timeout.
 	HTTPClient *http.Client
+
+	// Retry policy for transient transport errors inside AnswerLoop:
+	// consecutive failures back off exponentially from RetryBaseDelay
+	// (default 100 ms) capped at RetryMaxDelay (default 5 s), with ±25%
+	// jitter; after MaxRetries consecutive failures (default 8) the loop
+	// gives up and returns the last error. Any success resets the count.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	MaxRetries     int
 }
 
 // NewClient returns a client for the given server root.
@@ -89,7 +114,7 @@ func (c *Client) Queries(ctx context.Context, workerID string) (Query, bool, err
 	case http.StatusNoContent:
 		return Query{}, false, nil
 	default:
-		return Query{}, false, fmt.Errorf("server: /queries returned %d", code)
+		return Query{}, false, &StatusError{Path: "/queries", Code: code}
 	}
 }
 
@@ -113,7 +138,7 @@ func (c *Client) Answer(ctx context.Context, round int, workerID string, values 
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("server: /answers returned %d: %s", resp.StatusCode, msg)
+		return &StatusError{Path: "/answers", Code: resp.StatusCode, Msg: string(msg)}
 	}
 	return nil
 }
@@ -126,7 +151,7 @@ func (c *Client) Status(ctx context.Context) (Status, error) {
 		return Status{}, err
 	}
 	if code != http.StatusOK {
-		return Status{}, fmt.Errorf("server: /status returned %d", code)
+		return Status{}, &StatusError{Path: "/status", Code: code}
 	}
 	return st, nil
 }
@@ -147,28 +172,107 @@ func (c *Client) Labels(ctx context.Context) ([]bool, error) {
 	return out.Labels, nil
 }
 
+// retryPolicy resolves the client's backoff knobs to their defaults.
+func (c *Client) retryPolicy() (base, max time.Duration, retries int) {
+	base, max, retries = c.RetryBaseDelay, c.RetryMaxDelay, c.MaxRetries
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if retries <= 0 {
+		retries = 8
+	}
+	return base, max, retries
+}
+
+// backoffDelay is the capped exponential delay for the nth consecutive
+// failure (n >= 1), with ±25% jitter so a fleet of experts does not
+// hammer a recovering server in lockstep.
+func backoffDelay(base, max time.Duration, n int) time.Duration {
+	d := base << uint(n-1)
+	if d > max || d <= 0 { // <= 0 guards shift overflow
+		d = max
+	}
+	jittered := time.Duration(float64(d) * (0.75 + 0.5*rand.Float64()))
+	if jittered <= 0 {
+		jittered = d
+	}
+	return jittered
+}
+
 // AnswerLoop polls for queries addressed to workerID and answers them
 // with the supplied function until the session completes or ctx is
 // cancelled. It is the building block for expert-side clients.
+//
+// The loop is resilient to the protocol's benign races and to transient
+// transport failures: a 409 on POST /answers means the round completed
+// (full panel or timeout) between Queries and Answer — the answer is
+// simply stale, so the loop re-polls for the next round; a 410 means the
+// session finished, which the next Status call confirms. Transport
+// errors (dropped connections, a restarting server) retry with capped
+// exponential backoff and jitter per the client's retry policy; only
+// after MaxRetries consecutive failures — or on a non-benign HTTP status
+// — does the loop give up.
 func (c *Client) AnswerLoop(ctx context.Context, workerID string, answer func(facts []int) []bool, poll time.Duration) error {
 	if poll <= 0 {
 		poll = 50 * time.Millisecond
 	}
+	base, max, retries := c.retryPolicy()
+	failures := 0
+	// fail classifies an error: benign races clear, transport errors
+	// back off until the retry budget runs out, HTTP errors are fatal.
+	// The second return is the error to stop with, nil to keep looping.
+	fail := func(err error) (stop bool, ret error) {
+		var se *StatusError
+		if errors.As(err, &se) {
+			if se.Code == http.StatusConflict || se.Code == http.StatusGone {
+				// The round moved on (or the session just finished); the
+				// next Status/Queries poll resynchronizes.
+				failures = 0
+				return false, nil
+			}
+			return true, err // a real protocol error; retrying won't help
+		}
+		if ctx.Err() != nil {
+			return true, ctx.Err()
+		}
+		failures++
+		if failures > retries {
+			return true, fmt.Errorf("server: giving up after %d consecutive failures: %w", failures, err)
+		}
+		select {
+		case <-ctx.Done():
+			return true, ctx.Err()
+		case <-time.After(backoffDelay(base, max, failures)):
+		}
+		return false, nil
+	}
 	for {
 		st, err := c.Status(ctx)
 		if err != nil {
-			return err
+			if stop, ret := fail(err); stop {
+				return ret
+			}
+			continue
 		}
+		failures = 0
 		if st.Done {
 			return nil
 		}
 		q, ok, err := c.Queries(ctx, workerID)
 		if err != nil {
-			return err
+			if stop, ret := fail(err); stop {
+				return ret
+			}
+			continue
 		}
 		if ok {
 			if err := c.Answer(ctx, q.Round, workerID, answer(q.Facts)); err != nil {
-				return err
+				if stop, ret := fail(err); stop {
+					return ret
+				}
 			}
 			continue
 		}

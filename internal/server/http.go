@@ -3,7 +3,11 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"log"
 	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
 )
 
 // Handler exposes a Session over HTTP:
@@ -15,85 +19,182 @@ import (
 //	GET  /labels               -> {"labels": [...]} once done, 409 before
 //	GET  /checkpoint           -> warm pipeline checkpoint JSON, 204 before
 //	                              the first round completes
+//	GET  /metrics              -> the session's metrics snapshot (JSON)
 //
-// All bodies are JSON. The handler is safe for concurrent clients. The
-// checkpoint endpoint lets an operator persist the session's progress and
-// later restart the job with NewSessionResume (or hcrowd.Resume) without
-// re-asking the experts anything.
+// All bodies are JSON. The handler is safe for concurrent clients, and
+// every route is instrumented: request counts and latency per route,
+// in-flight gauge, and panic recovery to a JSON 500. POST /answers
+// returns 409 when the round is closed or the answer is otherwise
+// rejected, 410 once the session has finished. The checkpoint endpoint
+// lets an operator persist the session's progress and later restart the
+// job with NewSessionResume (or hcrowd.Resume) without re-asking the
+// experts anything.
 func Handler(s *Session) http.Handler {
+	return HandlerLogged(s, nil)
+}
+
+// HandlerLogged is Handler with a logger for handler panics and response
+// write failures; nil logger silences them (panics are still recovered
+// and counted in the metrics).
+func HandlerLogged(s *Session, logger *log.Logger) http.Handler {
+	h := &httpHandler{s: s, m: s.Metrics(), logger: logger}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /experts", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"experts": s.Experts()})
-	})
-	mux.HandleFunc("GET /queries", func(w http.ResponseWriter, r *http.Request) {
-		worker := r.URL.Query().Get("worker")
-		if worker == "" {
-			httpError(w, http.StatusBadRequest, "missing worker parameter")
-			return
-		}
-		round, facts, ok := s.Queries(worker)
-		if !ok {
-			w.WriteHeader(http.StatusNoContent)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"round": round, "facts": facts})
-	})
-	mux.HandleFunc("POST /answers", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Round  int    `json:"round"`
-			Worker string `json:"worker"`
-			Values []bool `json:"values"`
-		}
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad answer payload: "+err.Error())
-			return
-		}
-		if err := s.Answer(req.Round, req.Worker, req.Values); err != nil {
-			code := http.StatusConflict
-			if errors.Is(err, ErrClosed) {
-				code = http.StatusGone
-			}
-			httpError(w, code, err.Error())
-			return
-		}
-		w.WriteHeader(http.StatusAccepted)
-	})
-	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Status())
-	})
-	mux.HandleFunc("GET /checkpoint", func(w http.ResponseWriter, r *http.Request) {
-		ck := s.Checkpoint()
-		if ck == nil {
-			w.WriteHeader(http.StatusNoContent)
-			return
-		}
-		writeJSON(w, http.StatusOK, ck)
-	})
-	mux.HandleFunc("GET /labels", func(w http.ResponseWriter, r *http.Request) {
-		st := s.Status()
-		if !st.Done {
-			httpError(w, http.StatusConflict, "labeling still in progress")
-			return
-		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.runErr != nil {
-			httpError(w, http.StatusInternalServerError, s.runErr.Error())
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"labels": s.result.Labels})
+	h.route(mux, "GET /experts", h.experts)
+	h.route(mux, "GET /queries", h.queries)
+	h.route(mux, "POST /answers", h.answers)
+	h.route(mux, "GET /status", h.status)
+	h.route(mux, "GET /checkpoint", h.checkpoint)
+	h.route(mux, "GET /labels", h.labels)
+	h.route(mux, "GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		h.m.Handler().ServeHTTP(w, r)
 	})
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+// httpHandler carries the session, its metrics and the logger through
+// the route handlers.
+type httpHandler struct {
+	s      *Session
+	m      *Metrics
+	logger *log.Logger
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+func (h *httpHandler) logf(format string, args ...any) {
+	if h.logger != nil {
+		h.logger.Printf(format, args...)
+	}
+}
+
+// statusRecorder captures the response code for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// route registers fn under pattern with the standard middleware:
+// in-flight gauge, per-route latency histogram, per-(route, code)
+// request counter, and panic recovery to a JSON 500. The pattern string
+// is the route label, so instrumentation is attached at registration
+// time rather than by re-deriving the route per request.
+func (h *httpHandler) route(mux *http.ServeMux, pattern string, fn http.HandlerFunc) {
+	latency := h.m.httpLatency.With(pattern)
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		h.m.httpInflight.Inc()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				h.m.httpPanics.Inc()
+				h.logf("server: panic in %s: %v\n%s", pattern, p, debug.Stack())
+				if !rec.wrote {
+					h.writeJSON(rec, http.StatusInternalServerError,
+						map[string]string{"error": "internal server error"})
+				}
+			}
+			latency.Observe(time.Since(start).Seconds())
+			h.m.httpRequests.With(pattern, strconv.Itoa(rec.code)).Inc()
+			h.m.httpInflight.Dec()
+		}()
+		fn(rec, r)
+	})
+}
+
+func (h *httpHandler) experts(w http.ResponseWriter, r *http.Request) {
+	h.writeJSON(w, http.StatusOK, map[string]any{"experts": h.s.Experts()})
+}
+
+func (h *httpHandler) queries(w http.ResponseWriter, r *http.Request) {
+	worker := r.URL.Query().Get("worker")
+	if worker == "" {
+		h.httpError(w, http.StatusBadRequest, "missing worker parameter")
+		return
+	}
+	round, facts, ok := h.s.Queries(worker)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, map[string]any{"round": round, "facts": facts})
+}
+
+func (h *httpHandler) answers(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Round  int    `json:"round"`
+		Worker string `json:"worker"`
+		Values []bool `json:"values"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		h.httpError(w, http.StatusBadRequest, "bad answer payload: "+err.Error())
+		return
+	}
+	if err := h.s.Answer(req.Round, req.Worker, req.Values); err != nil {
+		code := http.StatusConflict
+		if errors.Is(err, ErrClosed) {
+			code = http.StatusGone
+		}
+		h.httpError(w, code, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (h *httpHandler) status(w http.ResponseWriter, r *http.Request) {
+	h.writeJSON(w, http.StatusOK, h.s.Status())
+}
+
+func (h *httpHandler) checkpoint(w http.ResponseWriter, r *http.Request) {
+	ck := h.s.Checkpoint()
+	if ck == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, ck)
+}
+
+func (h *httpHandler) labels(w http.ResponseWriter, r *http.Request) {
+	st := h.s.Status()
+	if !st.Done {
+		h.httpError(w, http.StatusConflict, "labeling still in progress")
+		return
+	}
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	if h.s.runErr != nil {
+		h.httpError(w, http.StatusInternalServerError, h.s.runErr.Error())
+		return
+	}
+	h.writeJSON(w, http.StatusOK, map[string]any{"labels": h.s.result.Labels})
+}
+
+// writeJSON writes v as the response body. An encode/write failure (a
+// client that hung up mid-body, an unencodable value) cannot be reported
+// to the client — the status line is already gone — so it is counted and
+// logged instead of silently dropped.
+func (h *httpHandler) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		h.m.writeErrors.Inc()
+		h.logf("server: write response (status %d): %v", code, err)
+	}
+}
+
+func (h *httpHandler) httpError(w http.ResponseWriter, code int, msg string) {
+	h.writeJSON(w, code, map[string]string{"error": msg})
 }

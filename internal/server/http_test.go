@@ -1,0 +1,196 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hcrowd/internal/obsv"
+	"hcrowd/internal/pipeline"
+)
+
+// brokenWriter is a ResponseWriter whose body writes always fail — a
+// client that hung up mid-response.
+type brokenWriter struct {
+	header http.Header
+	code   int
+}
+
+func (w *brokenWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = make(http.Header)
+	}
+	return w.header
+}
+func (w *brokenWriter) WriteHeader(code int)      { w.code = code }
+func (w *brokenWriter) Write([]byte) (int, error) { return 0, errors.New("broken pipe") }
+
+// TestWriteJSONBrokenWriter pins the satellite fix: an encode failure is
+// counted and logged instead of silently discarded.
+func TestWriteJSONBrokenWriter(t *testing.T) {
+	logBuf := &syncBuffer{}
+	h := &httpHandler{m: NewMetrics(), logger: log.New(logBuf, "", 0)}
+	h.writeJSON(&brokenWriter{}, http.StatusOK, map[string]string{"k": "v"})
+	if got := h.m.writeErrors.Value(); got != 1 {
+		t.Errorf("write errors = %v, want 1", got)
+	}
+	if !strings.Contains(logBuf.String(), "write response") {
+		t.Errorf("failure not logged: %q", logBuf.String())
+	}
+	// An unencodable value fails the same way.
+	h.writeJSON(httptest.NewRecorder(), http.StatusOK, map[string]any{"bad": func() {}})
+	if got := h.m.writeErrors.Value(); got != 2 {
+		t.Errorf("write errors = %v, want 2", got)
+	}
+}
+
+// TestMiddlewarePanicRecovery checks that a panicking handler is turned
+// into a JSON 500, counted, logged, and does not kill the server.
+func TestMiddlewarePanicRecovery(t *testing.T) {
+	logBuf := &syncBuffer{}
+	h := &httpHandler{m: NewMetrics(), logger: log.New(logBuf, "", 0)}
+	mux := http.NewServeMux()
+	h.route(mux, "GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+		t.Errorf("500 body = %q", rec.Body.String())
+	}
+	if got := h.m.httpPanics.Value(); got != 1 {
+		t.Errorf("panics = %v, want 1", got)
+	}
+	if got := h.m.httpRequests.With("GET /boom", "500").Value(); got != 1 {
+		t.Errorf("request counter = %v, want 1", got)
+	}
+	if got := h.m.httpInflight.Value(); got != 0 {
+		t.Errorf("inflight after panic = %v, want 0", got)
+	}
+	if !strings.Contains(logBuf.String(), "kaboom") {
+		t.Errorf("panic not logged: %q", logBuf.String())
+	}
+}
+
+// TestMiddlewareCountsRoutes drives a few requests and checks the
+// per-(route, code) counters and latency histograms fill in.
+func TestMiddlewareCountsRoutes(t *testing.T) {
+	s := newTestSession(t, 4)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/queries") // missing worker → 400
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	m := s.Metrics()
+	if got := m.httpRequests.With("GET /status", "200").Value(); got != 3 {
+		t.Errorf("GET /status 200 = %v, want 3", got)
+	}
+	if got := m.httpRequests.With("GET /queries", "400").Value(); got != 1 {
+		t.Errorf("GET /queries 400 = %v, want 1", got)
+	}
+	if got := m.httpLatency.With("GET /status").Count(); got != 3 {
+		t.Errorf("latency observations = %v, want 3", got)
+	}
+}
+
+// TestMetricsEndpointEndToEnd is the acceptance check at the package
+// level: drive a session to completion over HTTP, scrape GET /metrics,
+// and assert the snapshot carries per-route HTTP stats and per-round
+// pipeline/selector counters.
+func TestMetricsEndpointEndToEnd(t *testing.T) {
+	ds := testDataset(t)
+	s, err := NewSession(context.Background(), ds, pipeline.Config{K: 1, Budget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for _, id := range s.Experts() {
+		go func(id string) {
+			_ = c.AnswerLoop(ctx, id, func(facts []int) []bool {
+				values := make([]bool, len(facts))
+				for i, f := range facts {
+					values[i] = ds.Truth[f]
+				}
+				return values
+			}, time.Millisecond)
+		}(id)
+	}
+	if _, err := s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	var snap map[string]obsv.MetricSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	counter := func(name string) float64 {
+		t.Helper()
+		ms, ok := snap[name]
+		if !ok || ms.Value == nil {
+			t.Fatalf("metric %q missing from snapshot", name)
+		}
+		return *ms.Value
+	}
+	if counter("pipeline_rounds_total") <= 0 {
+		t.Error("no pipeline rounds recorded")
+	}
+	if counter("selector_evals_total") <= 0 {
+		t.Error("no selector evals recorded")
+	}
+	if counter("pipeline_answers_received_total") != counter("pipeline_answers_requested_total") {
+		t.Error("full-panel run received != requested")
+	}
+	if counter("pipeline_budget_spent") != 8 {
+		t.Errorf("budget spent gauge = %v, want 8", counter("pipeline_budget_spent"))
+	}
+	httpStats, ok := snap["http_requests_total"]
+	if !ok || len(httpStats.Values) == 0 {
+		t.Fatalf("http_requests_total missing or empty: %+v", httpStats)
+	}
+	foundAnswers := false
+	for k := range httpStats.Values {
+		if strings.HasPrefix(k, "POST /answers") {
+			foundAnswers = true
+		}
+	}
+	if !foundAnswers {
+		t.Errorf("no POST /answers stats in %v", httpStats.Values)
+	}
+	if rs, ok := snap["pipeline_round_seconds"]; !ok || rs.Histogram == nil || rs.Histogram.Count <= 0 {
+		t.Errorf("pipeline_round_seconds missing observations: %+v", snap["pipeline_round_seconds"])
+	}
+}

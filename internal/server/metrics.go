@@ -1,0 +1,122 @@
+package server
+
+import (
+	"net/http"
+
+	"hcrowd/internal/obsv"
+	"hcrowd/internal/pipeline"
+)
+
+// Metrics is the labeling service's instrument bundle: HTTP traffic,
+// session round-lifecycle events, and — via its pipeline.MetricsSink
+// implementation — the checking loop's per-round figures, including the
+// incremental selectors' CondEntropy-eval counts (the same unit
+// BENCH_core.json measures). One bundle serves one Session; scrape it at
+// GET /metrics.
+type Metrics struct {
+	reg *obsv.Registry
+
+	// HTTP layer.
+	httpRequests *obsv.CounterVec // route, code
+	httpLatency  *obsv.HistogramVec
+	httpInflight *obsv.Gauge
+	httpPanics   *obsv.Counter
+	writeErrors  *obsv.Counter
+
+	// Session round lifecycle.
+	roundsPublished *obsv.Counter
+	roundsCompleted *obsv.Counter
+	roundsExpired   *obsv.Counter
+	answersAccepted *obsv.Counter
+	answersRejected *obsv.CounterVec // reason
+
+	// Pipeline rounds (fed by RecordRound).
+	pipelineRounds   *obsv.Counter
+	roundSeconds     *obsv.Histogram
+	queriesBought    *obsv.Counter
+	answersRequested *obsv.Counter
+	answersReceived  *obsv.Counter
+	budgetSpent      *obsv.Gauge
+	quality          *obsv.Gauge
+	frozenFacts      *obsv.Gauge
+	selectorEvals    *obsv.Counter
+	selectorRescans  *obsv.Counter
+	selectorReused   *obsv.Counter
+}
+
+// NewMetrics builds a bundle with every instrument registered.
+func NewMetrics() *Metrics {
+	reg := obsv.NewRegistry()
+	return &Metrics{
+		reg: reg,
+
+		httpRequests: reg.CounterVec("http_requests_total",
+			"HTTP requests served", "route", "code"),
+		httpLatency: reg.HistogramVec("http_request_seconds",
+			"HTTP request latency", nil, "route"),
+		httpInflight: reg.Gauge("http_inflight_requests",
+			"requests currently being handled"),
+		httpPanics: reg.Counter("http_panics_total",
+			"handler panics recovered to 500"),
+		writeErrors: reg.Counter("http_write_errors_total",
+			"response bodies that failed to encode or write"),
+
+		roundsPublished: reg.Counter("session_rounds_published_total",
+			"checking rounds published to experts"),
+		roundsCompleted: reg.Counter("session_rounds_completed_total",
+			"rounds completed with a full panel"),
+		roundsExpired: reg.Counter("session_rounds_expired_total",
+			"rounds closed by the timeout with a partial panel"),
+		answersAccepted: reg.Counter("session_answers_accepted_total",
+			"expert answer sets accepted"),
+		answersRejected: reg.CounterVec("session_answers_rejected_total",
+			"expert answer sets rejected", "reason"),
+
+		pipelineRounds: reg.Counter("pipeline_rounds_total",
+			"checking rounds the pipeline completed"),
+		roundSeconds: reg.Histogram("pipeline_round_seconds",
+			"pipeline round wall time", nil),
+		queriesBought: reg.Counter("pipeline_queries_bought_total",
+			"checking queries selected"),
+		answersRequested: reg.Counter("pipeline_answers_requested_total",
+			"expert answers requested"),
+		answersReceived: reg.Counter("pipeline_answers_received_total",
+			"expert answers received"),
+		budgetSpent: reg.Gauge("pipeline_budget_spent",
+			"cumulative budget consumed (incl. resumed spend)"),
+		quality: reg.Gauge("pipeline_quality",
+			"total belief quality after the latest round"),
+		frozenFacts: reg.Gauge("pipeline_frozen_facts",
+			"facts settled by the stopping rule"),
+		selectorEvals: reg.Counter("selector_evals_total",
+			"CondEntropy-core evaluations by the incremental selector"),
+		selectorRescans: reg.Counter("selector_rescans_total",
+			"task gain caches rebuilt (selector cache misses)"),
+		selectorReused: reg.Counter("selector_reused_total",
+			"task gain caches reused across rounds (selector cache hits)"),
+	}
+}
+
+// RecordRound implements pipeline.MetricsSink.
+func (m *Metrics) RecordRound(r pipeline.RoundMetrics) {
+	m.pipelineRounds.Inc()
+	m.roundSeconds.Observe(r.Duration.Seconds())
+	m.queriesBought.Add(float64(r.QueriesBought))
+	m.answersRequested.Add(float64(r.AnswersRequested))
+	m.answersReceived.Add(float64(r.AnswersReceived))
+	m.budgetSpent.Set(r.BudgetSpent)
+	m.quality.Set(r.Quality)
+	m.frozenFacts.Set(float64(r.FrozenFacts))
+	m.selectorEvals.Add(float64(r.Selector.Evals))
+	m.selectorRescans.Add(float64(r.Selector.Rescans))
+	m.selectorReused.Add(float64(r.Selector.Reused))
+}
+
+// Registry exposes the underlying registry (e.g. to register extra
+// service-specific instruments alongside).
+func (m *Metrics) Registry() *obsv.Registry { return m.reg }
+
+// Handler serves the metrics snapshot as JSON.
+func (m *Metrics) Handler() http.Handler { return m.reg.Handler() }
+
+var _ pipeline.MetricsSink = (*Metrics)(nil)

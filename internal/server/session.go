@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"time"
@@ -22,6 +23,15 @@ import (
 
 // ErrClosed is returned when answering a session that already finished.
 var ErrClosed = errors.New("server: session closed")
+
+// ErrRoundClosed is returned when answering a round that already
+// completed (full panel or timeout) but has not yet been replaced by the
+// next round. The answer is NOT recorded: the completed round's family
+// is what the pipeline consumes, and admitting stragglers would make the
+// consumed family — and every downstream belief — depend on goroutine
+// scheduling. HTTP maps it to 409; clients should re-poll for the next
+// round.
+var ErrRoundClosed = errors.New("server: round closed")
 
 // pendingRound is one published query set awaiting expert answers.
 type pendingRound struct {
@@ -57,6 +67,27 @@ type Session struct {
 	// required — an entirely silent panel keeps the round open). It
 	// prevents a single absent expert from deadlocking the session.
 	roundTimeout time.Duration
+
+	// metrics is always non-nil (auto-created when the options carry
+	// none); logger may be nil (no round-transition logging).
+	metrics *Metrics
+	logger  *log.Logger
+}
+
+// SessionOptions bundles the optional knobs of a session.
+type SessionOptions struct {
+	// RoundTimeout closes a round with the partial answers collected once
+	// the deadline passes; 0 waits for the full panel forever.
+	RoundTimeout time.Duration
+	// Checkpoint, when non-nil, resumes the job from a warm checkpoint
+	// instead of starting fresh.
+	Checkpoint *pipeline.Checkpoint
+	// Metrics receives the session's instrumentation; nil auto-creates a
+	// bundle (reachable via Session.Metrics).
+	Metrics *Metrics
+	// Logger, when non-nil, receives round-transition log lines
+	// (published / completed / expired / rejected stragglers).
+	Logger *log.Logger
 }
 
 // NewSession starts the pipeline on ds with cfg; cfg.Source is replaced
@@ -71,7 +102,7 @@ func NewSession(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Config) (
 // with that partial family (the budget is charged only for answers
 // actually received).
 func NewSessionTimeout(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Config, roundTimeout time.Duration) (*Session, error) {
-	return newSession(ctx, ds, cfg, nil, roundTimeout)
+	return NewSessionOpts(ctx, ds, cfg, SessionOptions{RoundTimeout: roundTimeout})
 }
 
 // NewSessionResume starts a session from a pipeline checkpoint (see
@@ -88,12 +119,14 @@ func NewSessionResumeTimeout(ctx context.Context, ds *dataset.Dataset, cfg pipel
 	if c == nil {
 		return nil, errors.New("server: nil checkpoint")
 	}
-	return newSession(ctx, ds, cfg, c, roundTimeout)
+	return NewSessionOpts(ctx, ds, cfg, SessionOptions{RoundTimeout: roundTimeout, Checkpoint: c})
 }
 
-// newSession is the shared constructor; a non-nil checkpoint resumes
+// NewSessionOpts is the general constructor; the fixed-signature
+// constructors above delegate here. opts.Checkpoint non-nil resumes
 // instead of starting fresh.
-func newSession(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Config, c *pipeline.Checkpoint, roundTimeout time.Duration) (*Session, error) {
+func NewSessionOpts(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Config, opts SessionOptions) (*Session, error) {
+	c := opts.Checkpoint
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
@@ -101,16 +134,29 @@ func newSession(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Config, c
 	if len(ce) == 0 {
 		return nil, errors.New("server: no expert workers above theta")
 	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
 	runCtx, cancel := context.WithCancel(ctx)
 	s := &Session{
 		ds:           ds,
 		experts:      ce,
 		finished:     make(chan struct{}),
 		cancel:       cancel,
-		roundTimeout: roundTimeout,
+		roundTimeout: opts.RoundTimeout,
 		checkpoint:   c,
+		metrics:      metrics,
+		logger:       opts.Logger,
 	}
 	cfg.Source = queueSource{s: s, ctx: runCtx}
+	// The session's bundle taps the pipeline's per-round metrics; a
+	// caller-provided sink still receives every record.
+	if cfg.Metrics != nil {
+		cfg.Metrics = pipeline.MultiMetrics{metrics, cfg.Metrics}
+	} else {
+		cfg.Metrics = metrics
+	}
 	// Capture every round's warm checkpoint so clients can persist the
 	// session's progress (GET /checkpoint) and resume after a restart;
 	// a caller-provided hook still runs.
@@ -144,6 +190,24 @@ func newSession(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Config, c
 		}
 	}()
 	return s, nil
+}
+
+// Metrics returns the session's instrument bundle (never nil); serve
+// Metrics().Handler() at GET /metrics — the session's Handler already
+// does.
+func (s *Session) Metrics() *Metrics { return s.metrics }
+
+// logf emits a round-transition line when a logger is configured.
+func (s *Session) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// rejectAnswer counts a rejected answer under its reason and returns err.
+func (s *Session) rejectAnswer(reason string, err error) error {
+	s.metrics.answersRejected.With(reason).Inc()
+	return err
 }
 
 // Checkpoint returns the latest warm checkpoint the loop produced, or nil
@@ -203,6 +267,8 @@ func (s *Session) publish(facts []int) *pendingRound {
 	if s.roundTimeout > 0 {
 		time.AfterFunc(s.roundTimeout, func() { s.expireRound(round) })
 	}
+	s.metrics.roundsPublished.Inc()
+	s.logf("round %d published: %d facts, awaiting %d experts", round.id, len(sorted), len(s.experts))
 	return round
 }
 
@@ -221,16 +287,24 @@ func (s *Session) expireRound(round *pendingRound) {
 	}
 	round.complete = true
 	close(round.done)
+	s.metrics.roundsExpired.Inc()
+	s.logf("round %d expired: proceeding with %d/%d answers", round.id, len(round.answers), len(s.experts))
 }
 
 // Queries returns the open round for the given expert: the round ID and
 // the facts still needing the expert's answers. ok is false when there is
-// no open round, the worker is not an expert, or the worker has already
-// answered.
+// no open round, the round already completed, the worker is not an
+// expert, or the worker has already answered.
 func (s *Session) Queries(workerID string) (roundID int, facts []int, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.pending == nil || s.closed {
+		return 0, nil, false
+	}
+	if s.pending.complete {
+		// Between the round completing (full panel or timeout) and the
+		// loop consuming it, the round is closed: advertising it would
+		// solicit answers that Answer must reject.
 		return 0, nil, false
 	}
 	if _, isExpert := s.experts.ByID(workerID); !isExpert {
@@ -243,25 +317,35 @@ func (s *Session) Queries(workerID string) (roundID int, facts []int, ok bool) {
 }
 
 // Answer records one expert's answers to the open round. The values must
-// be parallel to the round's fact list (ascending global fact order).
+// be parallel to the round's fact list (ascending global fact order). A
+// round that already completed — by full panel or by timeout — rejects
+// further answers with ErrRoundClosed: the completed family is what the
+// pipeline consumes, and it must not depend on whether a straggler beat
+// the loop to the lock.
 func (s *Session) Answer(roundID int, workerID string, values []bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return ErrClosed
+		return s.rejectAnswer("session_closed", ErrClosed)
 	}
 	if s.pending == nil || s.pending.id != roundID {
-		return fmt.Errorf("server: round %d is not open", roundID)
+		return s.rejectAnswer("not_open", fmt.Errorf("server: round %d is not open", roundID))
+	}
+	if s.pending.complete {
+		s.logf("round %d rejected straggler answer from %s: round closed", roundID, workerID)
+		return s.rejectAnswer("round_closed",
+			fmt.Errorf("%w: round %d already completed", ErrRoundClosed, roundID))
 	}
 	w, isExpert := s.experts.ByID(workerID)
 	if !isExpert {
-		return fmt.Errorf("server: %q is not an expert worker", workerID)
+		return s.rejectAnswer("not_expert", fmt.Errorf("server: %q is not an expert worker", workerID))
 	}
 	if _, dup := s.pending.answers[workerID]; dup {
-		return fmt.Errorf("server: %s already answered round %d", workerID, roundID)
+		return s.rejectAnswer("duplicate", fmt.Errorf("server: %s already answered round %d", workerID, roundID))
 	}
 	if len(values) != len(s.pending.facts) {
-		return fmt.Errorf("server: round %d needs %d answers, got %d", roundID, len(s.pending.facts), len(values))
+		return s.rejectAnswer("arity",
+			fmt.Errorf("server: round %d needs %d answers, got %d", roundID, len(s.pending.facts), len(values)))
 	}
 	as := crowd.AnswerSet{
 		Worker: w,
@@ -269,12 +353,15 @@ func (s *Session) Answer(roundID int, workerID string, values []bool) error {
 		Values: append([]bool{}, values...),
 	}
 	if err := as.Validate(); err != nil {
-		return err
+		return s.rejectAnswer("invalid", err)
 	}
 	s.pending.answers[workerID] = as
-	if len(s.pending.answers) == len(s.experts) && !s.pending.complete {
+	s.metrics.answersAccepted.Inc()
+	if len(s.pending.answers) == len(s.experts) {
 		s.pending.complete = true
 		close(s.pending.done)
+		s.metrics.roundsCompleted.Inc()
+		s.logf("round %d complete: all %d experts answered", roundID, len(s.experts))
 	}
 	return nil
 }

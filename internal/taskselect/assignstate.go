@@ -63,6 +63,8 @@ type AssignState struct {
 	// pending holds a cache restored via RestoreCache until the next sync
 	// adopts it.
 	pending *SelectionCache
+
+	stats engineStats
 }
 
 // assignTaskCache holds the belief-derived memos for one task.
@@ -171,6 +173,7 @@ func (s *AssignState) condEntropy(tc *assignTaskCache, d *belief.Dist, units []u
 	if len(units) > maxFamilyBits {
 		return 0, fmt.Errorf("%w: %d answer variables", ErrTooLarge, len(units))
 	}
+	s.stats.evals.Add(1)
 	// Distinct facts in encounter order, then sorted — the same fact list
 	// CondEntropyAssign derives, so the projection patterns line up.
 	facts := make([]int, 0, len(units))
@@ -295,6 +298,7 @@ func (s *AssignState) SelectAssign(ctx context.Context, p Problem, budget float6
 	}
 	maxPer := s.maxPer()
 	s.sync(p)
+	s.stats.selects.Add(1)
 
 	// Parallel invalidation re-scan: only dirty tasks pay the O(m·|CE|)
 	// unit-gain sweep.
@@ -304,6 +308,8 @@ func (s *AssignState) SelectAssign(ctx context.Context, p Problem, budget float6
 			dirty = append(dirty, t)
 		}
 	}
+	s.stats.rescans.Add(int64(len(dirty)))
+	s.stats.reused.Add(int64(len(s.tasks) - len(dirty)))
 	if len(dirty) > 0 {
 		err := scanAll(ctx, len(dirty), s.Workers, func(i int) error {
 			return s.rescan(ctx, p, dirty[i])

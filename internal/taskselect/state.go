@@ -75,6 +75,8 @@ type SelectionState struct {
 	// adopts it (the crowd memos must be recomputed for the live crowd
 	// before the per-task gains are trusted).
 	pending *SelectionCache
+
+	stats engineStats
 }
 
 // taskCache holds the belief-derived memos for one task.
@@ -220,6 +222,7 @@ func (s *SelectionState) condEntropy(tc *taskCache, d *belief.Dist, facts []int)
 	if sz*w > maxFamilyBits {
 		return 0, fmt.Errorf("%w: |T|=%d × |CE|=%d", ErrTooLarge, sz, w)
 	}
+	s.stats.evals.Add(1)
 	q := tc.projectionFor(d, facts)
 	if s.asym {
 		return condEntropyAsymCore(tc.entropy, q, s.pYes, sz, w), nil
@@ -296,6 +299,7 @@ func (s *SelectionState) Select(ctx context.Context, p Problem, k int) ([]Candid
 		return nil, nil
 	}
 	s.sync(p)
+	s.stats.selects.Add(1)
 
 	// Parallel invalidation re-scan: only dirty tasks pay the O(m)
 	// CondEntropy sweep.
@@ -305,6 +309,8 @@ func (s *SelectionState) Select(ctx context.Context, p Problem, k int) ([]Candid
 			dirty = append(dirty, t)
 		}
 	}
+	s.stats.rescans.Add(int64(len(dirty)))
+	s.stats.reused.Add(int64(len(s.tasks) - len(dirty)))
 	if len(dirty) > 0 {
 		// Pre-warm the size-1 table so the workers only read shared state.
 		if !s.asym {

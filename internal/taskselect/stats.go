@@ -1,0 +1,60 @@
+package taskselect
+
+import "sync/atomic"
+
+// SelectStats is a point-in-time snapshot of one incremental engine's
+// work counters. All fields are cumulative since the state was created;
+// callers wanting per-round figures diff two snapshots. Unlike the
+// package-global EvalCount, these attribute work to one state, so
+// concurrent runs do not contaminate each other's numbers.
+type SelectStats struct {
+	// Selects counts Select / SelectAssign calls served.
+	Selects int64
+	// Evals counts CondEntropy-core evaluations run through this state —
+	// the same unit the global EvalCount (and BENCH_core.json) measures.
+	Evals int64
+	// Rescans counts task caches rebuilt because the task was invalidated
+	// or new (cache misses, in tasks).
+	Rescans int64
+	// Reused counts task caches served intact across a Select call (cache
+	// hits, in tasks).
+	Reused int64
+}
+
+// Sub returns s - prev field-wise — the work done between two snapshots.
+func (s SelectStats) Sub(prev SelectStats) SelectStats {
+	return SelectStats{
+		Selects: s.Selects - prev.Selects,
+		Evals:   s.Evals - prev.Evals,
+		Rescans: s.Rescans - prev.Rescans,
+		Reused:  s.Reused - prev.Reused,
+	}
+}
+
+// engineStats is the atomic backing store shared by SelectionState and
+// AssignState. Atomics, not a mutex: evals are bumped from the parallel
+// invalidation re-scan.
+type engineStats struct {
+	selects atomic.Int64
+	evals   atomic.Int64
+	rescans atomic.Int64
+	reused  atomic.Int64
+}
+
+func (e *engineStats) snapshot() SelectStats {
+	return SelectStats{
+		Selects: e.selects.Load(),
+		Evals:   e.evals.Load(),
+		Rescans: e.rescans.Load(),
+		Reused:  e.reused.Load(),
+	}
+}
+
+// Stats returns the engine's cumulative work counters. Safe to call
+// concurrently with a running Select (the fields are read atomically,
+// though a mid-call snapshot may catch a round half-counted).
+func (s *SelectionState) Stats() SelectStats { return s.stats.snapshot() }
+
+// Stats returns the engine's cumulative work counters; see
+// SelectionState.Stats.
+func (s *AssignState) Stats() SelectStats { return s.stats.snapshot() }
