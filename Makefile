@@ -1,15 +1,35 @@
 GO ?= go
 
-.PHONY: build test vet race determinism bench bench-snapshot snapshot-smoke metrics-smoke verify
+.PHONY: build test vet lint fuzz-smoke race determinism bench bench-snapshot snapshot-smoke metrics-smoke verify
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test execution order within each package, so
+# accidental test-order dependencies fail loudly instead of lurking.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own determinism/correctness linter (cmd/hclint): no global
+# math/rand, no wall-clock or raw map iteration in deterministic
+# packages, no raw float equality, must-check persistence errors. Fails
+# on any unsuppressed finding; suppressions require a written reason
+# (//hclint:ignore <check> <why>).
+lint:
+	$(GO) run ./cmd/hclint ./...
+
+# Short fuzz pass over every fuzz target (one -fuzz run per target, 5s
+# each): checkpoint decode/round-trip, the mathx entropy/log-domain
+# kernels, and the dataset CSV/JSON loaders.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz 'FuzzCheckpointRoundTrip$$' -fuzztime 5s ./internal/pipeline/
+	$(GO) test -run xxx -fuzz 'FuzzLogSumExp$$' -fuzztime 5s ./internal/mathx/
+	$(GO) test -run xxx -fuzz 'FuzzEntropy$$' -fuzztime 5s ./internal/mathx/
+	$(GO) test -run xxx -fuzz 'FuzzReadAnswersCSV$$' -fuzztime 5s ./internal/dataset/
+	$(GO) test -run xxx -fuzz 'FuzzReadDataset$$' -fuzztime 5s ./internal/dataset/
 
 race:
 	$(GO) test -race ./...
@@ -41,4 +61,6 @@ snapshot-smoke:
 metrics-smoke:
 	$(GO) test -run 'RunSimMetricsSmoke' -count=1 ./cmd/hcserve/
 
-verify: build vet race determinism snapshot-smoke metrics-smoke
+# Gate order: cheap static analysis first (vet, then hclint), then the
+# fuzz smoke, then the race/determinism suite and the e2e smokes.
+verify: build vet lint fuzz-smoke race determinism snapshot-smoke metrics-smoke

@@ -109,10 +109,13 @@ func writeMetrics(path string, rec *hcrowd.MetricsRecorder) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rec.Rounds())
+	if err := enc.Encode(rec.Rounds()); err != nil {
+		f.Close() //hclint:ignore errcheck-lite the encode failure is returned; the close error on the already-bad file is secondary
+		return err
+	}
+	return f.Close()
 }
 
 // exportCSV writes each grid and table of the figure as
@@ -126,8 +129,11 @@ func exportCSV(dir string, fig *experiments.Figure) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		return render(f)
+		if err := render(f); err != nil {
+			f.Close() //hclint:ignore errcheck-lite the render failure is returned; the close error on the already-bad file is secondary
+			return err
+		}
+		return f.Close()
 	}
 	for _, g := range fig.Grids {
 		if err := write(g.CSV); err != nil {

@@ -52,16 +52,26 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	w := stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := ds.Write(w); err != nil {
+		if f != nil {
+			f.Close() //hclint:ignore errcheck-lite the write failure is returned; the close error on the already-bad file is secondary
+		}
 		return err
+	}
+	if f != nil {
+		// Close surfaces the final flush error: a truncated dataset file
+		// would fail every downstream CLI in confusing ways.
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	ce, cp := ds.Split()
 	fmt.Fprintf(os.Stderr, "hcgen: %d facts in %d tasks, %d experts / %d preliminary, %d answers\n",

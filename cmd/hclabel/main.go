@@ -124,7 +124,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		if err := hcrowd.NewCheckpoint(res).Write(out); err != nil {
-			out.Close()
+			out.Close() //hclint:ignore errcheck-lite the checkpoint write failure is returned; the close error on the already-bad file is secondary
 			return err
 		}
 		if err := out.Close(); err != nil {

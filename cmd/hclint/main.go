@@ -1,0 +1,187 @@
+// Command hclint runs this repository's determinism/correctness linter
+// (internal/lint) over the module and reports diagnostics with
+// file:line positions. It is the static half of the reproducibility
+// contract: `make lint` (inside `make verify`) fails the build on any
+// unsuppressed finding.
+//
+// Usage:
+//
+//	hclint [-json] [-checks name,name] [packages]
+//
+// Packages may be `./...` (the whole module, the default), `dir/...`
+// (a subtree), or a single package directory. Findings are suppressed
+// site-by-site with
+//
+//	//hclint:ignore <check>[,<check>] <reason>
+//
+// on the flagged line or the line above; the reason is mandatory.
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hcrowd/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		checks  = fs.String("checks", "", "comma-separated check names to run (default: all)")
+		list    = fs.Bool("list", false, "list registered checks and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Fprintf(stdout, "%-14s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+	selected := lint.Checks()
+	if *checks != "" {
+		selected = nil
+		for _, name := range strings.Split(*checks, ",") {
+			c, err := lint.CheckByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(stderr, "hclint:", err)
+				return 2
+			}
+			selected = append(selected, c)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "hclint:", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, selected)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "hclint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// load resolves package patterns against the enclosing module. A
+// `.../`-free pattern loads just that directory; `dir/...` loads the
+// module walk filtered to the subtree — so `hclint internal/pipeline`
+// does not pay for type-checking the whole tree.
+func load(patterns []string) ([]*lint.Package, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	modRoot, modPath, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		return nil, err
+	}
+	importPathFor := func(abs string) (string, error) {
+		rel, err := filepath.Rel(modRoot, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return "", fmt.Errorf("%s is outside module %s", abs, modPath)
+		}
+		if rel == "." {
+			return modPath, nil
+		}
+		return modPath + "/" + filepath.ToSlash(rel), nil
+	}
+	loader := lint.NewLoader()
+	var out []*lint.Package
+	seen := make(map[string]bool)
+	add := func(ps []*lint.Package) {
+		for _, p := range ps {
+			key := p.Dir
+			if p.XTest {
+				key += " xtest"
+			}
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, p)
+			}
+		}
+	}
+	var whole []*lint.Package // the full module walk, loaded at most once
+	for _, pat := range patterns {
+		dir, recursive := strings.CutSuffix(pat, "/...")
+		if recursive && (dir == "." || dir == "") {
+			if whole == nil {
+				if whole, err = loader.LoadModule(modRoot); err != nil {
+					return nil, err
+				}
+			}
+			add(whole)
+			continue
+		}
+		if !recursive {
+			dir = pat
+		}
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		if recursive {
+			if whole == nil {
+				if whole, err = loader.LoadModule(modRoot); err != nil {
+					return nil, err
+				}
+			}
+			matched := false
+			for _, p := range whole {
+				if p.Dir == abs || strings.HasPrefix(p.Dir, abs+string(filepath.Separator)) {
+					add([]*lint.Package{p})
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("pattern %q matched no packages", pat)
+			}
+			continue
+		}
+		importPath, err := importPathFor(abs)
+		if err != nil {
+			return nil, err
+		}
+		pkgs, err := loader.LoadDir(abs, importPath, true)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkgs) == 0 {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+		add(pkgs)
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hcrowd/internal/lint"
+)
+
+// TestSelfSmoke is the CI gate's own gate: hclint run against the real
+// module must report zero unsuppressed findings. A new violation
+// anywhere in the tree — or a suppression that loses its reason —
+// fails this test (and `make lint`) before the determinism suite ever
+// runs.
+func TestSelfSmoke(t *testing.T) {
+	root, _, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.NewLoader().LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from the module; the walk is broken", len(pkgs))
+	}
+	diags := lint.Run(pkgs, lint.Checks())
+	for _, d := range diags {
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+}
+
+// TestRunTextAndJSON drives the CLI entry point (single-directory
+// pattern, so it stays fast — TestSelfSmoke covers the whole module)
+// and pins exit codes and the -json shape.
+func TestRunTextAndJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(.) = %d, stderr=%s stdout=%s", code, stderr.String(), stdout.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean tree produced output: %s", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-json", "."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-json .) = %d", code)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostics array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("clean tree emitted %d JSON diagnostics", len(diags))
+	}
+}
+
+// TestRunChecksFilter: -checks restricts the run and rejects unknown
+// names.
+func TestRunChecksFilter(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-checks", "rand-hygiene,float-eq", "."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("filtered run = %d, stderr=%s stdout=%s", code, stderr.String(), stdout.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-checks", "bogus", "."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown check exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown check") {
+		t.Errorf("stderr = %q, want unknown-check error", stderr.String())
+	}
+}
+
+// TestListChecks: -list names every registered check.
+func TestListChecks(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list = %d", code)
+	}
+	for _, c := range lint.Checks() {
+		if !strings.Contains(stdout.String(), c.Name) {
+			t.Errorf("-list output missing %q:\n%s", c.Name, stdout.String())
+		}
+	}
+}

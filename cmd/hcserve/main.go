@@ -189,7 +189,7 @@ func writeCheckpoint(path string, ck *pipeline.Checkpoint) error {
 		return err
 	}
 	if err := ck.Write(tmp); err != nil {
-		tmp.Close()
+		tmp.Close() //hclint:ignore errcheck-lite the temp file is removed on this path; the write failure is what gets reported
 		os.Remove(tmp.Name())
 		return err
 	}

@@ -74,17 +74,29 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("no benchmark lines in input")
 	}
 	w := stdout
+	var f *os.File
 	if *out != "-" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		w = f
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(snap)
+	if err := enc.Encode(snap); err != nil {
+		if f != nil {
+			f.Close() //hclint:ignore errcheck-lite the encode failure is returned; the close error on the already-bad file is secondary
+		}
+		return err
+	}
+	if f != nil {
+		// Close is the write's last failure point (flush to disk); a
+		// snapshot that "succeeded" but lost bytes would poison every
+		// later benchmark diff.
+		return f.Close()
+	}
+	return nil
 }
 
 // Parse extracts every benchmark result line from go test -bench output.

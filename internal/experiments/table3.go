@@ -67,9 +67,10 @@ func Table3(ctx context.Context, o Options) (*Figure, error) {
 	timeSelector := func(sel taskselect.Selector, k int) (string, error) {
 		roundCtx, cancel := context.WithTimeout(ctx, o.table3Timeout())
 		defer cancel()
-		start := time.Now()
+		start := time.Now() //hclint:ignore time-hygiene Table 3's column IS wall-clock selector runtime; it is reported verbatim and never influences picks
 		_, err := sel.Select(roundCtx, problem, k)
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //hclint:ignore time-hygiene reporting-only: the measured runtime goes straight into the table cell
+
 		switch {
 		case err == nil:
 			return fmt.Sprintf("%.3fs", elapsed.Seconds()), nil

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != on floating-point operands. Accumulated
+// probabilities and entropies carry rounding error; exact comparison
+// is only meaningful against sentinel zero (the "no mass / skip this
+// branch" guard, which is exact in IEEE 754 and idiomatic throughout
+// the belief math), so comparisons where either side is a constant
+// zero are exempt. Everything else belongs in mathx's tolerance
+// helpers — or carries a suppression explaining why exactness is
+// intended (e.g. the oracle-worker pr == 1 fast path). mathx itself
+// and _test.go files are out of scope.
+var FloatEq = Check{
+	Name: "float-eq",
+	Doc: "no ==/!= on floats outside mathx tolerance helpers; " +
+		"comparison against constant zero is exempt",
+	AppliesTo: func(path string) bool { return !pathIs(path, "internal/mathx") },
+	Run:       runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.Pkg.Info.Types[be.X], pass.Pkg.Info.Types[be.Y]
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			if isZeroConst(xt) || isZeroConst(yt) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison; use a mathx tolerance helper, or compare against exact zero",
+				be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for ... range` over map values in the
+// determinism-critical packages. Go randomizes map iteration order,
+// and everything downstream of Algorithm 2's selection — especially
+// any loop that eventually draws from the shared seeded answer RNG —
+// must be order-stable, or identical seeds produce different runs.
+//
+// The one blessed pattern is recognized and exempted: a key-only range
+// whose body does nothing but collect keys into a slice that a
+// trailing statement of the same block sorts (sort.Ints/sort.Slice/
+// slices.Sort...), as in internal/pipeline/engine.go's purchase
+// planning. Keyless ranges (`for range m`) are order-free and exempt.
+// Anything else needs a //hclint:ignore with a reason arguing
+// order-independence. Test files are exempt — the -count=2 suite
+// proves their determinism directly.
+var MapOrder = Check{
+	Name: "map-order",
+	Doc: "no raw map iteration in determinism-critical packages; " +
+		"collect keys and sort, or suppress with an order-independence argument",
+	AppliesTo: IsDeterministicPackage,
+	Run:       runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		walkStmtLists(f, func(list []ast.Stmt) {
+			for i, stmt := range list {
+				rs, ok := unlabel(stmt).(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				checkMapRange(pass, rs, list[i+1:])
+			}
+		})
+	}
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, tail []ast.Stmt) {
+	tv, ok := pass.Pkg.Info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if isBlank(rs.Key) && isBlank(rs.Value) {
+		return // `for range m`: iterations are indistinguishable
+	}
+	if keysSortedAfter(pass, rs, tail) {
+		return
+	}
+	pass.Reportf(rs.For,
+		"range over map in determinism-critical package %s; map order is randomized — collect keys and sort them first",
+		pass.Pkg.Path)
+}
+
+func isBlank(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// keysSortedAfter recognizes the sorted-keys idiom:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Ints(keys) // or sort.Slice, slices.Sort, ...
+//
+// The body must be exactly the append of the key, and a later
+// statement of the same block must pass the slice to a sort/slices
+// function — the only point at which iteration order stops mattering.
+func keysSortedAfter(pass *Pass, rs *ast.RangeStmt, tail []ast.Stmt) bool {
+	keyID, ok := rs.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" || !isBlank(rs.Value) {
+		return false
+	}
+	keyObj := pass.Pkg.Info.Defs[keyID]
+	if keyObj == nil {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	sliceObj := pass.Pkg.Info.Uses[dst]
+	if sliceObj == nil {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	} else if _, builtin := pass.Pkg.Info.Uses[fn].(*types.Builtin); !builtin {
+		return false
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	if !ok || pass.Pkg.Info.Uses[arg0] != sliceObj {
+		return false
+	}
+	arg1, ok := call.Args[1].(*ast.Ident)
+	if !ok || pass.Pkg.Info.Uses[arg1] != keyObj {
+		return false
+	}
+	// The collected slice must reach a sort before the block ends.
+	for _, stmt := range tail {
+		if stmtSortsSlice(pass, stmt, sliceObj) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtSortsSlice reports whether the statement (or anything nested in
+// it) calls a sort/slices package function with the slice among its
+// argument subtrees.
+func stmtSortsSlice(pass *Pass, stmt ast.Stmt, slice types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == slice {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand package-level functions that build
+// explicit generators rather than consuming the global one; everything
+// else at package level (Intn, Float64, Perm, Shuffle, Seed, ...)
+// draws from the process-global source and is banned.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes the *Rand it samples from
+	"NewPCG":     true, // math/rand/v2 source constructors
+	"NewChaCha8": true,
+}
+
+// RandHygiene bans the process-global math/rand generator everywhere
+// outside internal/rngutil. Reproducibility here is seed-determinism:
+// every experiment, simulated answer, and Gibbs sweep draws from a
+// *rand.Rand threaded down from one rngutil.New(seed) — a single
+// global Intn anywhere (including tests) makes identical-seed runs
+// diverge and breaks the -count=2 determinism suite. Methods on an
+// explicit *rand.Rand and the New/NewSource constructors are fine.
+var RandHygiene = Check{
+	Name: "rand-hygiene",
+	Doc: "no package-level math/rand functions outside internal/rngutil; " +
+		"thread a seeded *rand.Rand (rngutil.New) instead",
+	AppliesTo: func(path string) bool { return !pathIs(path, "internal/rngutil") },
+	Run:       runRandHygiene,
+}
+
+func runRandHygiene(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil { // methods on an explicit generator are fine
+				return true
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"package-level %s.%s consumes the process-global RNG; thread a seeded *rand.Rand (rngutil.New) instead",
+				path, fn.Name())
+			return true
+		})
+	}
+}

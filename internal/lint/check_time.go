@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the time package functions that read or wait on
+// the wall clock. Pure types and arithmetic (time.Duration, d.Seconds)
+// are fine — only clock reads make identical-seed runs diverge.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Sleep":     true,
+}
+
+// TimeHygiene bans wall-clock reads in the determinism-critical
+// packages. Algorithm 1/2's loop must be a pure function of (dataset,
+// seed, budget): a time.Now that feeds branching or ordering makes
+// runs irreproducible. Metrics and the HTTP server live outside the
+// gated package list and may use the clock freely; the one metrics
+// timestamp inside the engine carries a written suppression. Test
+// files are exempt — the -count=2 suite proves their determinism
+// directly.
+var TimeHygiene = Check{
+	Name: "time-hygiene",
+	Doc: "no time.Now/time.Since (or timers) in determinism-critical packages; " +
+		"wall-clock belongs in metrics and server paths",
+	AppliesTo: IsDeterministicPackage,
+	Run:       runTimeHygiene,
+}
+
+func runTimeHygiene(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true
+			}
+			if !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"wall-clock time.%s in determinism-critical package %s; deterministic paths must not read the clock",
+				fn.Name(), pass.Pkg.Path)
+			return true
+		})
+	}
+}

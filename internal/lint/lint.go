@@ -1,0 +1,300 @@
+// Package lint is a from-scratch static-analysis framework for this
+// module, built on the standard library only (go/ast, go/parser,
+// go/types with the source importer — no golang.org/x/tools). It
+// encodes the reproducibility invariants the determinism regression
+// suite checks after the fact: no global math/rand, no wall-clock in
+// deterministic packages, no unsorted map iteration feeding the shared
+// seeded RNG, no raw float equality, and a configured set of must-check
+// error returns. cmd/hclint is the CLI; internal/lint/linttest drives
+// the golden tests under testdata/src.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned so editors can jump to it.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Check is one analyzer: a name (used in -checks filters and
+// //hclint:ignore directives), documentation, an optional package gate,
+// and the Run function that reports through the pass.
+type Check struct {
+	Name string
+	Doc  string
+	// AppliesTo reports whether the check runs on the package with the
+	// given import path; nil means every package. The golden-test
+	// harness bypasses the gate so testdata packages exercise every
+	// check regardless of their synthetic import paths.
+	AppliesTo func(pkgPath string) bool
+	Run       func(*Pass)
+}
+
+// Pass hands one package to one check and collects its reports.
+type Pass struct {
+	Pkg   *Package
+	check string
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Filename returns the name of the file containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	return p.Pkg.Fset.Position(pos).Filename
+}
+
+// IsTestFile reports whether pos is inside a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Filename(pos), "_test.go")
+}
+
+// DirectivePrefix introduces a suppression comment:
+//
+//	//hclint:ignore <check>[,<check>...] <reason>
+//
+// placed either at the end of the flagged line or on the line
+// immediately above it. The reason is mandatory — a directive without
+// one is itself a diagnostic, so every suppression in the tree carries
+// a written justification.
+const DirectivePrefix = "//hclint:ignore"
+
+// directive is one parsed, well-formed suppression.
+type directive struct {
+	file   string
+	line   int
+	checks []string
+}
+
+// covers reports whether the directive silences check diagnostics at
+// (file, line): its own line (trailing comment) or the next (comment
+// above the statement).
+func (d directive) covers(file string, line int, check string) bool {
+	if d.file != file || (line != d.line && line != d.line+1) {
+		return false
+	}
+	for _, c := range d.checks {
+		if c == check {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectives scans a package's comments for suppression
+// directives. Malformed directives (missing check list or reason) and
+// unknown check names come back as diagnostics under the pseudo-check
+// "directive"; those can never be suppressed.
+func parseDirectives(pkg *Package, known map[string]bool) ([]directive, []Diagnostic) {
+	var dirs []directive
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		p := pkg.Fset.Position(pos)
+		diags = append(diags, Diagnostic{
+			File: p.Filename, Line: p.Line, Col: p.Column,
+			Check:   "directive",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "malformed %s: missing check name and reason", DirectivePrefix)
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "suppression of %q has no reason; write %s %s <why this site is safe>",
+						fields[0], DirectivePrefix, fields[0])
+					continue
+				}
+				checks := strings.Split(fields[0], ",")
+				bad := false
+				for _, name := range checks {
+					if !known[name] {
+						report(c.Pos(), "unknown check %q in suppression (have %s)", name, strings.Join(sortedKeys(known), ", "))
+						bad = true
+					}
+				}
+				if bad {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				dirs = append(dirs, directive{file: pos.Filename, line: pos.Line, checks: checks})
+			}
+		}
+	}
+	return dirs, diags
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Run lints every package with every applicable check, applying
+// suppression directives, and returns the surviving diagnostics sorted
+// by position. Directive syntax errors are always included.
+func Run(pkgs []*Package, checks []Check) []Diagnostic {
+	known := make(map[string]bool, len(checks))
+	for _, c := range Checks() {
+		known[c.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		all = append(all, runPackage(pkg, checks, known, true)...)
+	}
+	sortDiagnostics(all)
+	return all
+}
+
+// RunCheck runs a single check on a single package with the package
+// gate bypassed — the golden-test harness's entry point. Suppression
+// directives still apply, and directive syntax errors are included, so
+// testdata can cover the suppression machinery itself.
+func RunCheck(pkg *Package, check Check) []Diagnostic {
+	known := make(map[string]bool)
+	for _, c := range Checks() {
+		known[c.Name] = true
+	}
+	diags := runPackage(pkg, []Check{check}, known, false)
+	sortDiagnostics(diags)
+	return diags
+}
+
+func runPackage(pkg *Package, checks []Check, known map[string]bool, gate bool) []Diagnostic {
+	dirs, diags := parseDirectives(pkg, known)
+	var found []Diagnostic
+	for _, c := range checks {
+		if gate && c.AppliesTo != nil && !c.AppliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{Pkg: pkg, check: c.Name, diags: &found}
+		c.Run(pass)
+	}
+	for _, d := range found {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.covers(d.File, d.Line, d.Check) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			diags = append(diags, d)
+		}
+	}
+	return diags
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}
+
+// deterministicPackages are the packages whose code runs upstream of
+// the shared seeded RNG or inside Algorithm 1/2's selection loop:
+// iteration order and wall-clock there change which answers identical
+// seeds produce. The map-order and time-hygiene checks gate on this
+// list; metrics (obsv) and the HTTP server are deliberately absent.
+var deterministicPackages = []string{
+	"internal/pipeline",
+	"internal/taskselect",
+	"internal/crowd",
+	"internal/belief",
+	"internal/experiments",
+}
+
+// IsDeterministicPackage reports whether the import path is one of the
+// determinism-critical packages.
+func IsDeterministicPackage(path string) bool {
+	for _, p := range deterministicPackages {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathIs reports whether the import path equals suffix or ends in
+// "/"+suffix — matching module-qualified paths without hardcoding the
+// module name.
+func pathIs(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// walkStmtLists visits every statement list in the file — block bodies,
+// switch/select clause bodies — calling fn with each list. Checks that
+// need trailing-statement context (map-order's sorted-keys idiom) hang
+// off this instead of bare ast.Inspect.
+func walkStmtLists(f *ast.File, fn func(list []ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			fn(n.List)
+		case *ast.CaseClause:
+			fn(n.Body)
+		case *ast.CommClause:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// unlabel strips label wrappers: `loop: for ... {}` lints as the for.
+func unlabel(s ast.Stmt) ast.Stmt {
+	for {
+		l, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = l.Stmt
+	}
+}

@@ -1,0 +1,128 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"hcrowd/internal/lint"
+	"hcrowd/internal/lint/linttest"
+)
+
+// TestCheckFixtures runs every registered check against its golden
+// fixture under testdata/src/<name>. Each fixture seeds deliberate
+// violations (matched by // want comments), false-positive guards
+// (sorted-keys idiom, zero sentinels, read-path closes), and
+// suppression directives — so a check that over- or under-reports, or
+// reports at the wrong position, fails here.
+func TestCheckFixtures(t *testing.T) {
+	for _, check := range lint.Checks() {
+		check := check
+		t.Run(check.Name, func(t *testing.T) {
+			linttest.Run(t, check)
+		})
+	}
+}
+
+// TestDirectiveSyntax pins the suppression machinery itself: a
+// directive without a reason or with an unknown check name is reported
+// and does not suppress, while a well-formed one silences its line.
+func TestDirectiveSyntax(t *testing.T) {
+	loader := lint.NewLoader()
+	pkgs, err := loader.LoadDir("testdata/src/directive", "lintfixture/directive", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	diags := lint.RunCheck(pkgs[0], lint.RandHygiene)
+
+	var directive, randhygiene []lint.Diagnostic
+	for _, d := range diags {
+		switch d.Check {
+		case "directive":
+			directive = append(directive, d)
+		case "rand-hygiene":
+			randhygiene = append(randhygiene, d)
+		default:
+			t.Errorf("unexpected check %q in %s", d.Check, d)
+		}
+	}
+
+	wantDirective := []string{
+		`suppression of "rand-hygiene" has no reason`,
+		"missing check name and reason",
+		`unknown check "rand-typo"`,
+	}
+	if len(directive) != len(wantDirective) {
+		t.Fatalf("directive diagnostics = %v, want %d of them", directive, len(wantDirective))
+	}
+	for i, want := range wantDirective {
+		if !strings.Contains(directive[i].Message, want) {
+			t.Errorf("directive diagnostic %d = %q, want substring %q", i, directive[i].Message, want)
+		}
+	}
+
+	// The three malformed directives do not suppress, the valid one
+	// does: 3 of the 4 rand.Int() calls survive.
+	if len(randhygiene) != 3 {
+		t.Errorf("rand-hygiene diagnostics = %d, want 3 (valid directive must suppress exactly one): %v",
+			len(randhygiene), randhygiene)
+	}
+}
+
+// TestDiagnosticPositions asserts findings land on the exact violating
+// line, not the enclosing function or file.
+func TestDiagnosticPositions(t *testing.T) {
+	loader := lint.NewLoader()
+	pkgs, err := loader.LoadDir("testdata/src/directive", "lintfixture/directive", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunCheck(pkgs[0], lint.RandHygiene)
+	for _, d := range diags {
+		if d.Check != "rand-hygiene" {
+			continue
+		}
+		if !strings.HasSuffix(d.File, "directive.go") {
+			t.Errorf("diagnostic file = %q, want directive.go", d.File)
+		}
+		if d.Line == 0 || d.Col == 0 {
+			t.Errorf("diagnostic %s has zero position", d)
+		}
+	}
+}
+
+func TestCheckByName(t *testing.T) {
+	for _, c := range lint.Checks() {
+		got, err := lint.CheckByName(c.Name)
+		if err != nil || got.Name != c.Name {
+			t.Errorf("CheckByName(%q) = %v, %v", c.Name, got.Name, err)
+		}
+	}
+	if _, err := lint.CheckByName("nope"); err == nil {
+		t.Error("CheckByName(nope) succeeded, want error")
+	}
+}
+
+func TestIsDeterministicPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"hcrowd/internal/pipeline", true},
+		{"hcrowd/internal/taskselect", true},
+		{"hcrowd/internal/crowd", true},
+		{"hcrowd/internal/belief", true},
+		{"hcrowd/internal/experiments", true},
+		{"hcrowd/internal/server", false},
+		{"hcrowd/internal/obsv", false},
+		{"hcrowd/internal/mathx", false},
+		{"hcrowd", false},
+	}
+	for _, c := range cases {
+		if got := lint.IsDeterministicPackage(c.path); got != c.want {
+			t.Errorf("IsDeterministicPackage(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package linttest is the golden-test harness for internal/lint's
+// checks. A check's fixture is a mini-package under
+// internal/lint/testdata/src/<check-name>/ whose violating lines carry
+//
+//	// want "regexp" ["regexp" ...]
+//
+// comments. The harness type-checks the fixture, runs the single check
+// with the package gate bypassed (fixture import paths are synthetic)
+// but suppression directives honored, and then requires an exact match:
+// every diagnostic must satisfy a want on its line, and every want must
+// be satisfied — so both false negatives and false positives fail.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hcrowd/internal/lint"
+)
+
+// wantRe matches one quoted regexp inside a want comment.
+var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run executes the check against testdata/src/<check.Name> (relative
+// to the calling test's directory) and compares diagnostics against
+// the fixture's want comments. Directive syntax errors surface as
+// diagnostics of the pseudo-check "directive", so fixtures can pin the
+// suppression machinery too.
+func Run(t *testing.T, check lint.Check) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", check.Name)
+	loader := lint.NewLoader()
+	pkgs, err := loader.LoadDir(dir, "lintfixture/"+check.Name, true)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s has no packages", dir)
+	}
+	for _, pkg := range pkgs {
+		diags := lint.RunCheck(pkg, check)
+		wants := collectWants(t, pkg)
+		for _, d := range diags {
+			key := fmt.Sprintf("%s:%d", d.File, d.Line)
+			exps := wants[key]
+			ok := false
+			for _, e := range exps {
+				if !e.matched && e.re.MatchString(d.Message) {
+					e.matched = true
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("unexpected diagnostic at %s: [%s] %s", key, d.Check, d.Message)
+			}
+		}
+		for key, exps := range wants {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("missing diagnostic at %s: want match for %q", key, e.re)
+				}
+			}
+		}
+	}
+}
+
+// collectWants scans the fixture's comments for want expectations,
+// keyed by file:line.
+func collectWants(t *testing.T, pkg *lint.Package) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				var body string
+				if rest, ok := strings.CutPrefix(c.Text, "// want "); ok {
+					body = rest
+				} else if rest, ok := strings.CutPrefix(c.Text, "//want "); ok {
+					body = rest
+				} else {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := wantRe.FindAllString(body, -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s:%d: want comment with no quoted regexp", pos.Filename, pos.Line)
+				}
+				for _, q := range quoted {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

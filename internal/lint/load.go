@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked unit: a package's buildable files plus
+// its in-package tests, or the external _test package of a directory.
+type Package struct {
+	// Path is the import path of the package under test — the external
+	// test variant keeps the base path and sets XTest, so package gates
+	// apply to both.
+	Path  string
+	Dir   string
+	XTest bool
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages from source. One loader
+// shares a FileSet and a source importer across every package it
+// loads, so the stdlib closure is type-checked once per process.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.ImporterFrom
+	ctxt build.Context
+}
+
+// NewLoader builds a loader. Cgo is disabled in its build context so
+// packages like net type-check from their pure-Go fallback files — the
+// source importer cannot run cgo, and no determinism invariant lives
+// in cgo-generated code.
+func NewLoader() *Loader {
+	// The source importer consults the global build context, so the
+	// cgo gate must be set process-wide, not just on l.ctxt.
+	build.Default.CgoEnabled = false
+	ctxt := build.Default
+	fset := token.NewFileSet()
+	return &Loader{
+		fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		ctxt: ctxt,
+	}
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// FindModuleRoot walks up from dir to the enclosing go.mod and returns
+// its directory and the module path it declares.
+func FindModuleRoot(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// LoadDir type-checks the package in a single directory under the
+// given import path. It returns one Package for the buildable files
+// plus in-package tests and, when present, a second for the external
+// _test package. strict propagates type errors for the first group;
+// the external test group is always lenient — it may reference helpers
+// declared in the base package's test files, which the source importer
+// does not see.
+func (l *Loader) LoadDir(dir, importPath string, strict bool) ([]*Package, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	var pkgs []*Package
+	base, err := l.check(dir, importPath, append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...), strict, false)
+	if err != nil {
+		return nil, err
+	}
+	if base != nil {
+		pkgs = append(pkgs, base)
+	}
+	if len(bp.XTestGoFiles) > 0 {
+		xt, err := l.check(dir, importPath, bp.XTestGoFiles, false, true)
+		if err != nil {
+			return nil, err
+		}
+		if xt != nil {
+			pkgs = append(pkgs, xt)
+		}
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one file group.
+func (l *Loader) check(dir, importPath string, names []string, strict, xtest bool) (*Package, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l.imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	checkPath := importPath
+	if xtest {
+		checkPath = importPath + "_test"
+	}
+	tpkg, _ := conf.Check(checkPath, l.fset, files, info)
+	if strict && firstErr != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, firstErr)
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   dir,
+		XTest: xtest,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// LoadModule walks the module rooted at root (a directory at or below
+// the go.mod) and loads every package, skipping testdata, vendor, and
+// hidden directories. Type errors in non-test files are fatal — the
+// linter refuses to reason about a tree that does not compile.
+func (l *Loader) LoadModule(root string) ([]*Package, error) {
+	modRoot, modPath, err := FindModuleRoot(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(modRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != modRoot && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(modRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		loaded, err := l.LoadDir(dir, importPath, true)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	return pkgs, nil
+}

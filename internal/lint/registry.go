@@ -1,0 +1,24 @@
+package lint
+
+import "fmt"
+
+// Checks returns every registered check, in stable order.
+func Checks() []Check {
+	return []Check{
+		ErrCheckLite,
+		FloatEq,
+		MapOrder,
+		RandHygiene,
+		TimeHygiene,
+	}
+}
+
+// CheckByName resolves a -checks filter entry.
+func CheckByName(name string) (Check, error) {
+	for _, c := range Checks() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Check{}, fmt.Errorf("lint: unknown check %q", name)
+}

@@ -1,0 +1,27 @@
+// Package directive is the fixture for suppression-directive syntax
+// errors; lint_test.go asserts on its diagnostics programmatically
+// (the malformed directives are themselves comments, so they cannot
+// carry same-line want comments).
+package directive
+
+import "math/rand"
+
+func missingReason() int {
+	//hclint:ignore rand-hygiene
+	return rand.Int()
+}
+
+func missingEverything() int {
+	//hclint:ignore
+	return rand.Int()
+}
+
+func unknownCheck() int {
+	//hclint:ignore rand-typo this check name does not exist
+	return rand.Int()
+}
+
+func valid() int {
+	//hclint:ignore rand-hygiene valid directive: check name plus a reason
+	return rand.Int()
+}

@@ -1,0 +1,97 @@
+// Package errchecklite is the errcheck-lite fixture: the configured
+// must-check calls may not discard their error.
+package errchecklite
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// encode discards json.Encoder.Encode's error three ways.
+func encode(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.Encode(v)                      // want "Encoder.Encode error discarded"
+	_ = enc.Encode(v)                  // want "Encoder.Encode error discarded"
+	json.NewEncoder(w).Encode(v)       // want "Encoder.Encode error discarded"
+	defer json.NewEncoder(w).Encode(v) // want "Encoder.Encode error discarded"
+}
+
+// encodeChecked handles the error: no diagnostic.
+func encodeChecked(w io.Writer, v any) error {
+	return json.NewEncoder(w).Encode(v)
+}
+
+// writePathClose: files opened for writing must have Close checked.
+func writePathClose() {
+	f, err := os.Create("x")
+	if err != nil {
+		return
+	}
+	f.Close() // want "File.Close error discarded"
+
+	g, err := os.OpenFile("y", os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	defer g.Close() // want "File.Close error discarded"
+
+	tmp, err := os.CreateTemp("", "z")
+	if err != nil {
+		return
+	}
+	_ = tmp.Close() // want "File.Close error discarded"
+}
+
+// readPathClose: discarding Close on a read-only file is idiomatic and
+// exempt — the write-path restriction is the point of the config.
+func readPathClose() {
+	f, err := os.Open("x")
+	if err != nil {
+		return
+	}
+	defer f.Close()
+}
+
+// unknownProvenance: a file the function did not open is not traced;
+// the check prefers silence to noise.
+func unknownProvenance(f *os.File) {
+	defer f.Close()
+}
+
+// closureProvenance: the write-open is found through enclosing
+// function bodies, so a deferred closure is still flagged.
+func closureProvenance() {
+	f, err := os.Create("x")
+	if err != nil {
+		return
+	}
+	defer func() {
+		f.Close() // want "File.Close error discarded"
+	}()
+}
+
+// syncAlways: Sync is a flush to disk; always must-check.
+func syncAlways(f *os.File) {
+	f.Sync() // want "File.Sync error discarded"
+}
+
+// flushAlways: a dropped bufio flush silently truncates output.
+func flushAlways(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	bw.Flush() // want "Writer.Flush error discarded"
+}
+
+// checkedClose is the blessed write-path shape: no diagnostic.
+func checkedClose() error {
+	f, err := os.Create("x")
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("data"); err != nil {
+		f.Close() //hclint:ignore errcheck-lite fixture: the write failure wins; mirrors the CLI error paths
+		return err
+	}
+	return f.Close()
+}

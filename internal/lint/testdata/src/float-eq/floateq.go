@@ -1,0 +1,50 @@
+// Package floateq is the float-eq fixture: raw ==/!= on floats is
+// flagged unless one side is a constant zero.
+package floateq
+
+// raw comparisons between computed floats.
+func raw(a, b float64) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	return a != b // want "floating-point != comparison"
+}
+
+// nonZeroConst compares against a non-zero constant — still flagged:
+// only exact zero is an IEEE-exact sentinel.
+func nonZeroConst(p float64) bool {
+	return p == 1 // want "floating-point == comparison"
+}
+
+// zeroGuards are the idiomatic exact-zero sentinels threaded through
+// the belief math: exempt.
+func zeroGuards(p float64) bool {
+	if p == 0 {
+		return true
+	}
+	if 0.0 != p {
+		return false
+	}
+	return p != 0
+}
+
+// float32 operands are floats too.
+func narrow(x, y float32) bool {
+	return x == y // want "floating-point == comparison"
+}
+
+// mixed compares a float against an int-typed expression converted to
+// float — the float side makes it a float comparison.
+func mixed(x float64, n int) bool {
+	return x == float64(n) // want "floating-point == comparison"
+}
+
+// ints are never flagged.
+func ints(a, b int) bool {
+	return a == b
+}
+
+// suppressed is the justified exception (the oracle fast path).
+func suppressed(pr float64) bool {
+	return pr == 1 //hclint:ignore float-eq fixture: oracle probability is exactly 1 by construction
+}

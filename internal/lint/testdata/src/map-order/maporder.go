@@ -1,0 +1,100 @@
+// Package maporder is the map-order fixture: raw map iteration is
+// flagged; the collect-keys-then-sort idiom and keyless ranges pass.
+package maporder
+
+import (
+	"sort"
+)
+
+// rawRange iterates a map directly — the canonical violation.
+func rawRange(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m { // want "range over map in determinism-critical package"
+		total += v
+	}
+	return total
+}
+
+// rawKeyUse consumes keys in map order without sorting.
+func rawKeyUse(m map[string]int, visit func(string)) {
+	for k := range m { // want "range over map in determinism-critical package"
+		visit(k)
+	}
+}
+
+// sortedKeys is the blessed idiom from internal/pipeline/engine.go's
+// purchase planning: key-only collection, then a sort in the same
+// block. No diagnostic.
+func sortedKeys(m map[int][]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// sortedStructKeys is the sort.Slice variant of the idiom (engine.go's
+// cost-aware grouping). No diagnostic.
+func sortedStructKeys(m map[struct{ a, b int }]bool) []struct{ a, b int } {
+	keys := make([]struct{ a, b int }, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	return keys
+}
+
+// collectedButNeverSorted collects keys and returns them unsorted —
+// the idiom's false-negative trap: collection alone is not enough.
+func collectedButNeverSorted(m map[int]bool) []int {
+	var keys []int
+	for k := range m { // want "range over map in determinism-critical package"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// keyless ranges are order-free: the body cannot observe iteration
+// order. No diagnostic.
+func keyless(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// suppressed argues order-independence in writing.
+func suppressed(m map[int]float64) float64 {
+	var total float64
+	//hclint:ignore map-order fixture: float addition treated as commutative for this accumulation
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// labeled ranges are unwrapped before matching.
+func labeled(m map[int]int) {
+outer:
+	for k := range m { // want "range over map in determinism-critical package"
+		if k == 0 {
+			break outer
+		}
+	}
+}
+
+// sliceRange is not a map range; never flagged.
+func sliceRange(xs []int) int {
+	var total int
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,51 @@
+// Package randhygiene is the rand-hygiene fixture: package-level
+// math/rand calls are banned; explicit seeded generators are fine.
+package randhygiene
+
+import "math/rand"
+
+func globals() {
+	rand.Intn(3)         // want "package-level math/rand.Intn consumes the process-global RNG"
+	_ = rand.Float64()   // want "package-level math/rand.Float64 consumes the process-global RNG"
+	rand.Shuffle(2, nil) // want "package-level math/rand.Shuffle consumes the process-global RNG"
+	rand.Seed(1)         // want "package-level math/rand.Seed consumes the process-global RNG"
+}
+
+// threaded shows the blessed pattern: construct an explicit generator
+// and call methods on it — constructors and methods are never flagged.
+func threaded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(2, func(i, j int) {})
+	return rng.Float64()
+}
+
+// zipf uses the third constructor; it samples from the *Rand it holds.
+func zipf(rng *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(rng, 1.1, 1, 100)
+}
+
+// suppressed shows a justified exception: the directive names the
+// check and carries a reason, so no diagnostic survives.
+func suppressed() int {
+	return rand.Int() //hclint:ignore rand-hygiene fixture: demonstrates a justified suppression
+}
+
+// suppressedAbove is the comment-above form of the same directive.
+func suppressedAbove() int {
+	//hclint:ignore rand-hygiene fixture: directive on the line above also covers the call
+	return rand.Int()
+}
+
+// wrongCheckSuppression suppresses a different check, so the
+// rand-hygiene diagnostic still fires: directives are per-check.
+func wrongCheckSuppression() int {
+	//hclint:ignore map-order fixture: suppressing an unrelated check must not silence rand-hygiene
+	return rand.Int() // want "package-level math/rand.Int consumes the process-global RNG"
+}
+
+// tooFarAway shows a directive two lines up, out of range.
+func tooFarAway() int {
+	//hclint:ignore rand-hygiene fixture: a directive two lines above the call is out of range
+
+	return rand.Int() // want "package-level math/rand.Int consumes the process-global RNG"
+}

@@ -1,0 +1,34 @@
+// Package timehygiene is the time-hygiene fixture: wall-clock reads
+// are flagged; pure time arithmetic and types pass.
+package timehygiene
+
+import "time"
+
+// clockReads hits the banned function set.
+func clockReads() time.Duration {
+	start := time.Now()      // want "wall-clock time.Now in determinism-critical package"
+	time.Sleep(0)            // want "wall-clock time.Sleep in determinism-critical package"
+	return time.Since(start) // want "wall-clock time.Since in determinism-critical package"
+}
+
+// timers are waits on the wall clock too.
+func timers() {
+	<-time.After(time.Millisecond)  // want "wall-clock time.After in determinism-critical package"
+	t := time.NewTimer(time.Second) // want "wall-clock time.NewTimer in determinism-critical package"
+	t.Stop()
+}
+
+// arithmetic uses only time's types and pure functions — no clock
+// reads, no diagnostics.
+func arithmetic(d time.Duration) (time.Duration, time.Time) {
+	var epoch time.Time
+	d2 := d * 2
+	u := time.Unix(0, 0) // a pure constructor from given data, not a clock read
+	return d2 + time.Duration(u.Nanosecond()), epoch
+}
+
+// suppressed is the justified exception: metrics-style timing that
+// never feeds back into control flow.
+func suppressed() time.Time {
+	return time.Now() //hclint:ignore time-hygiene fixture: metrics-only timestamp, mirrors engine.go's suppression
+}

@@ -178,7 +178,7 @@ func runEngine(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Cr
 		var roundStart time.Time
 		var statsBefore taskselect.SelectStats
 		if cfg.Metrics != nil {
-			roundStart = time.Now()
+			roundStart = time.Now() //hclint:ignore time-hygiene metrics-only timestamp: gated on cfg.Metrics, feeds RoundMetrics.Duration and never selection, ordering, or the RNG (TestMetricsDeterministicGivenSeed pins this)
 			statsBefore = plan.stats()
 		}
 		problem := taskselect.Problem{Beliefs: beliefs, Experts: ce, Frozen: st.frozen}
@@ -253,7 +253,7 @@ func runEngine(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Cr
 			cfg.Metrics.RecordRound(RoundMetrics{
 				Round:            round,
 				Flavor:           plan.flavor(),
-				Duration:         time.Since(roundStart),
+				Duration:         time.Since(roundStart), //hclint:ignore time-hygiene metrics-only duration: reported, never read back by the loop
 				QueriesBought:    len(picks),
 				AnswersRequested: requested,
 				AnswersReceived:  received,

@@ -1,0 +1,49 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointRoundTrip hardens the checkpoint decoder the resume
+// path and the HTTP service both consume: arbitrary bytes must either
+// decode into a validated checkpoint or return an error — never panic
+// — and anything that decodes must re-encode byte-identically through
+// a second decode/encode cycle. Byte-stability is what the warm-resume
+// determinism suite relies on: a checkpoint that drifts when rewritten
+// would make staged and uninterrupted runs diverge.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"version":1,"beliefs":[{"joint":[0.25,0.25,0.25,0.25]}],"budget_spent":2}`))
+	f.Add([]byte(`{"beliefs":[{"joint":[0.5,0.5]}],"budget_spent":0}`)) // version-0 legacy form
+	f.Add([]byte(`{"version":1,"beliefs":[{"joint":[1]}],"budget_spent":1,` +
+		`"stop_votes":{"yes":[3],"no":[1]}}`))
+	f.Add([]byte(`{"version":1,"beliefs":[{"joint":[0.7,0.3]}],"budget_spent":-1}`)) // must error
+	f.Add([]byte(`{"version":99,"beliefs":[{"joint":[1]}]}`))                        // future version
+	f.Add([]byte(`{"version":1,"beliefs":[{"joint":[0.4,0.4]}],"budget_spent":1}`))  // denormalized joint
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: the only other acceptable outcome
+		}
+		var first bytes.Buffer
+		if err := c.Write(&first); err != nil {
+			t.Fatalf("re-encoding an accepted checkpoint failed: %v", err)
+		}
+		c2, err := ReadCheckpoint(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding our own encoding failed: %v\nencoded: %s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := c2.Write(&second); err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("checkpoint encoding is not byte-stable:\nfirst:  %s\nsecond: %s",
+				first.Bytes(), second.Bytes())
+		}
+		if c2.Version != c.Version || c2.BudgetSpent != c.BudgetSpent || len(c2.Beliefs) != len(c.Beliefs) {
+			t.Fatalf("round trip changed checkpoint shape: %+v vs %+v", c, c2)
+		}
+	})
+}

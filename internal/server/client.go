@@ -189,13 +189,16 @@ func (c *Client) retryPolicy() (base, max time.Duration, retries int) {
 
 // backoffDelay is the capped exponential delay for the nth consecutive
 // failure (n >= 1), with ±25% jitter so a fleet of experts does not
-// hammer a recovering server in lockstep.
-func backoffDelay(base, max time.Duration, n int) time.Duration {
+// hammer a recovering server in lockstep. The jitter source is an
+// explicit *rand.Rand owned by the retry loop — never the process
+// global, which the rand-hygiene lint bans so that simulation code can
+// rely on seed-determinism.
+func backoffDelay(jitter *rand.Rand, base, max time.Duration, n int) time.Duration {
 	d := base << uint(n-1)
 	if d > max || d <= 0 { // <= 0 guards shift overflow
 		d = max
 	}
-	jittered := time.Duration(float64(d) * (0.75 + 0.5*rand.Float64()))
+	jittered := time.Duration(float64(d) * (0.75 + 0.5*jitter.Float64()))
 	if jittered <= 0 {
 		jittered = d
 	}
@@ -220,6 +223,11 @@ func (c *Client) AnswerLoop(ctx context.Context, workerID string, answer func(fa
 		poll = 50 * time.Millisecond
 	}
 	base, max, retries := c.retryPolicy()
+	// Each loop owns its jitter stream: time-seeded (this is the live
+	// network path, not a simulation) so concurrent expert loops
+	// desynchronize, and explicit so no labeling code path ever touches
+	// the process-global RNG.
+	jitter := rand.New(rand.NewSource(time.Now().UnixNano()))
 	failures := 0
 	// fail classifies an error: benign races clear, transport errors
 	// back off until the retry budget runs out, HTTP errors are fatal.
@@ -245,7 +253,7 @@ func (c *Client) AnswerLoop(ctx context.Context, workerID string, answer func(fa
 		select {
 		case <-ctx.Done():
 			return true, ctx.Err()
-		case <-time.After(backoffDelay(base, max, failures)):
+		case <-time.After(backoffDelay(jitter, base, max, failures)):
 		}
 		return false, nil
 	}

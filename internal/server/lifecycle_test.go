@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"log"
+	"math/rand"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -218,13 +219,14 @@ func TestAnswerLoopBackoffGivesUp(t *testing.T) {
 // TestBackoffDelayCappedWithJitter pins the delay schedule's envelope.
 func TestBackoffDelayCappedWithJitter(t *testing.T) {
 	base, max := 100*time.Millisecond, time.Second
+	jitter := rand.New(rand.NewSource(1))
 	for n := 1; n <= 64; n++ {
-		d := backoffDelay(base, max, n)
+		d := backoffDelay(jitter, base, max, n)
 		if d <= 0 || d > time.Duration(1.25*float64(max)) {
 			t.Fatalf("attempt %d: delay %v outside (0, 1.25·max]", n, d)
 		}
 	}
-	if d := backoffDelay(base, max, 1); d > time.Duration(1.25*float64(base)) {
+	if d := backoffDelay(jitter, base, max, 1); d > time.Duration(1.25*float64(base)) {
 		t.Errorf("first attempt delay %v exceeds jittered base", d)
 	}
 }

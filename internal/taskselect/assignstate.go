@@ -250,6 +250,7 @@ type assignHeap []assignEntry
 
 func (h assignHeap) Len() int { return len(h) }
 func (h assignHeap) Less(i, j int) bool {
+	//hclint:ignore float-eq exact != is the point: the heap must reproduce CostGreedy's first-strict-max scan bit-for-bit, and a tolerance would break comparator transitivity
 	if h[i].ratio != h[j].ratio {
 		return h[i].ratio > h[j].ratio
 	}

@@ -347,6 +347,7 @@ func (MaxEntropy) Select(ctx context.Context, p Problem, k int) ([]Candidate, er
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {
+		//hclint:ignore float-eq exact != in a comparator tie-break keeps the sort a strict weak order; entropies are compared, never tested for closeness
 		if all[i].h != all[j].h {
 			return all[i].h > all[j].h
 		}

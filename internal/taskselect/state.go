@@ -277,6 +277,7 @@ type candHeap []heapEntry
 
 func (h candHeap) Len() int { return len(h) }
 func (h candHeap) Less(i, j int) bool {
+	//hclint:ignore float-eq exact != is the point: the heap must reproduce Greedy's argmax scan bit-for-bit, and a tolerance would break comparator transitivity
 	if h[i].gain != h[j].gain {
 		return h[i].gain > h[j].gain
 	}
