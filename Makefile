@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint fuzz-smoke race determinism bench bench-snapshot snapshot-smoke metrics-smoke verify
+.PHONY: build test vet lint fuzz-smoke race determinism bench bench-snapshot snapshot-smoke metrics-smoke serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -35,9 +35,12 @@ race:
 	$(GO) test -race ./...
 
 # Reproducibility regression tests, run twice in one process (-count=2)
-# to catch per-process state leaks on top of seed-determinism.
+# to catch per-process state leaks on top of seed-determinism. The
+# server entries cover the multi-session service: concurrent sessions
+# must label byte-identically to same-seed single sessions, and a drain
+# must persist exactly the last emitted checkpoint.
 determinism:
-	$(GO) test -count=2 -run 'DeterministicGivenSeed' ./internal/pipeline/ ./internal/experiments/
+	$(GO) test -count=2 -run 'DeterministicGivenSeed' ./internal/pipeline/ ./internal/experiments/ ./internal/server/
 
 # One pass over every paper benchmark (including the incremental
 # selection engine's pick-identity + evals/round check).
@@ -61,6 +64,13 @@ snapshot-smoke:
 metrics-smoke:
 	$(GO) test -run 'RunSimMetricsSmoke' -count=1 ./cmd/hcserve/
 
+# End-to-end graceful-drain smoke: boot hcserve with a checkpoint
+# directory, create a second session over /v1, answer one round on each,
+# deliver the shutdown signal, and assert both sessions' final
+# checkpoints exist and load.
+serve-smoke:
+	$(GO) test -run 'RunServeSmokeDrain' -count=1 ./cmd/hcserve/
+
 # Gate order: cheap static analysis first (vet, then hclint), then the
 # fuzz smoke, then the race/determinism suite and the e2e smokes.
-verify: build vet lint fuzz-smoke race determinism snapshot-smoke metrics-smoke
+verify: build vet lint fuzz-smoke race determinism snapshot-smoke metrics-smoke serve-smoke

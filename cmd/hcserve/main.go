@@ -1,30 +1,52 @@
 // Command hcserve runs the hierarchical crowdsourcing loop as an HTTP
-// labeling service: it loads a dataset (hcgen output), starts the
-// select–check–update pipeline, and serves checking queries to expert
-// clients until the budget is spent.
+// labeling service. It starts one session from the -in dataset and
+// serves it both at the server root (the legacy single-session API) and
+// through the multi-session management API under /v1:
 //
-//	GET  /experts           experts who may answer
-//	GET  /queries?worker=e0 the open checking round for that expert
-//	POST /answers           {"round": n, "worker": "e0", "values": [...]}
-//	GET  /status            progress JSON
-//	GET  /labels            final labels once done
+//	GET  /experts                 experts who may answer
+//	GET  /queries?worker=e0       the open checking round for that expert
+//	POST /answers                 {"round": n, "worker": "e0", "values": [...]}
+//	GET  /status                  progress JSON
+//	GET  /labels                  final labels once done
+//	GET  /checkpoint              warm checkpoint JSON
+//	GET  /metrics                 the session's metrics snapshot
 //
-// With -sim the server answers its own queries from the dataset's ground
-// truth under each expert's accuracy (the paper's simulation protocol) —
-// useful for demos and smoke tests.
+//	POST   /v1/sessions           create another session (dataset + config JSON)
+//	GET    /v1/sessions           list sessions
+//	GET    /v1/sessions/{id}      one session's state + status
+//	DELETE /v1/sessions/{id}      cancel a session
+//	*      /v1/sessions/{id}/...  that session's routes (as above)
+//	GET    /v1/metrics            service-level metrics
 //
-// With -checkpoint the server persists the pipeline's warm checkpoint
-// after every completed round (written atomically); -resume loads such a
-// file and continues the job where it stopped, re-asking nothing.
+// -max-running bounds how many session engines execute simultaneously
+// (further sessions queue); -retention caps how many finished sessions
+// stay inspectable before the oldest are evicted.
+//
+// With -sim the server answers the default session's queries from the
+// dataset's ground truth under each expert's accuracy (the paper's
+// simulation protocol) — useful for demos and smoke tests.
+//
+// With -checkpoint the server persists the default session's warm
+// checkpoint after every completed round (written atomically); -resume
+// loads such a file and continues the job where it stopped, re-asking
+// nothing.
+//
+// Shutdown is graceful: on SIGINT/SIGTERM the service drains — every
+// session stops accepting answers (POST /answers returns 503), engines
+// get up to -drain-timeout to absorb their in-flight completed rounds,
+// one final checkpoint per session is written to -checkpoint-dir (when
+// set), and only then does the HTTP server shut down. Progress since
+// the last completed round before the signal is never lost.
+//
+// The http.Server carries ReadHeaderTimeout and IdleTimeout so a
+// slow-header (slowloris) client cannot pin connections open forever.
 //
 // Observability: GET /metrics returns the session's full metrics
-// snapshot as JSON — per-route HTTP request counts and latency
-// histograms, round-lifecycle counters (published / completed / expired
-// / rejected answers by reason), and per-round pipeline and selector
-// counters. Round transitions are logged to stderr. With -pprof the
-// standard net/http/pprof profiling endpoints are additionally mounted
-// under /debug/pprof/ (off by default: profiles can reveal more about
-// the host than a labeling endpoint should).
+// snapshot as JSON; GET /v1/metrics the manager's, including
+// per-session labeled families. Round transitions are logged to stderr.
+// With -pprof the standard net/http/pprof profiling endpoints are
+// additionally mounted under /debug/pprof/ (off by default: profiles
+// can reveal more about the host than a labeling endpoint should).
 //
 // Usage:
 //
@@ -32,6 +54,7 @@
 //	hcserve -in dataset.json -sim   # self-driving demo
 //	hcserve -in dataset.json -checkpoint job.ck          # crash-safe
 //	hcserve -in dataset.json -checkpoint job.ck -resume job.ck
+//	hcserve -in dataset.json -checkpoint-dir ./ckpts     # drain target
 //	hcserve -in dataset.json -pprof # also serve /debug/pprof/
 package main
 
@@ -46,7 +69,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"path/filepath"
+	"sync"
+	"syscall"
 	"time"
 
 	"hcrowd"
@@ -56,7 +80,7 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hcserve:", err)
@@ -67,17 +91,21 @@ func main() {
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("hcserve", flag.ContinueOnError)
 	var (
-		in     = fs.String("in", "", "dataset JSON file (required)")
-		addr   = fs.String("addr", "127.0.0.1:8080", "listen address")
-		budget = fs.Float64("budget", 500, "expert answer budget")
-		k      = fs.Int("k", 1, "checking queries per round")
-		init   = fs.String("init", "EBCC", "belief initializer")
-		seed   = fs.Int64("seed", 1, "seed (simulation mode)")
-		sim    = fs.Bool("sim", false, "answer queries internally from ground truth")
-		rt     = fs.Duration("round-timeout", 0, "proceed with partial answers after this long (0 = wait for all experts)")
-		ckPath = fs.String("checkpoint", "", "persist the warm checkpoint to this file after every round")
-		rsPath = fs.String("resume", "", "resume from a checkpoint file written by -checkpoint")
-		pprofd = fs.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/")
+		in      = fs.String("in", "", "dataset JSON file (required)")
+		addr    = fs.String("addr", "127.0.0.1:8080", "listen address")
+		budget  = fs.Float64("budget", 500, "expert answer budget")
+		k       = fs.Int("k", 1, "checking queries per round")
+		init    = fs.String("init", "EBCC", "belief initializer")
+		seed    = fs.Int64("seed", 1, "seed (simulation mode)")
+		sim     = fs.Bool("sim", false, "answer queries internally from ground truth")
+		rt      = fs.Duration("round-timeout", 0, "proceed with partial answers after this long (0 = wait for all experts)")
+		ckPath  = fs.String("checkpoint", "", "persist the warm checkpoint to this file after every round")
+		rsPath  = fs.String("resume", "", "resume from a checkpoint file written by -checkpoint")
+		ckDir   = fs.String("checkpoint-dir", "", "write one final checkpoint per session here on graceful drain")
+		maxRun  = fs.Int("max-running", 4, "session engines allowed to run simultaneously (0 = unbounded)")
+		keep    = fs.Int("retention", 16, "finished sessions kept before eviction (0 = keep all)")
+		drainTO = fs.Duration("drain-timeout", 10*time.Second, "how long a drain waits for in-flight rounds")
+		pprofd  = fs.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,13 +138,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if *ckPath != "" {
 		cfg.OnCheckpoint = func(ck *pipeline.Checkpoint) {
-			if err := writeCheckpoint(*ckPath, ck); err != nil {
+			if err := server.WriteCheckpointFile(*ckPath, ck); err != nil {
 				fmt.Fprintln(os.Stderr, "hcserve: checkpoint:", err)
 			}
 		}
 	}
 	logger := log.New(os.Stderr, "hcserve: ", log.LstdFlags)
-	opts := server.SessionOptions{RoundTimeout: *rt, Logger: logger}
+	opts := server.SessionOptions{RoundTimeout: *rt}
 	if *rsPath != "" {
 		cf, err := os.Open(*rsPath)
 		if err != nil {
@@ -129,33 +157,70 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		opts.Checkpoint = ck
 	}
-	sess, err := server.NewSessionOpts(ctx, ds, cfg, opts)
+
+	// Sessions run on the background context, not the signal context: a
+	// signal triggers the graceful drain below, which checkpoints every
+	// session before anything is cancelled.
+	mgr := server.NewManager(server.ManagerOptions{
+		MaxRunning:    *maxRun,
+		Retention:     *keep,
+		CheckpointDir: *ckDir,
+		Logger:        logger,
+	})
+	_, sess, err := mgr.Create("default", ds, cfg, opts)
 	if err != nil {
 		return err
 	}
-	defer sess.Close()
+	rootHandler, ok := mgr.SessionHandler("default")
+	if !ok {
+		return fmt.Errorf("default session not registered")
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	handler := server.HandlerLogged(sess, logger)
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", mgr.Handler())
+	mux.Handle("/", rootHandler)
 	if *pprofd {
-		mux := http.NewServeMux()
-		mux.Handle("/", handler)
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		handler = mux
 	}
-	srv := &http.Server{Handler: handler}
+	srv := &http.Server{
+		Handler: mux,
+		// Slowloris hardening: a client that trickles its header bytes (or
+		// parks an idle keep-alive connection) cannot hold a connection
+		// slot indefinitely.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	// Drain before shutdown, in this order: sessions stop accepting
+	// answers and are checkpointed while the server still responds (so
+	// clients see 503s and a draining status, not connection resets),
+	// then the listener closes.
+	var shutdownOnce sync.Once
+	shutdown := func() {
+		shutdownOnce.Do(func() {
+			drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+			defer cancel()
+			if err := mgr.Drain(drainCtx); err != nil {
+				logger.Printf("drain: %v", err)
+			}
+			shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel2()
+			if err := srv.Shutdown(shutdownCtx); err != nil {
+				logger.Printf("shutdown: %v", err)
+			}
+		})
+	}
 	go func() {
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		defer cancel()
-		_ = srv.Shutdown(shutdownCtx)
+		shutdown()
 	}()
 	fmt.Fprintf(stdout, "hcserve: %d facts, experts %v, budget %.0f, listening on %s\n",
 		ds.NumFacts(), sess.Experts(), *budget, ln.Addr())
@@ -169,35 +234,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				fmt.Fprintf(stdout, "hcserve: done after %d rounds, quality %.4f\n",
 					st.Rounds, st.Quality)
 			}
-			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			defer cancel()
-			_ = srv.Shutdown(shutdownCtx)
+			shutdown()
 		}()
 	}
 	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		return err
 	}
 	return nil
-}
-
-// writeCheckpoint persists a checkpoint atomically: write a temp file in
-// the target's directory, then rename over it, so a crash mid-write never
-// leaves a truncated checkpoint.
-func writeCheckpoint(path string, ck *pipeline.Checkpoint) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	if err := ck.Write(tmp); err != nil {
-		tmp.Close() //hclint:ignore errcheck-lite the temp file is removed on this path; the write failure is what gets reported
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
 }
 
 // simulate answers every published round from the ground truth under each

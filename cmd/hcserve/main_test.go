@@ -14,6 +14,8 @@ import (
 
 	"hcrowd"
 	"hcrowd/internal/obsv"
+	"hcrowd/internal/pipeline"
+	"hcrowd/internal/server"
 )
 
 func writeDataset(t *testing.T) string {
@@ -221,5 +223,151 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(ctx, []string{"-in", path, "-addr", "256.0.0.1:99999"}, &out); err == nil {
 		t.Error("bad address accepted")
+	}
+}
+
+// TestRunServeSmokeDrain is the graceful-drain smoke `make serve-smoke`
+// runs: start the service with a -checkpoint-dir, create a second
+// session over the /v1 API, answer one full round on each session, then
+// deliver the shutdown signal (the context run() gets from
+// signal.NotifyContext) and assert both sessions' final checkpoints
+// were persisted and load cleanly — the progress Ctrl-C must not lose.
+func TestRunServeSmokeDrain(t *testing.T) {
+	path := writeDataset(t)
+	ckDir := filepath.Join(t.TempDir(), "ckpts")
+	var out bytes.Buffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const addr = "127.0.0.1:18766"
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-in", path, "-addr", addr, "-budget", "1e6",
+			"-checkpoint-dir", ckDir, "-drain-timeout", "5s",
+		}, &out)
+	}()
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := hcrowd.ReadDataset(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawDS, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	testCtx, cancelReqs := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelReqs()
+	mc := server.NewManagerClient("http://" + addr)
+	waitUp := time.After(10 * time.Second)
+	for {
+		if _, err := mc.List(testCtx); err == nil {
+			break
+		}
+		select {
+		case <-waitUp:
+			t.Fatal("server never came up")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	info, err := mc.Create(testCtx, server.CreateSessionRequest{
+		Name:    "smoke2",
+		Dataset: rawDS,
+		Config:  server.SessionConfig{K: 1, Budget: 1e6, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "smoke2" {
+		t.Fatalf("created id = %q", info.ID)
+	}
+
+	// Answer one full round per session (truthful answers), then wait for
+	// the warm checkpoint to appear so the drain has progress to persist.
+	answerRound := func(c *server.Client) {
+		t.Helper()
+		experts, err := c.Experts(testCtx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answered := make(map[string]bool)
+		deadline := time.After(20 * time.Second)
+		for len(answered) < len(experts) {
+			progressed := false
+			for _, id := range experts {
+				if answered[id] {
+					continue
+				}
+				q, ok, err := c.Queries(testCtx, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					continue
+				}
+				values := make([]bool, len(q.Facts))
+				for i, fi := range q.Facts {
+					values[i] = ds.Truth[fi]
+				}
+				if err := c.Answer(testCtx, q.Round, id, values); err != nil {
+					t.Fatal(err)
+				}
+				answered[id] = true
+				progressed = true
+			}
+			if !progressed {
+				select {
+				case <-deadline:
+					t.Fatalf("round never fully answered (%d/%d)", len(answered), len(experts))
+				case <-time.After(2 * time.Millisecond):
+				}
+			}
+		}
+		for {
+			_, ok, err := c.Checkpoint(testCtx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				return
+			}
+			select {
+			case <-deadline:
+				t.Fatal("checkpoint never emitted")
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}
+	answerRound(server.NewClient("http://" + addr)) // default session, legacy root routes
+	answerRound(mc.Session("smoke2"))               // managed session, /v1 routes
+
+	// Deliver the shutdown signal and wait for the graceful drain.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain and shut down")
+	}
+
+	for _, id := range []string{"default", "smoke2"} {
+		raw, err := os.ReadFile(filepath.Join(ckDir, id+".ckpt.json"))
+		if err != nil {
+			t.Fatalf("drain left no checkpoint for %s: %v", id, err)
+		}
+		ck, err := pipeline.ReadCheckpoint(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("checkpoint for %s does not load: %v", id, err)
+		}
+		if ck.BudgetSpent <= 0 {
+			t.Errorf("checkpoint for %s spent = %v, want > 0", id, ck.BudgetSpent)
+		}
 	}
 }

@@ -22,13 +22,20 @@ type mustCheckCall struct {
 
 // mustCheckCalls is errcheck-lite's configured set: JSON encoding
 // (snapshot and checkpoint emitters), file closes and syncs on write
-// paths, buffered-writer flushes, and checkpoint persistence itself.
+// paths, buffered-writer flushes, checkpoint persistence itself, and
+// the service's graceful-shutdown calls — a dropped http.Server
+// Shutdown/Close error hides a drain that never completed, and a
+// dropped WriteCheckpointFile error loses the one copy of a drained
+// session's progress.
 var mustCheckCalls = []mustCheckCall{
 	{pkg: "encoding/json", recv: "Encoder", name: "Encode"},
 	{pkg: "os", recv: "File", name: "Close", writePathOnly: true},
 	{pkg: "os", recv: "File", name: "Sync"},
 	{pkg: "bufio", recv: "Writer", name: "Flush"},
 	{pkg: "internal/pipeline", recv: "Checkpoint", name: "Write"},
+	{pkg: "net/http", recv: "Server", name: "Shutdown"},
+	{pkg: "net/http", recv: "Server", name: "Close"},
+	{pkg: "internal/server", recv: "", name: "WriteCheckpointFile"},
 }
 
 // writeOpeners are the os functions whose *os.File result is (or may
@@ -44,7 +51,8 @@ var writeOpeners = map[string]bool{"Create": true, "CreateTemp": true, "OpenFile
 var ErrCheckLite = Check{
 	Name: "errcheck-lite",
 	Doc: "must-check calls (json Encode, write-path Close/Sync, Flush, " +
-		"Checkpoint.Write) may not discard their error",
+		"Checkpoint.Write, http.Server Shutdown/Close, WriteCheckpointFile) " +
+		"may not discard their error",
 	Run: runErrCheckLite,
 }
 
@@ -96,11 +104,21 @@ func runErrCheckLite(pass *Pass) {
 }
 
 func checkDiscarded(pass *Pass, call *ast.CallExpr, funcStack []*ast.BlockStmt) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
+	// The callee is either a selector (method or imported function) or a
+	// bare identifier (a package-level function called from its own
+	// package — how internal/server calls WriteCheckpointFile).
+	var callee *ast.Ident
+	var sel *ast.SelectorExpr
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		sel = f
+		callee = f.Sel
+	case *ast.Ident:
+		callee = f
+	default:
 		return
 	}
-	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	fn, ok := pass.Pkg.Info.Uses[callee].(*types.Func)
 	if !ok || fn.Pkg() == nil {
 		return
 	}
@@ -116,7 +134,7 @@ func checkDiscarded(pass *Pass, call *ast.CallExpr, funcStack []*ast.BlockStmt) 
 		if fn.Name() != mc.name || mc.recv != recvName || !pathIs(fn.Pkg().Path(), mc.pkg) {
 			continue
 		}
-		if mc.writePathOnly && !receiverWriteOpened(pass, sel.X, funcStack) {
+		if mc.writePathOnly && (sel == nil || !receiverWriteOpened(pass, sel.X, funcStack)) {
 			return
 		}
 		label := mc.name

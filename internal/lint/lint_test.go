@@ -1,6 +1,8 @@
 package lint_test
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -123,6 +125,54 @@ func TestIsDeterministicPackage(t *testing.T) {
 	for _, c := range cases {
 		if got := lint.IsDeterministicPackage(c.path); got != c.want {
 			t.Errorf("IsDeterministicPackage(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+// TestErrCheckLiteWriteCheckpointFile pins the internal/server entry of
+// the must-check set, which the golden fixture cannot exercise (fixture
+// import paths live under lintfixture/, so the package-suffix match
+// never fires there). The call is a bare identifier — the function
+// calling its own package's WriteCheckpointFile — which also covers the
+// ident-callee branch of the discard scan.
+func TestErrCheckLiteWriteCheckpointFile(t *testing.T) {
+	dir := t.TempDir()
+	src := `package server
+
+import "errors"
+
+type Checkpoint struct{}
+
+func WriteCheckpointFile(path string, ck *Checkpoint) error { return errors.New("x") }
+
+func drain(ck *Checkpoint) {
+	WriteCheckpointFile("a", ck)
+	_ = WriteCheckpointFile("b", ck)
+	defer WriteCheckpointFile("c", ck)
+}
+
+func drainChecked(ck *Checkpoint) error {
+	return WriteCheckpointFile("d", ck)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "server.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewLoader()
+	pkgs, err := loader.LoadDir(dir, "x/internal/server", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	diags := lint.RunCheck(pkgs[0], lint.ErrCheckLite)
+	if len(diags) != 3 {
+		t.Fatalf("diagnostics = %v, want 3", diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "WriteCheckpointFile error discarded") {
+			t.Errorf("diagnostic %q missing WriteCheckpointFile label", d.Message)
 		}
 	}
 }

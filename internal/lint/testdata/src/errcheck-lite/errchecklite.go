@@ -4,8 +4,10 @@ package errchecklite
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"io"
+	"net/http"
 	"os"
 )
 
@@ -81,6 +83,22 @@ func syncAlways(f *os.File) {
 func flushAlways(w io.Writer) {
 	bw := bufio.NewWriter(w)
 	bw.Flush() // want "Writer.Flush error discarded"
+}
+
+// serverShutdown: a dropped Shutdown or Close error hides a drain that
+// never completed — both are must-check regardless of receiver
+// provenance.
+func serverShutdown(ctx context.Context, srv *http.Server) {
+	srv.Shutdown(ctx)     // want "Server.Shutdown error discarded"
+	_ = srv.Shutdown(ctx) // want "Server.Shutdown error discarded"
+	defer srv.Close()     // want "Server.Close error discarded"
+	go srv.Shutdown(ctx)  // want "Server.Shutdown error discarded"
+}
+
+// serverShutdownChecked handles (or deliberately suppresses) the error:
+// no diagnostic.
+func serverShutdownChecked(ctx context.Context, srv *http.Server) error {
+	return srv.Shutdown(ctx)
 }
 
 // checkedClose is the blessed write-path shape: no diagnostic.

@@ -157,6 +157,13 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 // appears as the key in JSON snapshots.
 func labelKey(values []string) string { return strings.Join(values, ",") }
 
+// checkLabels panics on a label-arity mismatch (a programming error).
+func checkLabels(declared, values []string) {
+	if len(values) != len(declared) {
+		panic(fmt.Sprintf("obsv: %d label values for labels %v", len(values), declared))
+	}
+}
+
 // CounterVec is a family of counters keyed by a fixed label set (e.g.
 // route and status code). With resolves a label-value tuple to its
 // counter, creating it on first use.
@@ -169,9 +176,7 @@ type CounterVec struct {
 // With returns the counter for the given label values (one per declared
 // label), creating it on first use.
 func (v *CounterVec) With(values ...string) *Counter {
-	if len(values) != len(v.labels) {
-		panic(fmt.Sprintf("obsv: %d label values for labels %v", len(values), v.labels))
-	}
+	checkLabels(v.labels, values)
 	k := labelKey(values)
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -183,12 +188,67 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return c
 }
 
+// Remove drops the family member for the given label values, so bounded
+// registries (e.g. per-session families after eviction) do not grow
+// forever. Removing an absent member is a no-op; a later With recreates
+// the member from zero.
+func (v *CounterVec) Remove(values ...string) {
+	checkLabels(v.labels, values)
+	k := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.m, k)
+}
+
 func (v *CounterVec) snapshot() map[string]float64 {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	out := make(map[string]float64, len(v.m))
 	for k, c := range v.m {
 		out[k] = c.Value()
+	}
+	return out
+}
+
+// GaugeVec is a family of gauges keyed by a fixed label set (e.g. one
+// gauge per labeling session).
+type GaugeVec struct {
+	labels []string
+	mu     sync.Mutex
+	m      map[string]*Gauge
+}
+
+// With returns the gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	checkLabels(v.labels, values)
+	k := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.m[k]
+	if !ok {
+		g = &Gauge{}
+		v.m[k] = g
+	}
+	return g
+}
+
+// Remove drops the family member for the given label values; see
+// CounterVec.Remove.
+func (v *GaugeVec) Remove(values ...string) {
+	checkLabels(v.labels, values)
+	k := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.m, k)
+}
+
+func (v *GaugeVec) snapshot() map[string]float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]float64, len(v.m))
+	for k, g := range v.m {
+		out[k] = g.Value()
 	}
 	return out
 }
@@ -204,9 +264,7 @@ type HistogramVec struct {
 // With returns the histogram for the given label values, creating it on
 // first use.
 func (v *HistogramVec) With(values ...string) *Histogram {
-	if len(values) != len(v.labels) {
-		panic(fmt.Sprintf("obsv: %d label values for labels %v", len(values), v.labels))
-	}
+	checkLabels(v.labels, values)
 	k := labelKey(values)
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -216,6 +274,16 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 		v.m[k] = h
 	}
 	return h
+}
+
+// Remove drops the family member for the given label values; see
+// CounterVec.Remove.
+func (v *HistogramVec) Remove(values ...string) {
+	checkLabels(v.labels, values)
+	k := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.m, k)
 }
 
 func (v *HistogramVec) snapshot() map[string]HistogramSnapshot {
@@ -301,6 +369,13 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	return v
 }
 
+// GaugeVec registers and returns a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{labels: labels, m: make(map[string]*Gauge)}
+	r.register(name, help, labels, v)
+	return v
+}
+
 // HistogramVec registers and returns a labeled histogram family; nil
 // bounds use DefSecondsBuckets.
 func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
@@ -332,6 +407,9 @@ func (r *Registry) Snapshot() map[string]MetricSnapshot {
 			ms.Histogram = &h
 		case *CounterVec:
 			ms.Type = "counter"
+			ms.Values = inst.snapshot()
+		case *GaugeVec:
+			ms.Type = "gauge"
 			ms.Values = inst.snapshot()
 		case *HistogramVec:
 			ms.Type = "histogram"

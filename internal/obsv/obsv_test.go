@@ -153,3 +153,51 @@ func TestHandlerServesJSON(t *testing.T) {
 		t.Fatalf("hits = %+v", decoded["hits"])
 	}
 }
+
+func TestGaugeVecAndRemove(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("session_quality", "per-session quality", "session")
+	gv.With("s1").Set(3.5)
+	gv.With("s2").Set(-1)
+	snap := r.Snapshot()["session_quality"]
+	if snap.Type != "gauge" || snap.Values["s1"] != 3.5 || snap.Values["s2"] != -1 {
+		t.Fatalf("gauge vec snapshot = %+v", snap)
+	}
+	// Removing a member drops it from the snapshot; a later With starts
+	// from zero.
+	gv.Remove("s1")
+	snap = r.Snapshot()["session_quality"]
+	if _, ok := snap.Values["s1"]; ok {
+		t.Fatalf("removed member still present: %+v", snap)
+	}
+	if got := gv.With("s1").Value(); got != 0 {
+		t.Fatalf("recreated member = %v, want 0", got)
+	}
+	gv.Remove("ghost") // absent member: no-op, no panic
+}
+
+func TestVecRemove(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("reqs", "", "route")
+	cv.With("/a").Inc()
+	cv.Remove("/a")
+	if vals := r.Snapshot()["reqs"].Values; len(vals) != 0 {
+		t.Fatalf("counter member survived Remove: %+v", vals)
+	}
+	hv := r.HistogramVec("lat", "", nil, "route")
+	hv.With("/a").Observe(0.1)
+	hv.Remove("/a")
+	if hs := r.Snapshot()["lat"].Histograms; len(hs) != 0 {
+		t.Fatalf("histogram member survived Remove: %+v", hs)
+	}
+}
+
+func TestVecRemoveBadArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on label arity mismatch")
+		}
+	}()
+	v := &CounterVec{labels: []string{"a", "b"}, m: map[string]*Counter{}}
+	v.Remove("only-one")
+}

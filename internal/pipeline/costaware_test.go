@@ -2,9 +2,11 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"hcrowd/internal/crowd"
+	"hcrowd/internal/taskselect"
 )
 
 func TestRunCostAwareImproves(t *testing.T) {
@@ -129,5 +131,23 @@ func TestRunCostAwareZeroBudget(t *testing.T) {
 	}
 	if len(res.Rounds) != 0 || res.BudgetSpent != 0 {
 		t.Error("zero budget ran rounds")
+	}
+}
+
+// TestNewCostPlanEmptyCrowd pins the constructor-level guard: an empty
+// expert crowd must fail with taskselect.ErrNoExperts instead of
+// computing a NaN mean cost (meanCost /= 0) that would poison the
+// per-round budget chunking. The public entry points pre-check the
+// crowd too, but the plan must be safe on its own.
+func TestNewCostPlanEmptyCrowd(t *testing.T) {
+	plan, err := newCostPlan(Config{K: 1, Budget: 5}, nil, nil)
+	if !errors.Is(err, taskselect.ErrNoExperts) {
+		t.Fatalf("err = %v, want taskselect.ErrNoExperts", err)
+	}
+	if plan != nil {
+		t.Fatalf("plan = %+v, want nil", plan)
+	}
+	if _, err := newCostPlan(Config{K: 1, Budget: 5}, crowd.Crowd{}, nil); !errors.Is(err, taskselect.ErrNoExperts) {
+		t.Fatalf("empty (non-nil) crowd: err = %v, want taskselect.ErrNoExperts", err)
 	}
 }

@@ -410,6 +410,12 @@ type costPlan struct {
 // newCostPlan builds the plan, validating the cost model against the
 // expert crowd; warm primes the unit-gain cache as in newUniformPlan.
 func newCostPlan(cfg Config, ce crowd.Crowd, warm *taskselect.SelectionCache) (*costPlan, error) {
+	if len(ce) == 0 {
+		// Guard here, not only in the callers: meanCost below divides by
+		// len(ce), and a NaN mean would silently poison the per-round
+		// budget chunking instead of failing the run.
+		return nil, taskselect.ErrNoExperts
+	}
 	cost := cfg.Cost
 	if cost == nil {
 		cost = func(crowd.Worker) float64 { return 1 }

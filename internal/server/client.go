@@ -10,7 +10,10 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strings"
 	"time"
+
+	"hcrowd/internal/pipeline"
 )
 
 // StatusError reports a non-success HTTP status from the labeling
@@ -52,6 +55,13 @@ func NewClient(baseURL string) *Client {
 		BaseURL:    baseURL,
 		HTTPClient: &http.Client{Timeout: 10 * time.Second},
 	}
+}
+
+// NewSessionClient returns a client scoped to one managed session: the
+// same expert-side API, rooted at /v1/sessions/{id} instead of the
+// server root. baseURL is the service root, e.g. "http://127.0.0.1:8080".
+func NewSessionClient(baseURL, id string) *Client {
+	return NewClient(strings.TrimSuffix(baseURL, "/") + "/v1/sessions/" + url.PathEscape(id))
 }
 
 func (c *Client) http() *http.Client {
@@ -156,6 +166,34 @@ func (c *Client) Status(ctx context.Context) (Status, error) {
 	return st, nil
 }
 
+// Checkpoint fetches the session's latest warm checkpoint; ok is false
+// before the first round completes. The returned checkpoint feeds
+// pipeline.Resume / NewSessionResume (or a create payload's checkpoint
+// field) for a warm restart.
+func (c *Client) Checkpoint(ctx context.Context) (*pipeline.Checkpoint, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/checkpoint", nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		ck, err := pipeline.ReadCheckpoint(resp.Body)
+		if err != nil {
+			return nil, false, fmt.Errorf("server: decode /checkpoint: %w", err)
+		}
+		return ck, true, nil
+	case http.StatusNoContent:
+		return nil, false, nil
+	default:
+		return nil, false, &StatusError{Path: "/checkpoint", Code: resp.StatusCode}
+	}
+}
+
 // Labels fetches the final labels; it errors while labeling is still in
 // progress.
 func (c *Client) Labels(ctx context.Context) ([]bool, error) {
@@ -213,7 +251,9 @@ func backoffDelay(jitter *rand.Rand, base, max time.Duration, n int) time.Durati
 // transport failures: a 409 on POST /answers means the round completed
 // (full panel or timeout) between Queries and Answer — the answer is
 // simply stale, so the loop re-polls for the next round; a 410 means the
-// session finished, which the next Status call confirms. Transport
+// session finished, which the next Status call confirms; a 503 means the
+// service is draining, so the loop keeps polling until the session
+// reports Done (the drain closes it within the drain timeout). Transport
 // errors (dropped connections, a restarting server) retry with capped
 // exponential backoff and jitter per the client's retry policy; only
 // after MaxRetries consecutive failures — or on a non-benign HTTP status
@@ -235,9 +275,11 @@ func (c *Client) AnswerLoop(ctx context.Context, workerID string, answer func(fa
 	fail := func(err error) (stop bool, ret error) {
 		var se *StatusError
 		if errors.As(err, &se) {
-			if se.Code == http.StatusConflict || se.Code == http.StatusGone {
-				// The round moved on (or the session just finished); the
-				// next Status/Queries poll resynchronizes.
+			if se.Code == http.StatusConflict || se.Code == http.StatusGone ||
+				se.Code == http.StatusServiceUnavailable {
+				// The round moved on, the session just finished, or the
+				// service began draining; the next Status/Queries poll
+				// resynchronizes (a draining session reports Done shortly).
 				failures = 0
 				return false, nil
 			}
@@ -290,4 +332,102 @@ func (c *Client) AnswerLoop(ctx context.Context, workerID string, answer func(fa
 		case <-time.After(poll):
 		}
 	}
+}
+
+// ManagerClient is the Go consumer of the manager's /v1 session API:
+// create, list, inspect and cancel sessions, and mint session-scoped
+// expert clients.
+type ManagerClient struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 10 s timeout.
+	HTTPClient *http.Client
+}
+
+// NewManagerClient returns a manager client for the given service root.
+func NewManagerClient(baseURL string) *ManagerClient {
+	return &ManagerClient{
+		BaseURL:    strings.TrimSuffix(baseURL, "/"),
+		HTTPClient: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func (c *ManagerClient) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// do issues one request and decodes the JSON response into v (when
+// non-nil and the status matches want); any other status becomes a
+// StatusError carrying the server's error body.
+func (c *ManagerClient) do(ctx context.Context, method, path string, body any, want int, v any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &StatusError{Path: path, Code: resp.StatusCode, Msg: string(msg)}
+	}
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			return fmt.Errorf("server: decode %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// Create starts a new session from the payload and returns its info row
+// (including the generated ID when req.Name was empty).
+func (c *ManagerClient) Create(ctx context.Context, req CreateSessionRequest) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, http.StatusCreated, &info)
+	return info, err
+}
+
+// List returns every registered session in creation order.
+func (c *ManagerClient) List(ctx context.Context) ([]SessionInfo, error) {
+	var out struct {
+		Sessions []SessionInfo `json:"sessions"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, http.StatusOK, &out)
+	return out.Sessions, err
+}
+
+// Info returns one session's info row.
+func (c *ManagerClient) Info(ctx context.Context, id string) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, http.StatusOK, &info)
+	return info, err
+}
+
+// Cancel stops a session's run.
+func (c *ManagerClient) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, http.StatusNoContent, nil)
+}
+
+// Session returns an expert-side client scoped to one session,
+// inheriting this client's transport.
+func (c *ManagerClient) Session(id string) *Client {
+	cl := NewSessionClient(c.BaseURL, id)
+	cl.HTTPClient = c.HTTPClient
+	return cl
 }

@@ -6,7 +6,9 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -23,12 +25,18 @@ import (
 //
 // All bodies are JSON. The handler is safe for concurrent clients, and
 // every route is instrumented: request counts and latency per route,
-// in-flight gauge, and panic recovery to a JSON 500. POST /answers
-// returns 409 when the round is closed or the answer is otherwise
-// rejected, 410 once the session has finished. The checkpoint endpoint
-// lets an operator persist the session's progress and later restart the
-// job with NewSessionResume (or hcrowd.Resume) without re-asking the
-// experts anything.
+// in-flight gauge, and panic recovery to a JSON 500. Requests with the
+// wrong method get 405 Method Not Allowed (with an Allow header),
+// counted like any other response. POST /answers returns 409 when the
+// round is closed or the answer is otherwise rejected, 410 once the
+// session has finished, 503 while the service drains. The checkpoint
+// endpoint lets an operator persist the session's progress and later
+// restart the job with NewSessionResume (or hcrowd.Resume) without
+// re-asking the experts anything.
+//
+// Handler is a thin wrapper over a one-entry Manager: the same routes
+// the manager serves under /v1/sessions/{id}/ are mounted at the root
+// for the single adopted session.
 func Handler(s *Session) http.Handler {
 	return HandlerLogged(s, nil)
 }
@@ -37,32 +45,32 @@ func Handler(s *Session) http.Handler {
 // write failures; nil logger silences them (panics are still recovered
 // and counted in the metrics).
 func HandlerLogged(s *Session, logger *log.Logger) http.Handler {
-	h := &httpHandler{s: s, m: s.Metrics(), logger: logger}
-	mux := http.NewServeMux()
-	h.route(mux, "GET /experts", h.experts)
-	h.route(mux, "GET /queries", h.queries)
-	h.route(mux, "POST /answers", h.answers)
-	h.route(mux, "GET /status", h.status)
-	h.route(mux, "GET /checkpoint", h.checkpoint)
-	h.route(mux, "GET /labels", h.labels)
-	h.route(mux, "GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		h.m.Handler().ServeHTTP(w, r)
-	})
-	return mux
-}
-
-// httpHandler carries the session, its metrics and the logger through
-// the route handlers.
-type httpHandler struct {
-	s      *Session
-	m      *Metrics
-	logger *log.Logger
-}
-
-func (h *httpHandler) logf(format string, args ...any) {
-	if h.logger != nil {
-		h.logger.Printf(format, args...)
+	m := NewManager(ManagerOptions{Logger: logger})
+	h, err := m.Adopt("default", s)
+	if err != nil {
+		// A fresh one-entry manager cannot collide or be draining.
+		panic("server: adopting into fresh manager: " + err.Error())
 	}
+	return h
+}
+
+// sessionRoutes builds the per-session route set rooted at "/". The
+// manager mounts it under /v1/sessions/{id}/; the legacy Handler serves
+// it directly.
+func sessionRoutes(s *Session, logger *log.Logger) http.Handler {
+	rt := newRouter(s.Metrics().http, logger)
+	h := &httpHandler{s: s, rt: rt}
+	rt.handle("GET /experts", h.experts)
+	rt.handle("GET /queries", h.queries)
+	rt.handle("POST /answers", h.answers)
+	rt.handle("GET /status", h.status)
+	rt.handle("GET /checkpoint", h.checkpoint)
+	rt.handle("GET /labels", h.labels)
+	metricsHandler := s.Metrics().Handler()
+	rt.handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		metricsHandler.ServeHTTP(w, r)
+	})
+	return rt.handler()
 }
 
 // statusRecorder captures the response code for the request counter.
@@ -85,42 +93,152 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
-// route registers fn under pattern with the standard middleware:
-// in-flight gauge, per-route latency histogram, per-(route, code)
-// request counter, and panic recovery to a JSON 500. The pattern string
-// is the route label, so instrumentation is attached at registration
-// time rather than by re-deriving the route per request.
-func (h *httpHandler) route(mux *http.ServeMux, pattern string, fn http.HandlerFunc) {
-	latency := h.m.httpLatency.With(pattern)
-	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		h.m.httpInflight.Inc()
+// router registers routes with per-path method dispatch and the
+// standard middleware. A request whose path matches but whose method
+// does not is answered 405 Method Not Allowed with an Allow header —
+// and, unlike the stock ServeMux 405, the rejection goes through the
+// middleware, so it is counted per route and in methodRejected. The
+// session handler and the manager handler each own a router bound to
+// their respective instrument bundle.
+type router struct {
+	ins    *httpInstruments
+	logger *log.Logger
+	mux    *http.ServeMux
+	paths  map[string]*pathMethods
+}
+
+// pathMethods is one path's method table.
+type pathMethods struct {
+	rt      *router
+	path    string
+	methods map[string]http.HandlerFunc // instrumented handlers
+	reject  http.HandlerFunc            // instrumented 405
+}
+
+func newRouter(ins *httpInstruments, logger *log.Logger) *router {
+	return &router{
+		ins:    ins,
+		logger: logger,
+		mux:    http.NewServeMux(),
+		paths:  make(map[string]*pathMethods),
+	}
+}
+
+func (rt *router) handler() http.Handler { return rt.mux }
+
+func (rt *router) logf(format string, args ...any) {
+	if rt.logger != nil {
+		rt.logger.Printf(format, args...)
+	}
+}
+
+// handle registers fn under a "METHOD /path" pattern; a pattern without
+// a method ("/path" or "/tree/{rest...}") accepts every method (the
+// handler does its own dispatch — e.g. the manager's per-session proxy,
+// whose sub-routes enforce methods themselves). Registration is
+// construction-time only and not safe for concurrent use.
+func (rt *router) handle(pattern string, fn http.HandlerFunc) {
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		rt.mux.HandleFunc(pattern, rt.instrument(pattern, fn))
+		return
+	}
+	pm := rt.paths[path]
+	if pm == nil {
+		pm = &pathMethods{rt: rt, path: path, methods: make(map[string]http.HandlerFunc)}
+		// The 405 path is a route of its own, labeled by the bare path so
+		// rejected methods do not fan the route label out per method.
+		pm.reject = rt.instrument(path, pm.methodNotAllowed)
+		rt.paths[path] = pm
+		rt.mux.HandleFunc(path, pm.dispatch)
+	}
+	if _, dup := pm.methods[method]; dup {
+		panic("server: duplicate route " + pattern)
+	}
+	pm.methods[method] = rt.instrument(pattern, fn)
+}
+
+func (pm *pathMethods) dispatch(w http.ResponseWriter, r *http.Request) {
+	if fn, ok := pm.methods[r.Method]; ok {
+		fn(w, r)
+		return
+	}
+	pm.reject(w, r)
+}
+
+// methodNotAllowed answers 405 with the path's allowed methods.
+func (pm *pathMethods) methodNotAllowed(w http.ResponseWriter, r *http.Request) {
+	pm.rt.ins.methodRejected.Inc()
+	allowed := make([]string, 0, len(pm.methods))
+	for m := range pm.methods {
+		allowed = append(allowed, m)
+	}
+	sort.Strings(allowed)
+	w.Header().Set("Allow", strings.Join(allowed, ", "))
+	pm.rt.httpError(w, http.StatusMethodNotAllowed,
+		"method "+r.Method+" not allowed on "+pm.path)
+}
+
+// instrument wraps fn with the standard middleware: in-flight gauge,
+// per-route latency histogram, per-(route, code) request counter, and
+// panic recovery to a JSON 500. label is the route string the counters
+// carry; instrumentation is attached at registration time rather than
+// by re-deriving the route per request.
+func (rt *router) instrument(label string, fn http.HandlerFunc) http.HandlerFunc {
+	latency := rt.ins.latency.With(label)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rt.ins.inflight.Inc()
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {
-				h.m.httpPanics.Inc()
-				h.logf("server: panic in %s: %v\n%s", pattern, p, debug.Stack())
+				rt.ins.panics.Inc()
+				rt.logf("server: panic in %s: %v\n%s", label, p, debug.Stack())
 				if !rec.wrote {
-					h.writeJSON(rec, http.StatusInternalServerError,
+					rt.writeJSON(rec, http.StatusInternalServerError,
 						map[string]string{"error": "internal server error"})
 				}
 			}
 			latency.Observe(time.Since(start).Seconds())
-			h.m.httpRequests.With(pattern, strconv.Itoa(rec.code)).Inc()
-			h.m.httpInflight.Dec()
+			rt.ins.requests.With(label, strconv.Itoa(rec.code)).Inc()
+			rt.ins.inflight.Dec()
 		}()
 		fn(rec, r)
-	})
+	}
+}
+
+// writeJSON writes v as the response body. An encode/write failure (a
+// client that hung up mid-body, an unencodable value) cannot be reported
+// to the client — the status line is already gone — so it is counted and
+// logged instead of silently dropped.
+func (rt *router) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		rt.ins.writeErrors.Inc()
+		rt.logf("server: write response (status %d): %v", code, err)
+	}
+}
+
+func (rt *router) httpError(w http.ResponseWriter, code int, msg string) {
+	rt.writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// httpHandler carries the session and its router through the route
+// handlers.
+type httpHandler struct {
+	s  *Session
+	rt *router
 }
 
 func (h *httpHandler) experts(w http.ResponseWriter, r *http.Request) {
-	h.writeJSON(w, http.StatusOK, map[string]any{"experts": h.s.Experts()})
+	h.rt.writeJSON(w, http.StatusOK, map[string]any{"experts": h.s.Experts()})
 }
 
 func (h *httpHandler) queries(w http.ResponseWriter, r *http.Request) {
 	worker := r.URL.Query().Get("worker")
 	if worker == "" {
-		h.httpError(w, http.StatusBadRequest, "missing worker parameter")
+		h.rt.httpError(w, http.StatusBadRequest, "missing worker parameter")
 		return
 	}
 	round, facts, ok := h.s.Queries(worker)
@@ -128,7 +246,7 @@ func (h *httpHandler) queries(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	h.writeJSON(w, http.StatusOK, map[string]any{"round": round, "facts": facts})
+	h.rt.writeJSON(w, http.StatusOK, map[string]any{"round": round, "facts": facts})
 }
 
 func (h *httpHandler) answers(w http.ResponseWriter, r *http.Request) {
@@ -140,22 +258,25 @@ func (h *httpHandler) answers(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		h.httpError(w, http.StatusBadRequest, "bad answer payload: "+err.Error())
+		h.rt.httpError(w, http.StatusBadRequest, "bad answer payload: "+err.Error())
 		return
 	}
 	if err := h.s.Answer(req.Round, req.Worker, req.Values); err != nil {
 		code := http.StatusConflict
-		if errors.Is(err, ErrClosed) {
+		switch {
+		case errors.Is(err, ErrClosed):
 			code = http.StatusGone
+		case errors.Is(err, ErrDraining):
+			code = http.StatusServiceUnavailable
 		}
-		h.httpError(w, code, err.Error())
+		h.rt.httpError(w, code, err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)
 }
 
 func (h *httpHandler) status(w http.ResponseWriter, r *http.Request) {
-	h.writeJSON(w, http.StatusOK, h.s.Status())
+	h.rt.writeJSON(w, http.StatusOK, h.s.Status())
 }
 
 func (h *httpHandler) checkpoint(w http.ResponseWriter, r *http.Request) {
@@ -164,37 +285,20 @@ func (h *httpHandler) checkpoint(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	h.writeJSON(w, http.StatusOK, ck)
+	h.rt.writeJSON(w, http.StatusOK, ck)
 }
 
 func (h *httpHandler) labels(w http.ResponseWriter, r *http.Request) {
 	st := h.s.Status()
 	if !st.Done {
-		h.httpError(w, http.StatusConflict, "labeling still in progress")
+		h.rt.httpError(w, http.StatusConflict, "labeling still in progress")
 		return
 	}
 	h.s.mu.Lock()
 	defer h.s.mu.Unlock()
 	if h.s.runErr != nil {
-		h.httpError(w, http.StatusInternalServerError, h.s.runErr.Error())
+		h.rt.httpError(w, http.StatusInternalServerError, h.s.runErr.Error())
 		return
 	}
-	h.writeJSON(w, http.StatusOK, map[string]any{"labels": h.s.result.Labels})
-}
-
-// writeJSON writes v as the response body. An encode/write failure (a
-// client that hung up mid-body, an unencodable value) cannot be reported
-// to the client — the status line is already gone — so it is counted and
-// logged instead of silently dropped.
-func (h *httpHandler) writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		h.m.writeErrors.Inc()
-		h.logf("server: write response (status %d): %v", code, err)
-	}
-}
-
-func (h *httpHandler) httpError(w http.ResponseWriter, code int, msg string) {
-	h.writeJSON(w, code, map[string]string{"error": msg})
+	h.rt.writeJSON(w, http.StatusOK, map[string]any{"labels": h.s.result.Labels})
 }

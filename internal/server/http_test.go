@@ -35,17 +35,17 @@ func (w *brokenWriter) Write([]byte) (int, error) { return 0, errors.New("broken
 // counted and logged instead of silently discarded.
 func TestWriteJSONBrokenWriter(t *testing.T) {
 	logBuf := &syncBuffer{}
-	h := &httpHandler{m: NewMetrics(), logger: log.New(logBuf, "", 0)}
-	h.writeJSON(&brokenWriter{}, http.StatusOK, map[string]string{"k": "v"})
-	if got := h.m.writeErrors.Value(); got != 1 {
+	rt := newRouter(NewMetrics().http, log.New(logBuf, "", 0))
+	rt.writeJSON(&brokenWriter{}, http.StatusOK, map[string]string{"k": "v"})
+	if got := rt.ins.writeErrors.Value(); got != 1 {
 		t.Errorf("write errors = %v, want 1", got)
 	}
 	if !strings.Contains(logBuf.String(), "write response") {
 		t.Errorf("failure not logged: %q", logBuf.String())
 	}
 	// An unencodable value fails the same way.
-	h.writeJSON(httptest.NewRecorder(), http.StatusOK, map[string]any{"bad": func() {}})
-	if got := h.m.writeErrors.Value(); got != 2 {
+	rt.writeJSON(httptest.NewRecorder(), http.StatusOK, map[string]any{"bad": func() {}})
+	if got := rt.ins.writeErrors.Value(); got != 2 {
 		t.Errorf("write errors = %v, want 2", got)
 	}
 }
@@ -54,13 +54,12 @@ func TestWriteJSONBrokenWriter(t *testing.T) {
 // into a JSON 500, counted, logged, and does not kill the server.
 func TestMiddlewarePanicRecovery(t *testing.T) {
 	logBuf := &syncBuffer{}
-	h := &httpHandler{m: NewMetrics(), logger: log.New(logBuf, "", 0)}
-	mux := http.NewServeMux()
-	h.route(mux, "GET /boom", func(http.ResponseWriter, *http.Request) {
+	rt := newRouter(NewMetrics().http, log.New(logBuf, "", 0))
+	rt.handle("GET /boom", func(http.ResponseWriter, *http.Request) {
 		panic("kaboom")
 	})
 	rec := httptest.NewRecorder()
-	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/boom", nil))
+	rt.handler().ServeHTTP(rec, httptest.NewRequest("GET", "/boom", nil))
 	if rec.Code != http.StatusInternalServerError {
 		t.Errorf("status = %d, want 500", rec.Code)
 	}
@@ -68,17 +67,77 @@ func TestMiddlewarePanicRecovery(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
 		t.Errorf("500 body = %q", rec.Body.String())
 	}
-	if got := h.m.httpPanics.Value(); got != 1 {
+	if got := rt.ins.panics.Value(); got != 1 {
 		t.Errorf("panics = %v, want 1", got)
 	}
-	if got := h.m.httpRequests.With("GET /boom", "500").Value(); got != 1 {
+	if got := rt.ins.requests.With("GET /boom", "500").Value(); got != 1 {
 		t.Errorf("request counter = %v, want 1", got)
 	}
-	if got := h.m.httpInflight.Value(); got != 0 {
+	if got := rt.ins.inflight.Value(); got != 0 {
 		t.Errorf("inflight after panic = %v, want 0", got)
 	}
 	if !strings.Contains(logBuf.String(), "kaboom") {
 		t.Errorf("panic not logged: %q", logBuf.String())
+	}
+}
+
+// TestMethodNotAllowed pins the hardening satellite: a wrong-method
+// request on a known path gets an instrumented 405 with an Allow
+// header — not the stock ServeMux rejection that would bypass the
+// request counters — and the rejection is tallied in
+// http_method_rejected_total.
+func TestMethodNotAllowed(t *testing.T) {
+	s := newTestSession(t, 4)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	cases := []struct {
+		method, path string
+		wantAllow    string
+	}{
+		{http.MethodPost, "/status", "GET"},
+		{http.MethodDelete, "/queries", "GET"},
+		{http.MethodGet, "/answers", "POST"},
+		{http.MethodPut, "/labels", "GET"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s %s: non-JSON 405 body: %v", tc.method, tc.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != tc.wantAllow {
+			t.Errorf("%s %s Allow = %q, want %q", tc.method, tc.path, got, tc.wantAllow)
+		}
+		if body["error"] == "" {
+			t.Errorf("%s %s: empty error body", tc.method, tc.path)
+		}
+	}
+
+	ins := s.Metrics().http
+	if got := ins.methodRejected.Value(); got != float64(len(cases)) {
+		t.Errorf("method rejected counter = %v, want %d", got, len(cases))
+	}
+	// The rejections are visible in the per-route request counter under
+	// the bare path (not fanned out per wrong method).
+	if got := ins.requests.With("/status", "405").Value(); got != 1 {
+		t.Errorf(`requests{"/status","405"} = %v, want 1`, got)
+	}
+	// A request for a path that exists only under another method must
+	// not disturb the real route's counters.
+	if got := ins.requests.With("GET /status", "405").Value(); got != 0 {
+		t.Errorf(`requests{"GET /status","405"} = %v, want 0`, got)
 	}
 }
 
@@ -101,14 +160,14 @@ func TestMiddlewareCountsRoutes(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	m := s.Metrics()
-	if got := m.httpRequests.With("GET /status", "200").Value(); got != 3 {
+	ins := s.Metrics().http
+	if got := ins.requests.With("GET /status", "200").Value(); got != 3 {
 		t.Errorf("GET /status 200 = %v, want 3", got)
 	}
-	if got := m.httpRequests.With("GET /queries", "400").Value(); got != 1 {
+	if got := ins.requests.With("GET /queries", "400").Value(); got != 1 {
 		t.Errorf("GET /queries 400 = %v, want 1", got)
 	}
-	if got := m.httpLatency.With("GET /status").Count(); got != 3 {
+	if got := ins.latency.With("GET /status").Count(); got != 3 {
 		t.Errorf("latency observations = %v, want 3", got)
 	}
 }

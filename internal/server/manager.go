@@ -1,0 +1,700 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"hcrowd/internal/aggregate"
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/pipeline"
+)
+
+// ErrManagerDraining is returned when creating a session (or when a
+// queued session's gate fires) after the manager began its graceful
+// drain: the service is shutting down and admits no new work.
+var ErrManagerDraining = errors.New("server: manager draining")
+
+// ErrDuplicateSession is returned when creating a session under an ID
+// that is already registered.
+var ErrDuplicateSession = errors.New("server: duplicate session")
+
+// ErrUnknownSession is returned when addressing a session ID the
+// manager does not know (never created, or already evicted).
+var ErrUnknownSession = errors.New("server: unknown session")
+
+// SessionState is a managed session's lifecycle phase.
+//
+//	queued    -> created, waiting for a concurrency slot
+//	running   -> the pipeline engine is executing
+//	done      -> the engine finished cleanly (labels available)
+//	failed    -> the engine returned an error
+//	cancelled -> the run was cancelled (DELETE, drain, or context)
+type SessionState string
+
+const (
+	StateQueued    SessionState = "queued"
+	StateRunning   SessionState = "running"
+	StateDone      SessionState = "done"
+	StateFailed    SessionState = "failed"
+	StateCancelled SessionState = "cancelled"
+)
+
+// finished reports whether the state is terminal (eviction-eligible).
+func (st SessionState) finished() bool {
+	return st == StateDone || st == StateFailed || st == StateCancelled
+}
+
+// sessionIDPattern validates caller-chosen session names. The character
+// set is deliberately filename- and URL-safe: IDs appear in route paths
+// and in checkpoint filenames.
+var sessionIDPattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// managedSession is the manager's per-session record.
+type managedSession struct {
+	id     string
+	s      *Session
+	routes http.Handler // the session's route set, rooted at "/"
+	seq    int          // creation order (List order)
+
+	// Guarded by Manager.mu.
+	state  SessionState
+	finSeq int // finish order; eviction removes the oldest-finished first
+}
+
+// ManagerOptions configures a session manager.
+type ManagerOptions struct {
+	// MaxRunning bounds the number of pipeline engines executing
+	// simultaneously; sessions beyond it sit queued (publishing no
+	// rounds) until a slot frees up. 0 means unbounded.
+	MaxRunning int
+	// Retention is how many finished sessions (done, failed or
+	// cancelled) to keep for inspection; once exceeded, the
+	// oldest-finished are evicted — their entry, routes and per-session
+	// metric labels removed. 0 keeps every finished session forever.
+	Retention int
+	// CheckpointDir, when set, receives one final checkpoint per session
+	// ("<id>.ckpt.json", written atomically) during Drain.
+	CheckpointDir string
+	// Logger receives manager and session lifecycle lines; nil silences
+	// them.
+	Logger *log.Logger
+	// BaseContext is the context sessions run on — NOT the per-request
+	// context, so an HTTP client disconnecting never kills a labeling
+	// job. Defaults to context.Background(); shutdown goes through Drain.
+	BaseContext context.Context
+}
+
+// Manager is a registry of concurrent labeling sessions behind one HTTP
+// surface. It creates sessions from JSON payloads (POST /v1/sessions),
+// bounds how many engines run at once, evicts old finished sessions,
+// and drains everything to checkpoints on shutdown. The zero value is
+// not usable; call NewManager.
+type Manager struct {
+	opts    ManagerOptions
+	baseCtx context.Context
+	metrics *ManagerMetrics
+	logger  *log.Logger
+	handler http.Handler
+
+	// sem holds one token per running engine when MaxRunning > 0.
+	sem chan struct{}
+	// drainCh is closed when Drain begins so queued gates reject instead
+	// of starting engines mid-shutdown.
+	drainCh chan struct{}
+
+	mu       sync.Mutex
+	sessions map[string]*managedSession
+	order    []*managedSession // creation order
+	nextSeq  int
+	nextID   int
+	finSeq   int
+	draining bool
+}
+
+// NewManager builds a manager; see ManagerOptions for the knobs.
+func NewManager(opts ManagerOptions) *Manager {
+	m := &Manager{
+		opts:     opts,
+		baseCtx:  opts.BaseContext,
+		metrics:  NewManagerMetrics(),
+		logger:   opts.Logger,
+		drainCh:  make(chan struct{}),
+		sessions: make(map[string]*managedSession),
+	}
+	if m.baseCtx == nil {
+		m.baseCtx = context.Background()
+	}
+	if opts.MaxRunning > 0 {
+		m.sem = make(chan struct{}, opts.MaxRunning)
+	}
+	m.handler = m.buildHandler()
+	return m
+}
+
+// Metrics returns the manager's instrument bundle: its own HTTP traffic
+// (under manager_*), session-state gauges and the per-session labeled
+// families. Per-session pipeline metrics land here via the sink each
+// Create wires in.
+func (m *Manager) Metrics() *ManagerMetrics { return m.metrics }
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.logger != nil {
+		m.logger.Printf(format, args...)
+	}
+}
+
+// Create registers and starts a new session running on the manager's
+// base context. id may be empty (one is generated); otherwise it must
+// match [A-Za-z0-9._-]{1,64} and be unused. The session's engine starts
+// only once the manager's concurrency gate admits it; until then it is
+// queued and publishes no rounds. cfg.Source is replaced by the
+// session's answer queue (as in NewSession); any cfg.Metrics sink still
+// receives every round record, alongside the manager's per-session
+// labeled families.
+func (m *Manager) Create(id string, ds *dataset.Dataset, cfg pipeline.Config, opts SessionOptions) (string, *Session, error) {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return "", nil, ErrManagerDraining
+	}
+	if id == "" {
+		for {
+			m.nextID++
+			id = fmt.Sprintf("s%d", m.nextID)
+			if _, taken := m.sessions[id]; !taken {
+				break
+			}
+		}
+	} else if !sessionIDPattern.MatchString(id) {
+		m.mu.Unlock()
+		return "", nil, fmt.Errorf("server: invalid session id %q (want %s)", id, sessionIDPattern)
+	} else if _, taken := m.sessions[id]; taken {
+		m.mu.Unlock()
+		return "", nil, fmt.Errorf("%w: %q", ErrDuplicateSession, id)
+	}
+	m.mu.Unlock()
+
+	ms := &managedSession{id: id, state: StateQueued}
+	if opts.Logger == nil {
+		opts.Logger = m.logger
+	}
+	if opts.Gate != nil {
+		// Sessions the manager starts are gated by the manager alone.
+		return "", nil, errors.New("server: SessionOptions.Gate is owned by the manager")
+	}
+	opts.Gate = m.gate(ms)
+	sink := m.metrics.sessionSink(id)
+	if cfg.Metrics != nil {
+		cfg.Metrics = pipeline.MultiMetrics{sink, cfg.Metrics}
+	} else {
+		cfg.Metrics = sink
+	}
+	s, err := NewSessionOpts(m.baseCtx, ds, cfg, opts)
+	if err != nil {
+		m.metrics.forgetSession(id)
+		return "", nil, err
+	}
+	ms.s = s
+	if err := m.register(ms); err != nil {
+		s.Close()
+		m.metrics.forgetSession(id)
+		return "", nil, err
+	}
+	m.logf("manager: session %s created (%d facts, budget %.0f)", id, ds.NumFacts(), cfg.Budget)
+	return id, s, nil
+}
+
+// Adopt registers an externally constructed, already-running session —
+// the legacy single-session Handler is exactly a one-entry manager over
+// an adopted session. The returned handler is the session's route set
+// rooted at "/" (the same routes the manager serves under
+// /v1/sessions/{id}/). Adopted sessions bypass the concurrency gate:
+// their engine is already running.
+func (m *Manager) Adopt(id string, s *Session) (http.Handler, error) {
+	if !sessionIDPattern.MatchString(id) {
+		return nil, fmt.Errorf("server: invalid session id %q (want %s)", id, sessionIDPattern)
+	}
+	ms := &managedSession{id: id, s: s, state: StateRunning}
+	if err := m.register(ms); err != nil {
+		return nil, err
+	}
+	return ms.routes, nil
+}
+
+// register installs the record, builds its route set and starts the
+// watcher that classifies the terminal state.
+func (m *Manager) register(ms *managedSession) error {
+	ms.routes = sessionRoutes(ms.s, m.logger)
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return ErrManagerDraining
+	}
+	if _, taken := m.sessions[ms.id]; taken {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrDuplicateSession, ms.id)
+	}
+	m.nextSeq++
+	ms.seq = m.nextSeq
+	m.sessions[ms.id] = ms
+	m.order = append(m.order, ms)
+	m.metrics.sessionsCreated.Inc()
+	m.updateStateGaugesLocked()
+	m.mu.Unlock()
+	go m.watch(ms)
+	return nil
+}
+
+// gate builds the session's admission gate: acquire a concurrency slot
+// (when bounded), flip queued -> running, and release the slot when the
+// engine returns. A drain that begins while the session is still queued
+// rejects it with ErrManagerDraining — the watcher records it as
+// cancelled.
+func (m *Manager) gate(ms *managedSession) func(context.Context) (func(), error) {
+	return func(ctx context.Context) (func(), error) {
+		if m.sem != nil {
+			select {
+			case m.sem <- struct{}{}:
+			case <-m.drainCh:
+				return nil, ErrManagerDraining
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		} else {
+			select {
+			case <-m.drainCh:
+				return nil, ErrManagerDraining
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
+		m.setState(ms, StateRunning)
+		m.logf("manager: session %s running", ms.id)
+		return func() {
+			if m.sem != nil {
+				<-m.sem
+			}
+		}, nil
+	}
+}
+
+func (m *Manager) setState(ms *managedSession, st SessionState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ms.state = st
+	m.updateStateGaugesLocked()
+}
+
+// watch waits for the session's engine to return, classifies the
+// terminal state from its error, and applies the retention policy.
+func (m *Manager) watch(ms *managedSession) {
+	<-ms.s.finished
+	ms.s.mu.Lock()
+	err := ms.s.runErr
+	ms.s.mu.Unlock()
+	state := StateDone
+	switch {
+	case err == nil:
+		state = StateDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, ErrManagerDraining):
+		state = StateCancelled
+	default:
+		state = StateFailed
+	}
+	m.mu.Lock()
+	ms.state = state
+	m.finSeq++
+	ms.finSeq = m.finSeq
+	evicted := m.evictLocked()
+	m.updateStateGaugesLocked()
+	m.mu.Unlock()
+	if err != nil {
+		m.logf("manager: session %s %s: %v", ms.id, state, err)
+	} else {
+		m.logf("manager: session %s done", ms.id)
+	}
+	for _, id := range evicted {
+		m.logf("manager: session %s evicted (retention %d)", id, m.opts.Retention)
+	}
+}
+
+// evictLocked drops the oldest-finished sessions beyond the retention
+// cap and returns their IDs. Running and queued sessions are never
+// evicted. Callers hold m.mu.
+func (m *Manager) evictLocked() []string {
+	if m.opts.Retention <= 0 {
+		return nil
+	}
+	var finished []*managedSession
+	for _, ms := range m.order {
+		if ms.state.finished() {
+			finished = append(finished, ms)
+		}
+	}
+	if len(finished) <= m.opts.Retention {
+		return nil
+	}
+	sort.Slice(finished, func(i, j int) bool { return finished[i].finSeq < finished[j].finSeq })
+	var evicted []string
+	for _, ms := range finished[:len(finished)-m.opts.Retention] {
+		delete(m.sessions, ms.id)
+		for i, o := range m.order {
+			if o == ms {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+		m.metrics.forgetSession(ms.id)
+		m.metrics.sessionsEvicted.Inc()
+		evicted = append(evicted, ms.id)
+	}
+	return evicted
+}
+
+// updateStateGaugesLocked recomputes the per-state session gauge from
+// the registry. Callers hold m.mu.
+func (m *Manager) updateStateGaugesLocked() {
+	counts := map[SessionState]int{
+		StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCancelled: 0,
+	}
+	for _, ms := range m.order {
+		counts[ms.state]++
+	}
+	for st, n := range counts {
+		m.metrics.sessionsByState.With(string(st)).Set(float64(n))
+	}
+}
+
+// SessionInfo is one session's row in GET /v1/sessions.
+type SessionInfo struct {
+	ID     string       `json:"id"`
+	State  SessionState `json:"state"`
+	Status Status       `json:"status"`
+}
+
+// Get returns a session by ID.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	ms, ok := m.sessions[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return ms.s, true
+}
+
+// SessionHandler returns one session's route set rooted at "/" — the
+// same handler the manager serves under /v1/sessions/{id}/. hcserve
+// mounts the default session's routes at the server root with it, so
+// the legacy single-session API and the /v1 API address the same
+// session.
+func (m *Manager) SessionHandler(id string) (http.Handler, bool) {
+	m.mu.Lock()
+	ms, ok := m.sessions[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return ms.routes, true
+}
+
+// Info returns one session's info row.
+func (m *Manager) Info(id string) (SessionInfo, bool) {
+	m.mu.Lock()
+	ms, ok := m.sessions[id]
+	var state SessionState
+	if ok {
+		state = ms.state
+	}
+	m.mu.Unlock()
+	if !ok {
+		return SessionInfo{}, false
+	}
+	return SessionInfo{ID: id, State: state, Status: ms.s.Status()}, true
+}
+
+// List returns every registered session in creation order.
+func (m *Manager) List() []SessionInfo {
+	m.mu.Lock()
+	snapshot := make([]*managedSession, len(m.order))
+	copy(snapshot, m.order)
+	states := make([]SessionState, len(snapshot))
+	for i, ms := range snapshot {
+		states[i] = ms.state
+	}
+	m.mu.Unlock()
+	infos := make([]SessionInfo, len(snapshot))
+	for i, ms := range snapshot {
+		infos[i] = SessionInfo{ID: ms.id, State: states[i], Status: ms.s.Status()}
+	}
+	return infos
+}
+
+// Cancel stops a session's run (its state becomes cancelled; the entry
+// stays listed until retention evicts it).
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	ms, ok := m.sessions[id]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	ms.s.Close()
+	return nil
+}
+
+// Drain gracefully shuts the manager down: no new sessions are
+// admitted, queued sessions are rejected at their gate, every session
+// stops accepting answers, and each engine is given until ctx to
+// consume its in-flight completed round. Each session's final
+// checkpoint — by construction the last one its OnCheckpoint hook saw —
+// is then written to CheckpointDir as <id>.ckpt.json (atomic
+// temp+rename), loadable by pipeline.ReadCheckpoint for a warm resume.
+// Sessions that never completed a round have no checkpoint and write no
+// file. Drain is idempotent; concurrent calls drain the same snapshot.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.drainCh)
+	}
+	snapshot := make([]*managedSession, len(m.order))
+	copy(snapshot, m.order)
+	m.mu.Unlock()
+	m.logf("manager: draining %d sessions", len(snapshot))
+
+	// Stop intake everywhere first so no session keeps advancing on new
+	// answers while an earlier one drains.
+	for _, ms := range snapshot {
+		ms.s.beginDrain()
+	}
+	var errs []error
+	for _, ms := range snapshot {
+		ck, err := ms.s.Drain(ctx)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("drain %s: %w", ms.id, err))
+		}
+		if ck == nil || m.opts.CheckpointDir == "" {
+			continue
+		}
+		path := filepath.Join(m.opts.CheckpointDir, ms.id+".ckpt.json")
+		if err := WriteCheckpointFile(path, ck); err != nil {
+			errs = append(errs, fmt.Errorf("checkpoint %s: %w", ms.id, err))
+			continue
+		}
+		m.logf("manager: session %s checkpointed to %s (%.0f spent)", ms.id, path, ck.BudgetSpent)
+	}
+	return errors.Join(errs...)
+}
+
+// WriteCheckpointFile persists a checkpoint atomically: write a temp
+// file in the target's directory, then rename over it, so a crash
+// mid-write never leaves a truncated checkpoint. The parent directory
+// is created if missing.
+func WriteCheckpointFile(path string, ck *pipeline.Checkpoint) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := ck.Write(tmp); err != nil {
+		tmp.Close() //hclint:ignore errcheck-lite the temp file is removed on this path; the write failure is what gets reported
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// CreateSessionRequest is the POST /v1/sessions payload: a dataset (the
+// hcgen JSON format) plus the job's knobs.
+type CreateSessionRequest struct {
+	// Name is the session's ID; optional (the manager generates s1, s2,
+	// ... when empty). Must match [A-Za-z0-9._-]{1,64}.
+	Name string `json:"name,omitempty"`
+	// Dataset is the embedded dataset document (same schema as hcgen
+	// output / dataset.Read).
+	Dataset json.RawMessage `json:"dataset"`
+	// Config carries the pipeline knobs.
+	Config SessionConfig `json:"config"`
+}
+
+// SessionConfig is the JSON form of the pipeline configuration a
+// created session runs with.
+type SessionConfig struct {
+	// K is the checking queries selected per round; defaults to 1.
+	K int `json:"k,omitempty"`
+	// Budget is the total expert-answer budget. Required, > 0.
+	Budget float64 `json:"budget"`
+	// Init names the belief initializer (aggregate.ByName); defaults to
+	// EBCC.
+	Init string `json:"init,omitempty"`
+	// Seed seeds the initializer; defaults to 1.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxRounds caps the rounds; 0 means the budget binds.
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// RoundTimeout, a Go duration string ("30s"), closes a round with
+	// the partial answers collected once the deadline passes; empty
+	// waits for the full panel.
+	RoundTimeout string `json:"round_timeout,omitempty"`
+	// Checkpoint, when present, warm-resumes the job from a checkpoint
+	// document (the GET /checkpoint body or a Drain file).
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+}
+
+// CreateFromRequest builds and starts a session from the HTTP payload.
+func (m *Manager) CreateFromRequest(req CreateSessionRequest) (string, *Session, error) {
+	if len(req.Dataset) == 0 {
+		return "", nil, errors.New("server: create: missing dataset")
+	}
+	ds, err := dataset.Read(bytes.NewReader(req.Dataset))
+	if err != nil {
+		return "", nil, fmt.Errorf("server: create: dataset: %w", err)
+	}
+	sc := req.Config
+	if sc.Budget <= 0 {
+		return "", nil, errors.New("server: create: config.budget must be > 0")
+	}
+	if sc.K == 0 {
+		sc.K = 1
+	}
+	if sc.K < 0 {
+		return "", nil, errors.New("server: create: config.k must be >= 1")
+	}
+	initName := sc.Init
+	if initName == "" {
+		initName = "EBCC"
+	}
+	seed := sc.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	agg, err := aggregate.ByName(initName, seed)
+	if err != nil {
+		return "", nil, fmt.Errorf("server: create: %w", err)
+	}
+	couple, err := ds.EstimateCoupling()
+	if err != nil {
+		return "", nil, fmt.Errorf("server: create: %w", err)
+	}
+	cfg := pipeline.Config{
+		K:             sc.K,
+		Budget:        sc.Budget,
+		Init:          agg,
+		PriorCoupling: couple,
+		MaxRounds:     sc.MaxRounds,
+	}
+	var opts SessionOptions
+	if sc.RoundTimeout != "" {
+		d, err := time.ParseDuration(sc.RoundTimeout)
+		if err != nil || d < 0 {
+			return "", nil, fmt.Errorf("server: create: bad round_timeout %q", sc.RoundTimeout)
+		}
+		opts.RoundTimeout = d
+	}
+	if len(sc.Checkpoint) > 0 {
+		ck, err := pipeline.ReadCheckpoint(bytes.NewReader(sc.Checkpoint))
+		if err != nil {
+			return "", nil, fmt.Errorf("server: create: checkpoint: %w", err)
+		}
+		opts.Checkpoint = ck
+	}
+	return m.Create(req.Name, ds, cfg, opts)
+}
+
+// Handler returns the manager's HTTP surface:
+//
+//	POST   /v1/sessions           create a session (CreateSessionRequest)
+//	GET    /v1/sessions           list sessions (creation order)
+//	GET    /v1/sessions/{id}      one session's info (state + status)
+//	DELETE /v1/sessions/{id}      cancel a session's run
+//	GET    /v1/metrics            the manager's metrics snapshot
+//	*      /v1/sessions/{id}/...  the session's own routes (queries,
+//	                              answers, status, checkpoint, labels,
+//	                              metrics — see Handler's route list)
+//
+// Error codes: 400 malformed payloads, 404 unknown session, 405 wrong
+// method (with Allow), 409 duplicate session name, 503 create during
+// drain.
+func (m *Manager) Handler() http.Handler { return m.handler }
+
+func (m *Manager) buildHandler() http.Handler {
+	rt := newRouter(m.metrics.http, m.logger)
+	rt.handle("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req CreateSessionRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			rt.httpError(w, http.StatusBadRequest, "bad create payload: "+err.Error())
+			return
+		}
+		id, _, err := m.CreateFromRequest(req)
+		if err != nil {
+			code := http.StatusBadRequest
+			switch {
+			case errors.Is(err, ErrManagerDraining):
+				code = http.StatusServiceUnavailable
+			case errors.Is(err, ErrDuplicateSession):
+				code = http.StatusConflict
+			}
+			rt.httpError(w, code, err.Error())
+			return
+		}
+		info, _ := m.Info(id)
+		rt.writeJSON(w, http.StatusCreated, info)
+	})
+	rt.handle("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		rt.writeJSON(w, http.StatusOK, map[string]any{"sessions": m.List()})
+	})
+	rt.handle("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, ok := m.Info(r.PathValue("id"))
+		if !ok {
+			rt.httpError(w, http.StatusNotFound, "unknown session "+r.PathValue("id"))
+			return
+		}
+		rt.writeJSON(w, http.StatusOK, info)
+	})
+	rt.handle("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Cancel(r.PathValue("id")); err != nil {
+			rt.httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	metricsHandler := m.metrics.Handler()
+	rt.handle("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		metricsHandler.ServeHTTP(w, r)
+	})
+	// The per-session proxy accepts every method: the session's own
+	// router enforces methods (and 405s) per sub-route.
+	rt.handle("/v1/sessions/{id}/{rest...}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		m.mu.Lock()
+		ms, ok := m.sessions[id]
+		m.mu.Unlock()
+		if !ok {
+			rt.httpError(w, http.StatusNotFound, "unknown session "+id)
+			return
+		}
+		http.StripPrefix("/v1/sessions/"+id, ms.routes).ServeHTTP(w, r)
+	})
+	return rt.handler()
+}

@@ -16,12 +16,9 @@ import (
 type Metrics struct {
 	reg *obsv.Registry
 
-	// HTTP layer.
-	httpRequests *obsv.CounterVec // route, code
-	httpLatency  *obsv.HistogramVec
-	httpInflight *obsv.Gauge
-	httpPanics   *obsv.Counter
-	writeErrors  *obsv.Counter
+	// HTTP layer (shared shape with the manager's bundle; see
+	// httpInstruments).
+	http *httpInstruments
 
 	// Session round lifecycle.
 	roundsPublished *obsv.Counter
@@ -44,22 +41,45 @@ type Metrics struct {
 	selectorReused   *obsv.Counter
 }
 
+// httpInstruments is the HTTP middleware's instrument set. The session
+// bundle and the manager bundle each own one (the manager's under a
+// "manager_" name prefix), so the route middleware in http.go serves
+// both without knowing which layer it instruments.
+type httpInstruments struct {
+	requests       *obsv.CounterVec // route, code
+	latency        *obsv.HistogramVec
+	inflight       *obsv.Gauge
+	panics         *obsv.Counter
+	writeErrors    *obsv.Counter
+	methodRejected *obsv.Counter
+}
+
+// newHTTPInstruments registers the middleware instrument set under the
+// given metric-name prefix.
+func newHTTPInstruments(reg *obsv.Registry, prefix string) *httpInstruments {
+	return &httpInstruments{
+		requests: reg.CounterVec(prefix+"http_requests_total",
+			"HTTP requests served", "route", "code"),
+		latency: reg.HistogramVec(prefix+"http_request_seconds",
+			"HTTP request latency", nil, "route"),
+		inflight: reg.Gauge(prefix+"http_inflight_requests",
+			"requests currently being handled"),
+		panics: reg.Counter(prefix+"http_panics_total",
+			"handler panics recovered to 500"),
+		writeErrors: reg.Counter(prefix+"http_write_errors_total",
+			"response bodies that failed to encode or write"),
+		methodRejected: reg.Counter(prefix+"http_method_rejected_total",
+			"requests refused with 405 Method Not Allowed"),
+	}
+}
+
 // NewMetrics builds a bundle with every instrument registered.
 func NewMetrics() *Metrics {
 	reg := obsv.NewRegistry()
 	return &Metrics{
 		reg: reg,
 
-		httpRequests: reg.CounterVec("http_requests_total",
-			"HTTP requests served", "route", "code"),
-		httpLatency: reg.HistogramVec("http_request_seconds",
-			"HTTP request latency", nil, "route"),
-		httpInflight: reg.Gauge("http_inflight_requests",
-			"requests currently being handled"),
-		httpPanics: reg.Counter("http_panics_total",
-			"handler panics recovered to 500"),
-		writeErrors: reg.Counter("http_write_errors_total",
-			"response bodies that failed to encode or write"),
+		http: newHTTPInstruments(reg, ""),
 
 		roundsPublished: reg.Counter("session_rounds_published_total",
 			"checking rounds published to experts"),
@@ -120,3 +140,98 @@ func (m *Metrics) Registry() *obsv.Registry { return m.reg }
 func (m *Metrics) Handler() http.Handler { return m.reg.Handler() }
 
 var _ pipeline.MetricsSink = (*Metrics)(nil)
+
+// ManagerMetrics is the session manager's bundle: its own HTTP traffic
+// under a manager_ prefix (so one scrape can't confuse service-level and
+// session-level request counts), session lifecycle counters, and
+// per-session labeled families fed by each session's pipeline sink.
+// Evicting a session removes its label values (forgetSession), keeping
+// the snapshot bounded by the retention policy rather than by service
+// uptime.
+type ManagerMetrics struct {
+	reg *obsv.Registry
+
+	http *httpInstruments
+
+	sessionsCreated *obsv.Counter
+	sessionsEvicted *obsv.Counter
+	sessionsByState *obsv.GaugeVec // state
+
+	// Per-session families ("session" label = session ID).
+	sessionRounds  *obsv.CounterVec
+	sessionAnswers *obsv.CounterVec
+	sessionBudget  *obsv.GaugeVec
+	sessionQuality *obsv.GaugeVec
+}
+
+// NewManagerMetrics builds the manager bundle with every instrument
+// registered.
+func NewManagerMetrics() *ManagerMetrics {
+	reg := obsv.NewRegistry()
+	return &ManagerMetrics{
+		reg: reg,
+
+		http: newHTTPInstruments(reg, "manager_"),
+
+		sessionsCreated: reg.Counter("manager_sessions_created_total",
+			"sessions created or adopted"),
+		sessionsEvicted: reg.Counter("manager_sessions_evicted_total",
+			"finished sessions evicted by the retention policy"),
+		sessionsByState: reg.GaugeVec("manager_sessions",
+			"registered sessions by lifecycle state", "state"),
+
+		sessionRounds: reg.CounterVec("session_rounds_total",
+			"pipeline rounds completed, per session", "session"),
+		sessionAnswers: reg.CounterVec("session_answers_total",
+			"expert answers received, per session", "session"),
+		sessionBudget: reg.GaugeVec("session_budget_spent",
+			"cumulative budget consumed, per session", "session"),
+		sessionQuality: reg.GaugeVec("session_quality",
+			"belief quality after the latest round, per session", "session"),
+	}
+}
+
+// sessionSink returns a pipeline.MetricsSink that feeds the per-session
+// labeled families for one session ID.
+func (m *ManagerMetrics) sessionSink(id string) pipeline.MetricsSink {
+	return &perSessionSink{
+		rounds:  m.sessionRounds.With(id),
+		answers: m.sessionAnswers.With(id),
+		budget:  m.sessionBudget.With(id),
+		quality: m.sessionQuality.With(id),
+	}
+}
+
+// forgetSession drops a session's label values from every per-session
+// family.
+func (m *ManagerMetrics) forgetSession(id string) {
+	m.sessionRounds.Remove(id)
+	m.sessionAnswers.Remove(id)
+	m.sessionBudget.Remove(id)
+	m.sessionQuality.Remove(id)
+}
+
+// Registry exposes the underlying registry.
+func (m *ManagerMetrics) Registry() *obsv.Registry { return m.reg }
+
+// Handler serves the manager's metrics snapshot as JSON.
+func (m *ManagerMetrics) Handler() http.Handler { return m.reg.Handler() }
+
+// perSessionSink records one session's round metrics under its
+// session-labeled families.
+type perSessionSink struct {
+	rounds  *obsv.Counter
+	answers *obsv.Counter
+	budget  *obsv.Gauge
+	quality *obsv.Gauge
+}
+
+// RecordRound implements pipeline.MetricsSink.
+func (k *perSessionSink) RecordRound(r pipeline.RoundMetrics) {
+	k.rounds.Inc()
+	k.answers.Add(float64(r.AnswersReceived))
+	k.budget.Set(r.BudgetSpent)
+	k.quality.Set(r.Quality)
+}
+
+var _ pipeline.MetricsSink = (*perSessionSink)(nil)

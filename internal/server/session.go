@@ -24,6 +24,13 @@ import (
 // ErrClosed is returned when answering a session that already finished.
 var ErrClosed = errors.New("server: session closed")
 
+// ErrDraining is returned when answering a session that is draining: the
+// service is shutting down gracefully, no new answers are admitted, and
+// the session's progress through its last completed round is about to be
+// checkpointed. HTTP maps it to 503 so clients know to stop rather than
+// re-poll.
+var ErrDraining = errors.New("server: session draining")
+
 // ErrRoundClosed is returned when answering a round that already
 // completed (full panel or timeout) but has not yet been replaced by the
 // next round. The answer is NOT recorded: the completed round's family
@@ -49,12 +56,13 @@ type Session struct {
 	ds      *dataset.Dataset
 	experts crowd.Crowd
 
-	mu      sync.Mutex
-	pending *pendingRound
-	nextID  int
-	result  *pipeline.Result
-	runErr  error
-	closed  bool
+	mu       sync.Mutex
+	pending  *pendingRound
+	nextID   int
+	result   *pipeline.Result
+	runErr   error
+	closed   bool
+	draining bool // graceful shutdown: reject new answers, stop advertising rounds
 	// checkpoint is the latest warm checkpoint the loop emitted (one per
 	// completed round); nil until the first round finishes.
 	checkpoint *pipeline.Checkpoint
@@ -88,6 +96,13 @@ type SessionOptions struct {
 	// Logger, when non-nil, receives round-transition log lines
 	// (published / completed / expired / rejected stragglers).
 	Logger *log.Logger
+	// Gate, when non-nil, is acquired before the pipeline engine starts
+	// and released when it returns. It is how a session manager bounds the
+	// number of simultaneously running engines: a gated session sits
+	// queued (publishing no rounds) until the gate admits it. An Acquire
+	// error (the gate rejected the session, or ctx ended) finishes the
+	// session with that error without running the engine.
+	Gate func(ctx context.Context) (release func(), err error)
 }
 
 // NewSession starts the pipeline on ds with cfg; cfg.Source is replaced
@@ -171,6 +186,17 @@ func NewSessionOpts(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Confi
 	}
 	go func() {
 		defer close(s.finished)
+		if opts.Gate != nil {
+			release, err := opts.Gate(runCtx)
+			if err != nil {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				s.runErr = err
+				s.closed = true
+				return
+			}
+			defer release()
+		}
 		var res *pipeline.Result
 		var err error
 		if c != nil {
@@ -298,7 +324,7 @@ func (s *Session) expireRound(round *pendingRound) {
 func (s *Session) Queries(workerID string) (roundID int, facts []int, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.pending == nil || s.closed {
+	if s.pending == nil || s.closed || s.draining {
 		return 0, nil, false
 	}
 	if s.pending.complete {
@@ -327,6 +353,9 @@ func (s *Session) Answer(roundID int, workerID string, values []bool) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return s.rejectAnswer("session_closed", ErrClosed)
+	}
+	if s.draining {
+		return s.rejectAnswer("draining", ErrDraining)
 	}
 	if s.pending == nil || s.pending.id != roundID {
 		return s.rejectAnswer("not_open", fmt.Errorf("server: round %d is not open", roundID))
@@ -369,6 +398,7 @@ func (s *Session) Answer(roundID int, workerID string, values []bool) error {
 // Status describes the session's progress.
 type Status struct {
 	Done        bool     `json:"done"`
+	Draining    bool     `json:"draining,omitempty"`
 	Rounds      int      `json:"rounds"`
 	BudgetSpent float64  `json:"budget_spent"`
 	Quality     float64  `json:"quality"`
@@ -383,7 +413,7 @@ type Status struct {
 func (s *Session) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Status{Done: s.closed}
+	st := Status{Done: s.closed, Draining: s.draining}
 	if s.pending != nil {
 		st.OpenRound = s.pending.id
 		st.OpenFacts = append([]int{}, s.pending.facts...)
@@ -426,4 +456,58 @@ func (s *Session) Wait(ctx context.Context) (*pipeline.Result, error) {
 func (s *Session) Close() {
 	s.cancel()
 	<-s.finished
+}
+
+// beginDrain puts the session into graceful-shutdown mode: Answer
+// rejects new answers with ErrDraining and Queries stops advertising the
+// open round. A round that already completed (full panel or timeout) is
+// still consumed by the engine — that is the progress Drain preserves.
+// Idempotent.
+func (s *Session) beginDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.draining {
+		s.draining = true
+		s.logf("session draining: rejecting new answers")
+	}
+}
+
+// engineParked reports whether the engine can make no further progress
+// without answers that draining forbids: it finished, or it is blocked
+// on a round that is not complete. Between a round completing and the
+// engine consuming it (belief update, checkpoint emission, next publish)
+// this is false — that window is exactly what Drain waits out.
+func (s *Session) engineParked() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed || (s.pending != nil && !s.pending.complete)
+}
+
+// Drain gracefully stops the session: reject new answers, wait for the
+// engine to consume any in-flight completed round (so its belief updates
+// and checkpoint are not lost), then cancel the run. It returns the last
+// warm checkpoint the engine emitted — after a clean drain that includes
+// every completed round — or nil if no round ever completed. On ctx
+// expiry the session is cancelled anyway and the checkpoint reflects
+// whatever the engine had emitted by then.
+//
+// Progress granularity is the engine round: answers of a round that had
+// not completed when the drain began are not applied (they were never
+// part of a consumed family), and with per-round timeouts a partial
+// round that would have expired later is cut at the drain instead.
+func (s *Session) Drain(ctx context.Context) (*pipeline.Checkpoint, error) {
+	s.beginDrain()
+	var err error
+	for !s.engineParked() {
+		select {
+		case <-s.finished:
+		case <-ctx.Done():
+			err = ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+			continue
+		}
+		break
+	}
+	s.Close()
+	return s.Checkpoint(), err
 }
