@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint fuzz-smoke race determinism bench bench-snapshot snapshot-smoke metrics-smoke serve-smoke verify
+.PHONY: build test vet lint fuzz-smoke race determinism bench bench-snapshot bench-compare snapshot-smoke metrics-smoke serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz 'FuzzCheckpointRoundTrip$$' -fuzztime 5s ./internal/pipeline/
 	$(GO) test -run xxx -fuzz 'FuzzLogSumExp$$' -fuzztime 5s ./internal/mathx/
 	$(GO) test -run xxx -fuzz 'FuzzEntropy$$' -fuzztime 5s ./internal/mathx/
+	$(GO) test -run xxx -fuzz 'FuzzBatchKernels$$' -fuzztime 5s ./internal/mathx/
 	$(GO) test -run xxx -fuzz 'FuzzReadAnswersCSV$$' -fuzztime 5s ./internal/dataset/
 	$(GO) test -run xxx -fuzz 'FuzzReadDataset$$' -fuzztime 5s ./internal/dataset/
 
@@ -40,19 +41,26 @@ race:
 # must label byte-identically to same-seed single sessions, and a drain
 # must persist exactly the last emitted checkpoint.
 determinism:
-	$(GO) test -count=2 -run 'DeterministicGivenSeed' ./internal/pipeline/ ./internal/experiments/ ./internal/server/
+	$(GO) test -count=2 -run 'DeterministicGivenSeed' ./internal/pipeline/ ./internal/experiments/ ./internal/server/ ./internal/taskselect/
 
 # One pass over every paper benchmark (including the incremental
 # selection engine's pick-identity + evals/round check).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-# Archive the core performance baseline (incremental-selection
-# evals/round for both loop flavors + the Fig2 end-to-end driver) as
-# BENCH_core.json for cross-commit diffing.
+# Snapshot the current performance numbers (incremental-selection
+# evals/round for both loop flavors + the Fig2 end-to-end driver, with
+# -benchmem so allocs/op and B/op are captured) as BENCH_next.json.
+# BENCH_core.json is the archived pre-hot-path baseline — don't
+# overwrite it; diff against it with bench-compare.
 bench-snapshot:
-	$(GO) test -run xxx -bench 'GreedyIncremental|CostGreedyIncremental|Fig2Baselines' -benchtime 1x . \
-		| $(GO) run ./cmd/hcsnap -out BENCH_core.json
+	$(GO) test -run xxx -bench 'GreedyIncremental|CostGreedyIncremental|Fig2Baselines' -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/hcsnap -out BENCH_next.json
+
+# Print per-benchmark, per-metric deltas between the archived core
+# baseline and the latest bench-snapshot.
+bench-compare:
+	$(GO) run ./cmd/hcsnap -compare BENCH_core.json BENCH_next.json
 
 # Smoke-test the snapshot pipeline (one cheap benchmark, JSON to stdout)
 # without writing the baseline file.

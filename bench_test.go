@@ -7,6 +7,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"slices"
 	"testing"
 
 	"hcrowd"
@@ -303,7 +304,7 @@ func BenchmarkGreedyIncremental(b *testing.B) {
 			if record != nil {
 				if record[r] == nil {
 					record[r] = picks
-				} else if fmt.Sprintf("%v", picks) != fmt.Sprintf("%v", record[r]) {
+				} else if !slices.Equal(picks, record[r]) {
 					b.Fatalf("round %d: engines diverged: %v vs %v", r, picks, record[r])
 				}
 			}
@@ -312,8 +313,9 @@ func BenchmarkGreedyIncremental(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				loc := []int{c.Fact} // re-index global -> local; Update only reads Facts
 				for i := range fam {
-					fam[i].Facts = []int{c.Fact} // re-index global -> local
+					fam[i].Facts = loc
 				}
 				if err := beliefs[c.Task].Update(fam); err != nil {
 					b.Fatal(err)
@@ -394,7 +396,7 @@ func BenchmarkCostGreedyIncremental(b *testing.B) {
 			if record != nil {
 				if record[r] == nil {
 					record[r] = units
-				} else if fmt.Sprintf("%v", units) != fmt.Sprintf("%v", record[r]) {
+				} else if !slices.Equal(units, record[r]) {
 					b.Fatalf("round %d: engines diverged: %v vs %v", r, units, record[r])
 				}
 			}

@@ -15,7 +15,11 @@
 //
 // Usage:
 //
-//	go test -run xxx -bench . -benchtime 1x . | hcsnap -out BENCH_core.json
+//	go test -run xxx -bench . -benchtime 1x . | hcsnap -out BENCH_next.json
+//	hcsnap -compare BENCH_core.json BENCH_next.json
+//
+// The -compare mode reads two snapshot files and prints a per-benchmark,
+// per-metric old→new delta report instead of parsing benchmark output.
 package main
 
 import (
@@ -24,7 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -51,11 +57,27 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("hcsnap", flag.ContinueOnError)
 	var (
-		in  = fs.String("in", "-", "benchmark output file (- for stdin)")
-		out = fs.String("out", "-", "JSON snapshot destination (- for stdout)")
+		in      = fs.String("in", "-", "benchmark output file (- for stdin)")
+		out     = fs.String("out", "-", "JSON snapshot destination (- for stdout)")
+		compare = fs.Bool("compare", false, "compare two snapshot files: hcsnap -compare OLD.json NEW.json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two snapshot files, got %d", fs.NArg())
+		}
+		oldSnap, err := loadSnapshot(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		newSnap, err := loadSnapshot(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		Compare(stdout, oldSnap, newSnap)
+		return nil
 	}
 	r := stdin
 	if *in != "-" {
@@ -141,6 +163,108 @@ func Parse(r io.Reader) (*Snapshot, error) {
 		return nil, err
 	}
 	return snap, nil
+}
+
+// loadSnapshot reads one JSON snapshot file written by -out.
+func loadSnapshot(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{}
+	if err := json.Unmarshal(raw, snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// Compare prints a per-benchmark, per-metric old→new report: the raw
+// values, the new/old ratio, and the percentage change. Benchmarks keep
+// the old snapshot's order (new-only ones follow in the new snapshot's
+// order); metrics are sorted by unit so the report diffs cleanly.
+func Compare(w io.Writer, oldSnap, newSnap *Snapshot) {
+	oldBy := indexByName(oldSnap)
+	newBy := indexByName(newSnap)
+	var names []string
+	seen := make(map[string]bool)
+	for _, b := range oldSnap.Benchmarks {
+		if !seen[b.Name] {
+			names = append(names, b.Name)
+			seen[b.Name] = true
+		}
+	}
+	for _, b := range newSnap.Benchmarks {
+		if !seen[b.Name] {
+			names = append(names, b.Name)
+			seen[b.Name] = true
+		}
+	}
+	for _, name := range names {
+		fmt.Fprintln(w, name)
+		ob, nb := oldBy[name], newBy[name]
+		switch {
+		case nb == nil:
+			fmt.Fprintln(w, "  (dropped in new snapshot)")
+		case ob == nil:
+			for _, unit := range sortedUnits(nil, nb.Metrics) {
+				fmt.Fprintf(w, "  %-12s (new) %s\n", unit, fmtMetric(nb.Metrics[unit]))
+			}
+		default:
+			for _, unit := range sortedUnits(ob.Metrics, nb.Metrics) {
+				ov, hasOld := ob.Metrics[unit]
+				nv, hasNew := nb.Metrics[unit]
+				switch {
+				case !hasNew:
+					fmt.Fprintf(w, "  %-12s %s -> (gone)\n", unit, fmtMetric(ov))
+				case !hasOld:
+					fmt.Fprintf(w, "  %-12s (new) %s\n", unit, fmtMetric(nv))
+				case ov == 0:
+					fmt.Fprintf(w, "  %-12s %s -> %s\n", unit, fmtMetric(ov), fmtMetric(nv))
+				default:
+					fmt.Fprintf(w, "  %-12s %s -> %s  %.2fx (%+.1f%%)\n",
+						unit, fmtMetric(ov), fmtMetric(nv), nv/ov, 100*(nv-ov)/ov)
+				}
+			}
+		}
+	}
+}
+
+// indexByName maps benchmark names to their entries (last wins on
+// duplicates, matching how a re-run overwrites a snapshot).
+func indexByName(snap *Snapshot) map[string]*Benchmark {
+	by := make(map[string]*Benchmark, len(snap.Benchmarks))
+	for i := range snap.Benchmarks {
+		by[snap.Benchmarks[i].Name] = &snap.Benchmarks[i]
+	}
+	return by
+}
+
+// sortedUnits returns the union of both metric maps' units in sorted
+// order, so the comparison output is deterministic.
+func sortedUnits(a, b map[string]float64) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for u := range a {
+		set[u] = true
+	}
+	for u := range b {
+		set[u] = true
+	}
+	units := make([]string, 0, len(set))
+	for u := range set {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
+}
+
+// fmtMetric renders a metric value with full precision but no trailing
+// noise: integral values print as integers (1008467, not 1.008467e+06),
+// everything else keeps the shortest exact form (39.2).
+func fmtMetric(v float64) string {
+	if v-math.Trunc(v) == 0 && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // stripProcsSuffix drops the trailing -GOMAXPROCS number go test appends

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -90,6 +91,56 @@ func TestRunStdout(t *testing.T) {
 	}
 	if len(snap.Benchmarks) != 3 {
 		t.Fatalf("stdout snapshot has %d benchmarks", len(snap.Benchmarks))
+	}
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldJSON := `{"benchmarks": [
+		{"name": "BenchmarkA/x", "iterations": 1, "metrics": {"ns/op": 1000, "evals/round": 40}},
+		{"name": "BenchmarkGone", "iterations": 1, "metrics": {"ns/op": 5}}
+	]}`
+	newJSON := `{"benchmarks": [
+		{"name": "BenchmarkA/x", "iterations": 1, "metrics": {"ns/op": 400, "evals/round": 40, "allocs/op": 796}},
+		{"name": "BenchmarkFresh", "iterations": 1, "metrics": {"ns/op": 7}}
+	]}`
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(oldJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", oldPath, newPath}, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"BenchmarkA/x",
+		"1000 -> 400  0.40x (-60.0%)",
+		"(new) 796",             // metric only in the new snapshot
+		"40 -> 40  1.00x",       // unchanged metric still reported
+		"(dropped in new snapshot)",
+		"BenchmarkFresh",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	// Benchmarks follow the old snapshot's order, new-only ones last.
+	if strings.Index(out, "BenchmarkGone") > strings.Index(out, "BenchmarkFresh") {
+		t.Errorf("benchmark order wrong:\n%s", out)
+	}
+}
+
+func TestCompareArgErrors(t *testing.T) {
+	if err := run([]string{"-compare", "one.json"}, nil, io.Discard); err == nil {
+		t.Fatal("one-file -compare accepted")
+	}
+	if err := run([]string{"-compare", "no-such.json", "also-missing.json"}, nil, io.Discard); err == nil {
+		t.Fatal("missing snapshot files accepted")
 	}
 }
 

@@ -30,6 +30,9 @@ const MaxFacts = 25
 type Dist struct {
 	m int
 	p []float64
+	// scratch is the posterior buffer Update writes before committing; it
+	// swaps with p on success so steady-state updates allocate nothing.
+	scratch []float64
 }
 
 // New returns the uniform belief over m facts: every observation equally
@@ -84,7 +87,8 @@ func FromMarginals(pTrue []float64) (*Dist, error) {
 		return nil, fmt.Errorf("belief: fact count %d outside [1, %d]", m, MaxFacts)
 	}
 	const eps = 1e-6
-	q := make([]float64, m)
+	var qBuf [MaxFacts]float64
+	q := qBuf[:m]
 	for i, v := range pTrue {
 		if math.IsNaN(v) || v < 0 || v > 1 {
 			return nil, fmt.Errorf("belief: marginal %d = %v outside [0, 1]", i, v)
@@ -276,13 +280,69 @@ func (d *Dist) Update(fam crowd.AnswerFamily) error {
 			return err
 		}
 	}
-	post := make([]float64, len(d.p))
+	// Hoist the per-answer likelihood factors out of the 2^m observation
+	// loop: each answer contributes one of exactly two values depending
+	// only on its fact's truth bit, so PCorrect runs once per answer here
+	// instead of once per (answer, observation). The per-answer-set
+	// subproducts keep FamilyLikelihood's association, so the posterior is
+	// bitwise the one the direct evaluation produces.
+	var facStack [24][2]float64
+	var factStack [24]int
+	var lenStack [8]int
+	nUnits := 0
+	for _, as := range fam {
+		nUnits += len(as.Facts)
+	}
+	facs, facts, lens := facStack[:0], factStack[:0], lenStack[:0]
+	if nUnits > len(facStack) {
+		facs = make([][2]float64, 0, nUnits)
+		facts = make([]int, 0, nUnits)
+	}
+	if len(fam) > len(lenStack) {
+		lens = make([]int, 0, len(fam))
+	}
+	for _, as := range fam {
+		pcT := as.Worker.PCorrect(true)
+		pcF := as.Worker.PCorrect(false)
+		for j, f := range as.Facts {
+			var fac [2]float64
+			if as.Values[j] {
+				fac[1], fac[0] = pcT, 1-pcF
+			} else {
+				fac[1], fac[0] = 1-pcT, pcF
+			}
+			facs = append(facs, fac)
+			facts = append(facts, f)
+		}
+		lens = append(lens, len(as.Facts))
+	}
+	post := d.scratch
+	if cap(post) < len(d.p) {
+		post = make([]float64, len(d.p))
+	} else {
+		post = post[:len(d.p)]
+	}
 	var sum float64
 	for o, po := range d.p {
 		if po == 0 {
+			post[o] = 0
 			continue
 		}
-		v := po * FamilyLikelihood(o, fam)
+		like := 1.0
+		u := 0
+		for _, n := range lens {
+			sub := 1.0
+			for j := 0; j < n; j++ {
+				tv := 0
+				if Models(o, facts[u]) {
+					tv = 1
+				}
+				sub *= facs[u][tv]
+				u++
+			}
+			like *= sub
+		}
+		v := po * like
 		post[o] = v
 		sum += v
 	}
@@ -293,6 +353,9 @@ func (d *Dist) Update(fam crowd.AnswerFamily) error {
 	for o := range post {
 		post[o] *= inv
 	}
+	// Commit by swapping: the outgoing distribution becomes the next
+	// call's posterior buffer. On the error path above d.p is untouched.
+	d.scratch = d.p
 	d.p = post
 	return nil
 }

@@ -1,0 +1,126 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randVec returns a deterministic pseudo-random non-negative vector with
+// some exact zeros, the shape of the probability vectors the entropy
+// cores feed the batch kernels.
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		if rng.Intn(5) == 0 {
+			continue // exact zero: exercises the XLogX guard
+		}
+		v[i] = rng.Float64()
+	}
+	return v
+}
+
+// TestXLogXSumBitwiseScalar pins the contract the conditional-entropy
+// cores rely on: the batched sum is the scalar accumulation, bit for bit.
+func TestXLogXSumBitwiseScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		x := randVec(rng, 1+rng.Intn(64))
+		var want float64
+		for _, v := range x {
+			want += XLogX(v)
+		}
+		if got := XLogXSum(x); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("XLogXSum = %v (bits %x), scalar loop = %v (bits %x)",
+				got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+// TestEntropySumBitwiseScalar pins the negated accumulation order: h -=
+// XLogX(v) in index order, no clamping.
+func TestEntropySumBitwiseScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		x := randVec(rng, 1+rng.Intn(64))
+		var want float64
+		for _, v := range x {
+			want -= XLogX(v)
+		}
+		if got := EntropySum(x); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("EntropySum = %v, scalar loop = %v", got, want)
+		}
+	}
+}
+
+// TestEntropyMatchesEntropySum checks the public Entropy/NegEntropy
+// wrappers are the clamped batch kernels.
+func TestEntropyMatchesEntropySum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		x := randVec(rng, 1+rng.Intn(32))
+		h := EntropySum(x)
+		if h < 0 {
+			h = 0
+		}
+		if got := Entropy(x); math.Float64bits(got) != math.Float64bits(h) {
+			t.Fatalf("Entropy = %v, clamped EntropySum = %v", got, h)
+		}
+		q := XLogXSum(x)
+		if q > 0 {
+			q = 0
+		}
+		if got := NegEntropy(x); math.Float64bits(got) != math.Float64bits(q) {
+			t.Fatalf("NegEntropy = %v, clamped XLogXSum = %v", got, q)
+		}
+	}
+}
+
+// TestOuterMul checks the index layout (a's index in the high bits) and
+// the bitwise products.
+func TestOuterMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		na, nb := 1+rng.Intn(8), 1+rng.Intn(8)
+		a, b := randVec(rng, na), randVec(rng, nb)
+		dst := make([]float64, na*nb)
+		OuterMul(dst, a, b)
+		for i := 0; i < na; i++ {
+			for j := 0; j < nb; j++ {
+				want := a[i] * b[j]
+				if got := dst[i*nb+j]; math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("dst[%d*%d+%d] = %v, want a[i]*b[j] = %v", i, nb, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOuterMulPanicsOnLengthMismatch pins the guard: a silent short write
+// would corrupt a family-likelihood table.
+func TestOuterMulPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OuterMul with mismatched dst did not panic")
+		}
+	}()
+	OuterMul(make([]float64, 3), []float64{1, 2}, []float64{3, 4})
+}
+
+// TestAddTo checks element-wise accumulation and the length guard.
+func TestAddTo(t *testing.T) {
+	dst := []float64{1, 2, 3}
+	AddTo(dst, []float64{0.5, 0.25, 0.125})
+	want := []float64{1.5, 2.25, 3.125}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("AddTo result %v, want %v", dst, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddTo with mismatched lengths did not panic")
+		}
+	}()
+	AddTo(dst, []float64{1})
+}

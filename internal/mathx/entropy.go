@@ -18,10 +18,7 @@ func XLogX(x float64) float64 {
 // contribute nothing. The result is never negative for a valid
 // distribution (tiny negative values from rounding are clamped to 0).
 func Entropy(p []float64) float64 {
-	var h float64
-	for _, x := range p {
-		h -= XLogX(x)
-	}
+	h := EntropySum(p)
 	if h < 0 {
 		return 0
 	}
@@ -31,10 +28,7 @@ func Entropy(p []float64) float64 {
 // NegEntropy returns sum p_i ln p_i, the quality function Q(F) = -H(O) of
 // Definition 2 in the paper. It equals -Entropy(p).
 func NegEntropy(p []float64) float64 {
-	var q float64
-	for _, x := range p {
-		q += XLogX(x)
-	}
+	q := XLogXSum(p)
 	if q > 0 {
 		return 0
 	}

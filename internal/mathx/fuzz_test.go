@@ -60,6 +60,49 @@ func FuzzLogSumExp(f *testing.F) {
 	})
 }
 
+// FuzzBatchKernels checks the batched entropy kernels against the scalar
+// accumulation order they promise to reproduce: on arbitrary finite
+// non-negative 4-vectors, XLogXSum and EntropySum must equal the
+// element-at-a-time loops bit for bit (same partial-sum rounding), and
+// OuterMul must equal the nested scalar products. This is the contract
+// that lets the selection engines switch between scalar and batched
+// family enumeration without perturbing pick-identity.
+func FuzzBatchKernels(f *testing.F) {
+	f.Add(0.25, 0.25, 0.25, 0.25)
+	f.Add(0.0, 1.0, 0.0, 1.0)
+	f.Add(1e-320, 1e300, 1e-320, 1.0) // subnormal and huge coordinates
+	f.Add(0.1, 0.9, 0.5, 0.5)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		x := []float64{math.Abs(a), math.Abs(b), math.Abs(c), math.Abs(d)}
+		if !finite(x...) {
+			return
+		}
+		var sum float64
+		for _, v := range x {
+			sum += XLogX(v)
+		}
+		if got := XLogXSum(x); math.Float64bits(got) != math.Float64bits(sum) {
+			t.Fatalf("XLogXSum(%v) = %v, scalar accumulation = %v", x, got, sum)
+		}
+		var h float64
+		for _, v := range x {
+			h -= XLogX(v)
+		}
+		if got := EntropySum(x); math.Float64bits(got) != math.Float64bits(h) {
+			t.Fatalf("EntropySum(%v) = %v, scalar accumulation = %v", x, got, h)
+		}
+		dst := make([]float64, 4)
+		OuterMul(dst, x[:2], x[2:])
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				if want := x[i] * x[2+j]; math.Float64bits(dst[i*2+j]) != math.Float64bits(want) {
+					t.Fatalf("OuterMul(%v) = %v, want [i][j] = %v", x, dst, want)
+				}
+			}
+		}
+	})
+}
+
 // FuzzEntropy checks H(p) on arbitrary normalized 3-vectors: finite,
 // never negative (H >= 0 is the floor Definition 2's quality function
 // assumes), at most ln(n), and consistent with NegEntropy. Weights are

@@ -94,6 +94,46 @@ func condEntropyAssignCore(entropy float64, q []float64, pYes [][2]float64, pos 
 
 	n := len(pos)
 	var hAS float64
+	if nFam := 1 << uint(n); nFam >= minBatchFam && nFam <= maxBatchFam {
+		hAS = assignFamilyEntropyBatch(q, pYes, pos)
+	} else {
+		hAS = assignFamilyEntropyScalar(q, pYes, pos)
+	}
+
+	// H(AS|O) = Σ_p q(p) Σ_i h(P(assign i answers yes | p)); the per-unit
+	// Bernoulli entropies are computed once up front.
+	sc := corePool.Get().(*coreScratch)
+	sc.hB = growPairs(sc.hB, n)
+	hB := sc.hB
+	for i := 0; i < n; i++ {
+		hB[i][0] = mathx.BernoulliEntropy(pYes[i][0])
+		hB[i][1] = mathx.BernoulliEntropy(pYes[i][1])
+	}
+	var hASgivenO float64
+	for p, qp := range q {
+		if qp == 0 {
+			continue
+		}
+		var hp float64
+		for i := 0; i < n; i++ {
+			hp += hB[i][(p>>uint(pos[i]))&1]
+		}
+		hASgivenO += qp * hp
+	}
+	corePool.Put(sc)
+
+	h := entropy - hAS + hASgivenO
+	if h < 0 {
+		h = 0
+	}
+	return h
+}
+
+// assignFamilyEntropyScalar is the constant-space family sweep over the
+// 2^n yes/no outcome vectors of the assigned answer variables.
+func assignFamilyEntropyScalar(q []float64, pYes [][2]float64, pos []int) float64 {
+	n := len(pos)
+	var hAS float64
 	nFam := 1 << uint(n)
 	for fam := 0; fam < nFam; fam++ {
 		var pA float64
@@ -115,25 +155,50 @@ func condEntropyAssignCore(entropy float64, q []float64, pYes [][2]float64, pos 
 		}
 		hAS -= mathx.XLogX(pA)
 	}
+	return hAS
+}
 
-	var hASgivenO float64
+// assignFamilyEntropyBatch computes the same H(AS) pattern-outside: for
+// each projection pattern the per-unit two-point factor vectors [1-py,
+// py] expand by OuterMul (unit i's answer is family bit i, so each new
+// unit lands in the high bit of the partial index), the expansion adds
+// into the per-family accumulator, and EntropySum folds it. Bitwise
+// identical to the scalar sweep for the same reasons as
+// symFamilyEntropyBatch: commutative per-node products in the same chain
+// shape, pattern-order accumulation, and the same XLogX fold.
+func assignFamilyEntropyBatch(q []float64, pYes [][2]float64, pos []int) float64 {
+	n := len(pos)
+	sc := corePool.Get().(*coreScratch)
+	nFam := 1 << uint(n)
+	sc.pAs = growFloats(sc.pAs, nFam)
+	sc.ta = growFloats(sc.ta, nFam)
+	sc.tb = growFloats(sc.tb, nFam)
+	sc.v = growFloats(sc.v, 2)
+	pAs, v := sc.pAs, sc.v[:2]
+	for i := range pAs {
+		pAs[i] = 0
+	}
 	for p, qp := range q {
 		if qp == 0 {
 			continue
 		}
-		var hp float64
+		spare := sc.tb
+		cur := sc.ta[:1]
+		cur[0] = qp
 		for i := 0; i < n; i++ {
-			tv := (p >> uint(pos[i])) & 1
-			hp += mathx.BernoulliEntropy(pYes[i][tv])
+			py := pYes[i][(p>>uint(pos[i]))&1]
+			v[0] = 1 - py
+			v[1] = py
+			dst := spare[:2*len(cur)]
+			mathx.OuterMul(dst, v, cur)
+			spare = cur[:cap(cur)]
+			cur = dst
 		}
-		hASgivenO += qp * hp
+		mathx.AddTo(pAs, cur)
 	}
-
-	h := entropy - hAS + hASgivenO
-	if h < 0 {
-		h = 0
-	}
-	return h
+	hAS := mathx.EntropySum(pAs)
+	corePool.Put(sc)
+	return hAS
 }
 
 // AssignSelector chooses assignment units — (task, fact, worker)

@@ -1,12 +1,14 @@
 package taskselect
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"strings"
+	"sync"
 
 	"hcrowd/internal/belief"
 	"hcrowd/internal/crowd"
@@ -20,18 +22,25 @@ import (
 // whose beliefs the previous round's answers updated. CostGreedy re-scans
 // every (task, fact, worker) unit on every buy iteration of every round;
 // the state pays that scan once per touched task and orders the buy loop
-// through a lazy-deletion max-heap on gain-per-cost instead:
+// through a two-level argmax on gain-per-cost instead:
 //
-//   - The heap seeds from the cached round-start unit gains. A buy only
-//     perturbs the gains of its own task (tasks are independent), so that
-//     task's remaining units are re-evaluated eagerly — exactly
-//     CostGreedy's recompute schedule, for the same ulp-level reasons as
-//     SelectionState's eager refresh — and re-pushed with a bumped
-//     version; superseded entries are discarded when they surface.
-//   - Entries that cost more than the remaining chunk budget are dropped
-//     at pop time: within one call the budget only shrinks, so they can
-//     never become affordable again. CostGreedy filters the same units
-//     out of its scan, which is what keeps the argmax identical.
+//   - Every task caches the first strict maximum of its unit-gain table
+//     (fact then worker ascending — the scan order of CostGreedy's inner
+//     loops), and each buy scans those per-task bests in task order with
+//     a strict comparison: exactly CostGreedy's first-strict-max, at
+//     O(N) per buy with no queue maintenance and no allocation.
+//   - Affordability is revalidated lazily: the chunk budget only shrinks
+//     within a call, so a cached best stays valid until its cost exceeds
+//     the remaining budget, at which point the task's row is re-scanned
+//     with the affordability filter (no new entropy evaluations — the
+//     gains are cached). CostGreedy filters the same units out of its
+//     scan, which is what keeps the argmax identical.
+//   - A buy only perturbs the gains of its own task (tasks are
+//     independent), so that task's remaining units are re-evaluated
+//     eagerly — exactly CostGreedy's recompute schedule, for the same
+//     ulp-level reasons as SelectionState's eager refresh — into a
+//     per-round live table; units already bought, frozen, or no longer
+//     affordable are marked dead.
 //   - The crowd-derived pieces (yes-probability table, per-worker costs)
 //     are computed once per crowd, and the belief-dependent projection is
 //     memoized per task until the task is invalidated.
@@ -40,7 +49,10 @@ import (
 // mutating a task's belief (or its Frozen mask) it must call
 // Invalidate(task) before the next SelectAssign. Crowd or problem-shape
 // changes reset the state wholesale. Workers > 1 re-scans invalidated
-// tasks concurrently. Not safe for concurrent SelectAssign calls.
+// tasks concurrently and fans the post-buy refresh out the same way; the
+// projection memo is mutex-guarded and goroutines write disjoint row
+// slots, so the parallel refresh is bit-identical to the serial one. Not
+// safe for concurrent SelectAssign calls.
 type AssignState struct {
 	// Cost prices one answer from a worker; nil means 1 per answer. Must
 	// match across calls — it is sampled per crowd at sync time.
@@ -48,8 +60,8 @@ type AssignState struct {
 	// MaxAssignsPerTask caps the answer variables accumulated in one task
 	// (the enumeration is exponential in them); default 12, as CostGreedy.
 	MaxAssignsPerTask int
-	// Workers bounds the goroutines of the invalidation re-scan; <= 1
-	// means serial.
+	// Workers bounds the goroutines of the invalidation re-scan and the
+	// post-buy row refresh; <= 1 means serial.
 	Workers int
 
 	// Crowd-derived memos, reset when the crowd signature changes.
@@ -60,6 +72,11 @@ type AssignState struct {
 
 	tasks []*assignTaskCache
 
+	// dirtyList and touchedList are per-call scratch (task indices), kept
+	// on the state so steady-state rounds reuse their capacity.
+	dirtyList   []int
+	touchedList []int
+
 	// pending holds a cache restored via RestoreCache until the next sync
 	// adopts it.
 	pending *SelectionCache
@@ -69,11 +86,83 @@ type AssignState struct {
 
 // assignTaskCache holds the belief-derived memos for one task.
 type assignTaskCache struct {
-	dirty   bool
-	entropy float64     // H(O_t)
-	base    [][]float64 // round-start gain per [fact][worker]; NaN rows mark frozen facts
-	frozen  []bool      // the mask base was computed under
-	proj    map[string][]float64
+	dirty     bool
+	entropy   float64     // H(O_t)
+	base      [][]float64 // round-start gain per [fact][worker]; NaN rows mark frozen facts
+	frozen    []bool      // the mask base was computed under
+	anyFrozen bool        // OR of frozen, the drift check's fast path
+
+	// proj memoizes the belief's projections per query-fact set; projMu
+	// guards it against the parallel refresh (duplicate computes are
+	// bitwise-identical, so last-write-wins is harmless).
+	projMu sync.Mutex
+	proj   map[string][]float64
+
+	// bestFact/bestWorker/... cache the first strict maximum of base by
+	// gain-per-cost, ignoring affordability (revalidated at use);
+	// bestFact == -1 when the task has no live unit.
+	bestFact, bestWorker          int
+	bestGain, bestCost, bestRatio float64
+
+	// Buy-loop scratch, only meaningful while touched (reset at the start
+	// of the next SelectAssign): units holds this round's purchases in
+	// this task in buy order, live the refreshed unit gains given units
+	// with NaN on dead (bought, frozen, or unaffordable-forever) units.
+	touched                               bool
+	units                                 []unitRef
+	live                                  [][]float64
+	liveBestFact, liveBestWorker          int
+	liveBestGain, liveBestCost, liveBestRatio float64
+}
+
+// resetRound clears the buy-loop scratch; live is re-filled when the
+// task is next touched.
+func (tc *assignTaskCache) resetRound() {
+	tc.touched = false
+	tc.units = tc.units[:0]
+}
+
+// rowBest returns the first strict maximum by gain-per-cost over a
+// [fact][worker] gain table, restricted to units costing at most limit.
+// NaN entries (frozen, bought, or expired) are skipped; fact == -1 when
+// nothing qualifies. Scanning facts then workers ascending with a strict
+// > is exactly CostGreedy's tie-break order.
+func rowBest(rows [][]float64, costs []float64, limit float64) (fact, worker int, gain, cost, ratio float64) {
+	fact, worker = -1, -1
+	ratio = math.Inf(-1)
+	for f, row := range rows {
+		for wi, g := range row {
+			if math.IsNaN(g) || costs[wi] > limit {
+				continue
+			}
+			if r := g / costs[wi]; r > ratio {
+				fact, worker, gain, cost, ratio = f, wi, g, costs[wi], r
+			}
+		}
+	}
+	return fact, worker, gain, cost, ratio
+}
+
+// curBest returns the task's current affordable argmax unit: the cached
+// best when it is still affordable, a filtered row re-scan otherwise.
+// The re-scan never overwrites the cached round-start best — the next
+// call starts from a fresh budget.
+func (tc *assignTaskCache) curBest(costs []float64, remaining float64) (fact, worker int, gain, cost, ratio float64) {
+	rows := tc.base
+	bf, bw := tc.bestFact, tc.bestWorker
+	bg, bc, br := tc.bestGain, tc.bestCost, tc.bestRatio
+	if tc.touched {
+		rows = tc.live
+		bf, bw = tc.liveBestFact, tc.liveBestWorker
+		bg, bc, br = tc.liveBestGain, tc.liveBestCost, tc.liveBestRatio
+	}
+	if bf < 0 {
+		return -1, -1, 0, 0, math.Inf(-1)
+	}
+	if bc <= remaining {
+		return bf, bw, bg, bc, br
+	}
+	return rowBest(rows, costs, remaining)
 }
 
 // unitRef is one answer unit in crowd-index form: worker indexes the
@@ -137,10 +226,9 @@ func (s *AssignState) maxPer() int {
 // everything (adopting a pending restored cache when it matches), and a
 // frozen-mask drift on a clean task dirties it.
 func (s *AssignState) sync(p Problem) {
-	sig := crowdSignature(p.Experts)
-	if sig != s.crowdSig || len(p.Beliefs) != len(s.tasks) {
-		s.crowdSig = sig
-		s.ce = p.Experts
+	if !crowdEqual(s.ce, p.Experts) || len(p.Beliefs) != len(s.tasks) {
+		s.crowdSig = crowdSignature(p.Experts)
+		s.ce = append(crowd.Crowd(nil), p.Experts...)
 		s.pYes = asymYesTable(p.Experts)
 		s.costs = make([]float64, len(p.Experts))
 		for i, w := range p.Experts {
@@ -150,23 +238,62 @@ func (s *AssignState) sync(p Problem) {
 		s.adoptPending(p)
 	}
 	s.pending = nil
-	for t := range s.tasks {
-		if s.tasks[t] == nil {
-			s.tasks[t] = &assignTaskCache{dirty: true}
-			continue
+	// Batch-allocate caches for tasks still missing one (all of them after
+	// a reset, none in steady state) instead of one heap object per task.
+	missing := 0
+	for _, tc := range s.tasks {
+		if tc == nil {
+			missing++
 		}
-		tc := s.tasks[t]
-		if !tc.dirty && !frozenEqual(tc.frozen, p, t) {
+	}
+	if missing > 0 {
+		slab := make([]assignTaskCache, missing)
+		i := 0
+		for t := range s.tasks {
+			if s.tasks[t] == nil {
+				slab[i].dirty = true
+				s.tasks[t] = &slab[i]
+				i++
+			}
+		}
+	}
+	for t, tc := range s.tasks {
+		if !tc.dirty && !frozenEqual(tc.frozen, tc.anyFrozen, p, t) {
 			tc.dirty = true
 		}
 	}
 }
 
-// condEntropy evaluates H(O_t | units) through the memos. It matches
-// CondEntropyAssign bitwise for units listed in the same order: the core
-// runs the identical arithmetic, only the setup (projection, per-worker
-// yes probabilities) comes from cache.
-func (s *AssignState) condEntropy(tc *assignTaskCache, d *belief.Dist, units []unitRef) (float64, error) {
+// memoProj returns the memoized projection of tc's belief onto the
+// sorted fact list, computing and storing it on miss. The varint key
+// (projKey) distinguishes all fact indices — the old single-byte
+// encoding collided for indices ≥ 256. Safe under the parallel refresh:
+// lookups and stores hold projMu, the computation runs outside it, and a
+// lost race recomputes a bitwise-identical vector.
+func (s *AssignState) memoProj(sc *evalScratch, tc *assignTaskCache, d *belief.Dist, facts []int) []float64 {
+	sc.key = projKey(sc.key[:0], facts)
+	tc.projMu.Lock()
+	q, ok := tc.proj[string(sc.key)]
+	tc.projMu.Unlock()
+	if ok {
+		return q
+	}
+	q = projection(d, facts)
+	tc.projMu.Lock()
+	if prev, ok := tc.proj[string(sc.key)]; ok {
+		q = prev
+	} else {
+		tc.proj[string(sc.key)] = q
+	}
+	tc.projMu.Unlock()
+	return q
+}
+
+// condEntropy evaluates H(O_t | units) through the memos, using sc for
+// the per-unit tables. It matches CondEntropyAssign bitwise for units
+// listed in the same order: the core runs the identical arithmetic, only
+// the setup (projection, per-worker yes probabilities) comes from cache.
+func (s *AssignState) condEntropy(sc *evalScratch, tc *assignTaskCache, d *belief.Dist, units []unitRef) (float64, error) {
 	if len(units) == 0 {
 		return tc.entropy, nil
 	}
@@ -176,43 +303,57 @@ func (s *AssignState) condEntropy(tc *assignTaskCache, d *belief.Dist, units []u
 	s.stats.evals.Add(1)
 	// Distinct facts in encounter order, then sorted — the same fact list
 	// CondEntropyAssign derives, so the projection patterns line up.
-	facts := make([]int, 0, len(units))
-	seen := make(map[int]bool, len(units))
+	facts := sc.facts[:0]
 	for _, u := range units {
-		if !seen[u.fact] {
-			seen[u.fact] = true
+		dup := false
+		for _, f := range facts {
+			if f == u.fact {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			facts = append(facts, u.fact)
 		}
 	}
 	sort.Ints(facts)
-	factPos := make(map[int]int, len(facts))
-	for i, f := range facts {
-		factPos[f] = i
-	}
-	q := memoProjection(tc.proj, d, facts)
-	pYes := make([][2]float64, len(units))
-	pos := make([]int, len(units))
+	sc.facts = facts
+	q := s.memoProj(sc, tc, d, facts)
+	sc.pyes = growPairs(sc.pyes, len(units))
+	sc.pos = growInts(sc.pos, len(units))
 	for i, u := range units {
-		pYes[i] = s.pYes[u.worker]
-		pos[i] = factPos[u.fact]
+		sc.pyes[i] = s.pYes[u.worker]
+		for j, f := range facts {
+			if f == u.fact {
+				sc.pos[i] = j
+				break
+			}
+		}
 	}
-	return condEntropyAssignCore(tc.entropy, q, pYes, pos), nil
+	return condEntropyAssignCore(tc.entropy, q, sc.pyes, sc.pos), nil
 }
 
 // rescan rebuilds the round-start unit-gain cache of task t.
 func (s *AssignState) rescan(ctx context.Context, p Problem, t int) error {
 	tc := s.tasks[t]
 	d := p.Beliefs[t]
+	sc := getScratch()
+	defer putScratch(sc)
 	tc.entropy = d.Entropy()
-	tc.proj = make(map[string][]float64)
+	if tc.proj == nil {
+		tc.proj = make(map[string][]float64)
+	} else {
+		clear(tc.proj) // stale belief's projections; keep the buckets
+	}
 	m, w := d.NumFacts(), len(s.ce)
-	tc.frozen = make([]bool, m)
-	tc.base = make([][]float64, m)
+	tc.frozen = growBools(tc.frozen, m)
+	tc.anyFrozen = false
+	tc.base = growRows(tc.base, m, w)
 	for f := 0; f < m; f++ {
-		row := make([]float64, w)
-		tc.base[f] = row
+		row := tc.base[f]
 		tc.frozen[f] = p.frozen(t, f)
 		if tc.frozen[f] {
+			tc.anyFrozen = true
 			for wi := range row {
 				row[wi] = math.NaN()
 			}
@@ -222,54 +363,18 @@ func (s *AssignState) rescan(ctx context.Context, p Problem, t int) error {
 			return err
 		}
 		for wi := 0; wi < w; wi++ {
-			h, err := s.condEntropy(tc, d, []unitRef{{fact: f, worker: wi}})
+			sc.units = append(sc.units[:0], unitRef{fact: f, worker: wi})
+			h, err := s.condEntropy(sc, tc, d, sc.units)
 			if err != nil {
 				return err
 			}
 			row[wi] = tc.entropy - h
 		}
 	}
+	tc.bestFact, tc.bestWorker, tc.bestGain, tc.bestCost, tc.bestRatio =
+		rowBest(tc.base, s.costs, math.Inf(1))
 	tc.dirty = false
 	return nil
-}
-
-// assignEntry is one candidate unit in the buy-ordering max-heap;
-// version stamps the number of buys its task had when gain was computed
-// (lazy deletion, as SelectionState's heapEntry).
-type assignEntry struct {
-	task, fact, worker int
-	gain, cost, ratio  float64
-	version            int
-}
-
-// assignHeap orders entries by gain-per-cost descending, ties broken by
-// ascending (task, fact, worker index) — exactly the first-strict-max
-// order of CostGreedy's scan over tasks, facts and the crowd slice,
-// which is what makes the two selectors' purchases identical.
-type assignHeap []assignEntry
-
-func (h assignHeap) Len() int { return len(h) }
-func (h assignHeap) Less(i, j int) bool {
-	//hclint:ignore float-eq exact != is the point: the heap must reproduce CostGreedy's first-strict-max scan bit-for-bit, and a tolerance would break comparator transitivity
-	if h[i].ratio != h[j].ratio {
-		return h[i].ratio > h[j].ratio
-	}
-	if h[i].task != h[j].task {
-		return h[i].task < h[j].task
-	}
-	if h[i].fact != h[j].fact {
-		return h[i].fact < h[j].fact
-	}
-	return h[i].worker < h[j].worker
-}
-func (h assignHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *assignHeap) Push(x any)   { *h = append(*h, x.(assignEntry)) }
-func (h *assignHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
 }
 
 // hasUnit reports whether the unit list already contains (worker, fact).
@@ -280,6 +385,49 @@ func hasUnit(units []unitRef, worker, fact int) bool {
 		}
 	}
 	return false
+}
+
+// refill re-evaluates task tc's remaining units against the enlarged
+// purchase set (conditional entropy nh) — exactly CostGreedy's recompute
+// schedule after a buy — marking bought, frozen, and no-longer-affordable
+// units dead (the chunk budget only shrinks within a call, so they can
+// never come back), then refreshes the task's cached argmax. Workers > 1
+// fans the per-fact evaluations out with pooled scratch and disjoint row
+// writes; the reduction runs serially, so the result matches the serial
+// sweep bitwise.
+func (s *AssignState) refill(ctx context.Context, tc *assignTaskCache, d *belief.Dist, nh, remaining float64) error {
+	m, w := d.NumFacts(), len(s.ce)
+	err := scanAll(ctx, m, s.Workers, func(f int) error {
+		row := tc.live[f]
+		if tc.frozen[f] {
+			for wi := range row {
+				row[wi] = math.NaN()
+			}
+			return nil
+		}
+		sc := getScratch()
+		defer putScratch(sc)
+		for wi := 0; wi < w; wi++ {
+			if s.costs[wi] > remaining || hasUnit(tc.units, wi, f) {
+				row[wi] = math.NaN()
+				continue
+			}
+			sc.units = append(sc.units[:0], tc.units...)
+			sc.units = append(sc.units, unitRef{fact: f, worker: wi})
+			th, err := s.condEntropy(sc, tc, d, sc.units)
+			if err != nil {
+				return err
+			}
+			row[wi] = nh - th
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	tc.liveBestFact, tc.liveBestWorker, tc.liveBestGain, tc.liveBestCost, tc.liveBestRatio =
+		rowBest(tc.live, s.costs, math.Inf(1))
+	return nil
 }
 
 // SelectAssign implements AssignSelector. See the type comment for the
@@ -298,123 +446,97 @@ func (s *AssignState) SelectAssign(ctx context.Context, p Problem, budget float6
 		}
 	}
 	maxPer := s.maxPer()
+	// Clear the previous round's buy-loop scratch up front (error-path
+	// aborts must not leak) and before sync, which may swap the table.
+	for _, t := range s.touchedList {
+		if t < len(s.tasks) && s.tasks[t] != nil {
+			s.tasks[t].resetRound()
+		}
+	}
+	s.touchedList = s.touchedList[:0]
 	s.sync(p)
 	s.stats.selects.Add(1)
 
 	// Parallel invalidation re-scan: only dirty tasks pay the O(m·|CE|)
 	// unit-gain sweep.
-	var dirty []int
+	s.dirtyList = s.dirtyList[:0]
 	for t, tc := range s.tasks {
 		if tc.dirty {
-			dirty = append(dirty, t)
+			s.dirtyList = append(s.dirtyList, t)
 		}
 	}
-	s.stats.rescans.Add(int64(len(dirty)))
-	s.stats.reused.Add(int64(len(s.tasks) - len(dirty)))
-	if len(dirty) > 0 {
-		err := scanAll(ctx, len(dirty), s.Workers, func(i int) error {
-			return s.rescan(ctx, p, dirty[i])
+	s.stats.rescans.Add(int64(len(s.dirtyList)))
+	s.stats.reused.Add(int64(len(s.tasks) - len(s.dirtyList)))
+	if len(s.dirtyList) > 0 {
+		err := scanAll(ctx, len(s.dirtyList), s.Workers, func(i int) error {
+			return s.rescan(ctx, p, s.dirtyList[i])
 		})
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	// Seed the heap with every unit's cached round-start gain-per-cost.
-	h := make(assignHeap, 0, len(s.tasks)*4)
-	for t, tc := range s.tasks {
-		for f, row := range tc.base {
-			if tc.frozen[f] {
-				continue
-			}
-			for wi, g := range row {
-				h = append(h, assignEntry{
-					task: t, fact: f, worker: wi,
-					gain: g, cost: s.costs[wi], ratio: g / s.costs[wi],
-				})
-			}
-		}
-	}
-	heap.Init(&h)
-
-	current := make(map[int][]unitRef) // task -> bought units, buy order
-	versions := make(map[int]int)
+	sc := getScratch()
+	defer putScratch(sc)
 	var picks []TaskAssign
 	remaining := budget
-	for h.Len() > 0 {
+	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		top := h[0]
-		t := top.task
-		if top.version != versions[t] {
-			// Superseded by the eager refresh after an earlier buy in this
-			// task (or the task hit its assignment cap). Discard.
-			heap.Pop(&h)
-			continue
+		// Two-level argmax: per-task cached bests with lazy affordability,
+		// scanned in task order with a strict > — CostGreedy's exact
+		// first-strict-max over (task, fact, worker).
+		bt, bf, bw := -1, -1, -1
+		var bg, bc float64
+		br := math.Inf(-1)
+		for t, tc := range s.tasks {
+			if tc.touched && len(tc.units) >= maxPer {
+				continue
+			}
+			f, wi, g, c, r := tc.curBest(s.costs, remaining)
+			if f >= 0 && r > br {
+				bt, bf, bw, bg, bc, br = t, f, wi, g, c, r
+			}
 		}
-		if top.cost > remaining {
-			// The chunk budget only shrinks within a call, so the unit can
-			// never become affordable again; CostGreedy's affordability
-			// filter excludes it the same way.
-			heap.Pop(&h)
-			continue
-		}
-		if top.gain <= gainEps {
-			// The heap max is current and affordable, so it is exactly the
-			// unit CostGreedy's scan would pick — and its gain says stop.
+		if bt < 0 || bg <= gainEps {
+			// No affordable unit improves the objective: CostGreedy stops on
+			// the same scan result.
 			break
 		}
-		heap.Pop(&h)
-		picks = append(picks, TaskAssign{Task: t, Fact: top.fact, Worker: s.ce[top.worker]})
-		current[t] = append(current[t], unitRef{fact: top.fact, worker: top.worker})
-		versions[t]++
-		remaining -= top.cost
+		tc, d := s.tasks[bt], p.Beliefs[bt]
+		picks = append(picks, TaskAssign{Task: bt, Fact: bf, Worker: s.ce[bw]})
+		if !tc.touched {
+			tc.touched = true
+			s.touchedList = append(s.touchedList, bt)
+			tc.live = growRows(tc.live, d.NumFacts(), len(s.ce))
+		}
+		tc.units = append(tc.units, unitRef{fact: bf, worker: bw})
+		remaining -= bc
 		if remaining <= 0 {
 			break
 		}
-		if len(current[t]) >= maxPer {
-			continue // stale entries of t die by version mismatch
+		if len(tc.units) >= maxPer {
+			continue // the task is out of the pool; no refresh needed
 		}
 		// The enlarged selection's conditional entropy becomes the new
-		// gain baseline for task t; eagerly re-evaluate its remaining
-		// units on exactly CostGreedy's recompute schedule and supersede
-		// their heap entries.
-		tc, d := s.tasks[t], p.Beliefs[t]
-		nh, err := s.condEntropy(tc, d, current[t])
+		// gain baseline for task bt.
+		nh, err := s.condEntropy(sc, tc, d, tc.units)
 		if err != nil {
 			return nil, err
 		}
-		for f := 0; f < d.NumFacts(); f++ {
-			if tc.frozen[f] {
-				continue
-			}
-			for wi := range s.ce {
-				if s.costs[wi] > remaining || hasUnit(current[t], wi, f) {
-					continue
-				}
-				trial := append(append([]unitRef{}, current[t]...), unitRef{fact: f, worker: wi})
-				th, err := s.condEntropy(tc, d, trial)
-				if err != nil {
-					return nil, err
-				}
-				g := nh - th
-				heap.Push(&h, assignEntry{
-					task: t, fact: f, worker: wi,
-					gain: g, cost: s.costs[wi], ratio: g / s.costs[wi],
-					version: versions[t],
-				})
-			}
+		if err := s.refill(ctx, tc, d, nh, remaining); err != nil {
+			return nil, err
 		}
 	}
-	sort.Slice(picks, func(i, j int) bool {
-		if picks[i].Task != picks[j].Task {
-			return picks[i].Task < picks[j].Task
+	slices.SortFunc(picks, func(a, b TaskAssign) int {
+		if a.Task != b.Task {
+			return a.Task - b.Task
 		}
-		if picks[i].Fact != picks[j].Fact {
-			return picks[i].Fact < picks[j].Fact
+		if a.Fact != b.Fact {
+			return a.Fact - b.Fact
 		}
-		return picks[i].Worker.ID < picks[j].Worker.ID
+		return strings.Compare(a.Worker.ID, b.Worker.ID)
 	})
 	return picks, nil
 }

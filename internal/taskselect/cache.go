@@ -145,12 +145,14 @@ func (s *SelectionState) adoptPending(p Problem) {
 		if tg.Dirty || len(tg.Gains) != m {
 			continue
 		}
-		s.tasks[t] = &taskCache{
-			entropy: tg.Entropy,
-			gains:   restoreGainRow(tg.Gains, tg.Frozen),
-			frozen:  restoreFrozen(tg.Frozen, m),
-			proj:    make(map[string][]float64),
+		tc := &taskCache{
+			entropy:   tg.Entropy,
+			gains:     restoreGainRow(tg.Gains, tg.Frozen),
+			frozen:    restoreFrozen(tg.Frozen, m),
+			anyFrozen: anyTrue(tg.Frozen),
 		}
+		tc.bestFact, tc.bestGain = gainRowBest(tc.gains)
+		s.tasks[t] = tc
 	}
 }
 
@@ -173,6 +175,16 @@ func restoreFrozen(frozen []bool, m int) []bool {
 	out := make([]bool, m)
 	copy(out, frozen)
 	return out
+}
+
+// anyTrue reports whether any entry of a frozen mask is set.
+func anyTrue(mask []bool) bool {
+	for _, v := range mask {
+		if v {
+			return true
+		}
+	}
+	return false
 }
 
 // ExportCache snapshots the assignment engine's per-task unit-gain
@@ -260,12 +272,16 @@ func (s *AssignState) adoptPending(p Problem) {
 		if !ok {
 			continue
 		}
-		s.tasks[t] = &assignTaskCache{
-			entropy: tg.Entropy,
-			base:    base,
-			frozen:  restoreFrozen(tg.Frozen, m),
-			proj:    make(map[string][]float64),
+		tc := &assignTaskCache{
+			entropy:   tg.Entropy,
+			base:      base,
+			frozen:    restoreFrozen(tg.Frozen, m),
+			anyFrozen: anyTrue(tg.Frozen),
+			proj:      make(map[string][]float64),
 		}
+		tc.bestFact, tc.bestWorker, tc.bestGain, tc.bestCost, tc.bestRatio =
+			rowBest(tc.base, s.costs, math.Inf(1))
+		s.tasks[t] = tc
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"hcrowd/internal/belief"
@@ -47,39 +48,43 @@ var (
 
 // validateQuerySet checks the query facts are in-range and distinct.
 func validateQuerySet(d *belief.Dist, facts []int) error {
-	seen := 0
 	for _, f := range facts {
 		if f < 0 || f >= d.NumFacts() {
 			return fmt.Errorf("taskselect: fact %d outside task with %d facts", f, d.NumFacts())
 		}
-		if seen&(1<<uint(f)) != 0 {
-			return fmt.Errorf("taskselect: duplicate fact %d in query set", f)
-		}
-		seen |= 1 << uint(f)
+	}
+	if f, dup := duplicateFact(facts, d.NumFacts()); dup {
+		return fmt.Errorf("taskselect: duplicate fact %d in query set", f)
 	}
 	return nil
+}
+
+// duplicateFact reports the first fact index appearing twice in facts.
+// All entries must be in [0, numFacts). A []bool table replaces the old
+// single-int bitmask, whose `1 << f` is defined as 0 in Go for f ≥ 64 —
+// duplicates past index 63 sailed through undetected.
+func duplicateFact(facts []int, numFacts int) (int, bool) {
+	var stack [64]bool
+	seen := stack[:]
+	if numFacts > len(stack) {
+		seen = make([]bool, numFacts)
+	} else {
+		seen = seen[:numFacts]
+	}
+	for _, f := range facts {
+		if seen[f] {
+			return f, true
+		}
+		seen[f] = true
+	}
+	return 0, false
 }
 
 // projection returns q, the marginal distribution of the belief on the
 // query facts: q[p] = sum of P(o) over observations o whose truth values
 // on facts (in the given order) spell the bit pattern p.
 func projection(d *belief.Dist, facts []int) []float64 {
-	s := len(facts)
-	q := make([]float64, 1<<uint(s))
-	for o := 0; o < d.NumObservations(); o++ {
-		po := d.P(o)
-		if po == 0 {
-			continue
-		}
-		p := 0
-		for j, f := range facts {
-			if belief.Models(o, f) {
-				p |= 1 << uint(j)
-			}
-		}
-		q[p] += po
-	}
-	return q
+	return projectionInto(nil, d, facts)
 }
 
 // likelihoodTables precomputes, for every expert, the answer-pattern
@@ -153,19 +158,85 @@ func symAnswerEntropy(ce crowd.Crowd) float64 {
 	return h
 }
 
+// Batched-enumeration size window. Both family-entropy paths compute the
+// identical floats (see the symFamilyEntropyBatch comment), so the
+// threshold is purely a performance knob: below minBatchFam the batch
+// path's buffer setup outweighs its fused loops (the rescans' singleton
+// query sets live here), above maxBatchFam the 2^(s·w) accumulation
+// vector would claim tens of megabytes, so the constant-space scalar
+// sweep takes over up to the maxFamilyBits refusal.
+const (
+	minBatchFam = 16
+	maxBatchFam = 1 << 20
+)
+
+// coreScratch holds the batched family enumeration's working vectors: the
+// per-family accumulator pAs, the ping-pong tensor buffers ta/tb, the
+// per-variable factor vector v, and the per-variable Bernoulli entropy
+// table hB. Pool-managed so steady-state evaluations allocate nothing.
+type coreScratch struct {
+	pAs, ta, tb, v []float64
+	hB             [][2]float64
+}
+
+var corePool = sync.Pool{New: func() any { return new(coreScratch) }}
+
 // condEntropySymCore evaluates H(O|AS) for a symmetric crowd from the
 // precomputed pieces: the task entropy H(O), the projection q of the
 // belief onto the s query facts, the Hamming-distance likelihood tables,
 // and the crowd's per-query answer entropy. Splitting the evaluation from
-// the setup lets SelectionState memoize q (per task) and the tables (per
-// crowd and query size) across calls; the arithmetic is identical to the
-// inline form, so memoized and fresh evaluations agree bitwise.
+// the setup lets SelectionState memoize the crowd tables across calls;
+// the arithmetic is identical to the inline form, so memoized and fresh
+// evaluations agree bitwise.
 func condEntropySymCore(entropy float64, q []float64, tables [][]float64, hPerQuery float64, s, w int) float64 {
 	evalCount.Add(1)
 
 	// H(AS): enumerate every family (one s-bit answer pattern per expert).
 	var hAS float64
+	if nFam := 1 << uint(s*w); nFam >= minBatchFam && nFam <= maxBatchFam {
+		hAS = symFamilyEntropyBatch(q, tables, s, w)
+	} else {
+		hAS = symFamilyEntropyScalar(q, tables, s, w)
+	}
+
+	// H(AS|O) = s · Σ_cr h(Pr_cr).
+	hASgivenO := hPerQuery * float64(s)
+
+	h := entropy - hAS + hASgivenO
+	if h < 0 { // rounding: conditional entropy is non-negative
+		h = 0
+	}
+	return h
+}
+
+// symFamilyEntropyScalar is the constant-space family sweep: for every
+// family (one s-bit answer pattern per expert) it accumulates P(A) over
+// the projection patterns and folds -XLogX(P(A)) into H(AS).
+func symFamilyEntropyScalar(q []float64, tables [][]float64, s, w int) float64 {
+	var hAS float64
 	nFam := 1 << uint(s*w)
+	if s == 1 {
+		// Single-query specialization of the sweep below — the dominant
+		// shape in the incremental engines' round-start rescans. Each
+		// expert's answer pattern is one bit, so the Hamming distance is
+		// the XOR bit itself; the multiply chain is unchanged, so the
+		// result is bitwise the general sweep's.
+		for fam := 0; fam < nFam; fam++ {
+			var pA float64
+			for p, qp := range q {
+				if qp == 0 {
+					continue
+				}
+				like := qp
+				for cr := 0; cr < w; cr++ {
+					like *= tables[cr][((fam>>uint(cr))&1)^p]
+				}
+				pA += like
+			}
+			hAS -= mathx.XLogX(pA)
+		}
+		return hAS
+	}
 	mask := (1 << uint(s)) - 1
 	for fam := 0; fam < nFam; fam++ {
 		var pA float64
@@ -182,15 +253,59 @@ func condEntropySymCore(entropy float64, q []float64, tables [][]float64, hPerQu
 		}
 		hAS -= mathx.XLogX(pA)
 	}
+	return hAS
+}
 
-	// H(AS|O) = s · Σ_cr h(Pr_cr).
-	hASgivenO := hPerQuery * float64(s)
-
-	h := entropy - hAS + hASgivenO
-	if h < 0 { // rounding: conditional entropy is non-negative
-		h = 0
+// symFamilyEntropyBatch computes the same H(AS) with the loops swapped:
+// patterns outside, families expanded as a tensor product. For each
+// projection pattern p it builds the per-expert factor vector v[a] =
+// table[popcount(a^p)], expands Π_cr v_cr(a_cr) by repeated OuterMul
+// (expert cr's answer pattern occupies bits [cr·s, (cr+1)·s) of the
+// family index, so each expansion puts the new factors in the high bits),
+// adds the expanded vector into the per-family accumulator, and finally
+// folds the whole accumulator through EntropySum.
+//
+// Bitwise identity with the scalar sweep: every family's product chain
+// t_{w-1}·(…·(t_0·qp)) equals the scalar ((qp·t_0)·…)·t_{w-1} because
+// IEEE-754 multiplication is commutative per operation and the chain
+// shapes match; AddTo visits patterns in the same ascending order the
+// scalar sweep sums them; EntropySum is the scalar `hAS -= XLogX(pA)`
+// loop. The batch form does ~w× fewer multiplies and runs on contiguous
+// vectors instead of per-family bit arithmetic.
+func symFamilyEntropyBatch(q []float64, tables [][]float64, s, w int) float64 {
+	sc := corePool.Get().(*coreScratch)
+	nFam := 1 << uint(s*w)
+	nPat := 1 << uint(s)
+	sc.pAs = growFloats(sc.pAs, nFam)
+	sc.ta = growFloats(sc.ta, nFam)
+	sc.tb = growFloats(sc.tb, nFam)
+	sc.v = growFloats(sc.v, nPat)
+	pAs, v := sc.pAs, sc.v
+	for i := range pAs {
+		pAs[i] = 0
 	}
-	return h
+	for p, qp := range q {
+		if qp == 0 {
+			continue
+		}
+		spare := sc.tb
+		cur := sc.ta[:1]
+		cur[0] = qp
+		for cr := 0; cr < w; cr++ {
+			tab := tables[cr]
+			for a := 0; a < nPat; a++ {
+				v[a] = tab[bits.OnesCount(uint(a^p))]
+			}
+			dst := spare[:nPat*len(cur)]
+			mathx.OuterMul(dst, v, cur)
+			spare = cur[:cap(cur)]
+			cur = dst
+		}
+		mathx.AddTo(pAs, cur)
+	}
+	hAS := mathx.EntropySum(pAs)
+	corePool.Put(sc)
+	return hAS
 }
 
 // condEntropyAsym is the confusion-model variant of the optimized
@@ -217,11 +332,56 @@ func asymYesTable(ce crowd.Crowd) [][2]float64 {
 }
 
 // condEntropyAsymCore is the evaluation half of condEntropyAsym, split out
-// (like condEntropySymCore) so the projection and the per-worker yes
-// probabilities can be memoized by the incremental engine.
+// (like condEntropySymCore) so the per-worker yes probabilities can be
+// memoized by the incremental engine. Both family paths group each
+// worker's per-query factors into one subproduct before folding it into
+// the likelihood chain, so scalar and batch agree bitwise.
 func condEntropyAsymCore(entropy float64, q []float64, pYes [][2]float64, s, w int) float64 {
 	evalCount.Add(1)
 
+	var hAS float64
+	if nFam := 1 << uint(s*w); nFam >= minBatchFam && nFam <= maxBatchFam {
+		hAS = asymFamilyEntropyBatch(q, pYes, s, w)
+	} else {
+		hAS = asymFamilyEntropyScalar(q, pYes, s, w)
+	}
+
+	// H(AS|O) = Σ_p q(p) Σ_cr Σ_j h(P(yes | p_j)); the per-(worker, truth)
+	// Bernoulli entropies are computed once up front.
+	sc := corePool.Get().(*coreScratch)
+	sc.hB = growPairs(sc.hB, w)
+	hB := sc.hB
+	for cr := 0; cr < w; cr++ {
+		hB[cr][0] = mathx.BernoulliEntropy(pYes[cr][0])
+		hB[cr][1] = mathx.BernoulliEntropy(pYes[cr][1])
+	}
+	var hASgivenO float64
+	for p, qp := range q {
+		if qp == 0 {
+			continue
+		}
+		var hp float64
+		for cr := 0; cr < w; cr++ {
+			for j := 0; j < s; j++ {
+				hp += hB[cr][(p>>uint(j))&1]
+			}
+		}
+		hASgivenO += qp * hp
+	}
+	corePool.Put(sc)
+
+	h := entropy - hAS + hASgivenO
+	if h < 0 {
+		h = 0
+	}
+	return h
+}
+
+// asymFamilyEntropyScalar is the constant-space family sweep of the
+// confusion-model H(AS). Each worker's s per-query factors accumulate
+// into a subproduct of their own before multiplying the likelihood —
+// the association the batch path's per-worker factor vectors use.
+func asymFamilyEntropyScalar(q []float64, pYes [][2]float64, s, w int) float64 {
 	var hAS float64
 	nFam := 1 << uint(s*w)
 	mask := (1 << uint(s)) - 1
@@ -234,41 +394,73 @@ func condEntropyAsymCore(entropy float64, q []float64, pYes [][2]float64, s, w i
 			like := qp
 			for cr := 0; cr < w; cr++ {
 				a := (fam >> uint(cr*s)) & mask
+				sub := 1.0
 				for j := 0; j < s; j++ {
 					tv := (p >> uint(j)) & 1
 					py := pYes[cr][tv]
 					if a&(1<<uint(j)) != 0 {
-						like *= py
+						sub *= py
 					} else {
-						like *= 1 - py
+						sub *= 1 - py
 					}
 				}
+				like *= sub
 			}
 			pA += like
 		}
 		hAS -= mathx.XLogX(pA)
 	}
+	return hAS
+}
 
-	var hASgivenO float64
+// asymFamilyEntropyBatch is symFamilyEntropyBatch for the confusion
+// model: the per-expert factor vector over answer patterns is built by
+// progressive doubling in query order (v[a] = Π_j f_j(a_j), the scalar
+// subproduct's chain shape), then expanded across experts by OuterMul
+// exactly as the symmetric path.
+func asymFamilyEntropyBatch(q []float64, pYes [][2]float64, s, w int) float64 {
+	sc := corePool.Get().(*coreScratch)
+	nFam := 1 << uint(s*w)
+	nPat := 1 << uint(s)
+	sc.pAs = growFloats(sc.pAs, nFam)
+	sc.ta = growFloats(sc.ta, nFam)
+	sc.tb = growFloats(sc.tb, nFam)
+	sc.v = growFloats(sc.v, nPat)
+	pAs, v := sc.pAs, sc.v
+	for i := range pAs {
+		pAs[i] = 0
+	}
 	for p, qp := range q {
 		if qp == 0 {
 			continue
 		}
-		var hp float64
+		spare := sc.tb
+		cur := sc.ta[:1]
+		cur[0] = qp
 		for cr := 0; cr < w; cr++ {
+			// v[a] = Π_j (a_j ? P(yes|p_j) : 1-P(yes|p_j)) by doubling.
+			v[0] = 1
+			size := 1
 			for j := 0; j < s; j++ {
-				tv := (p >> uint(j)) & 1
-				hp += mathx.BernoulliEntropy(pYes[cr][tv])
+				py := pYes[cr][(p>>uint(j))&1]
+				no := 1 - py
+				for i := 0; i < size; i++ {
+					vi := v[i]
+					v[size+i] = py * vi
+					v[i] = no * vi
+				}
+				size <<= 1
 			}
+			dst := spare[:nPat*len(cur)]
+			mathx.OuterMul(dst, v, cur)
+			spare = cur[:cap(cur)]
+			cur = dst
 		}
-		hASgivenO += qp * hp
+		mathx.AddTo(pAs, cur)
 	}
-
-	h := entropy - hAS + hASgivenO
-	if h < 0 {
-		h = 0
-	}
-	return h
+	hAS := mathx.EntropySum(pAs)
+	corePool.Put(sc)
+	return hAS
 }
 
 // CondEntropyNaive computes H(O | AS^T_CE) directly from the definition:

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"sync"
 
@@ -154,12 +155,14 @@ func (g Greedy) Select(ctx context.Context, p Problem, k int) ([]Candidate, erro
 		d := p.Beliefs[t]
 		sel := selected[t]
 		gains[t] = gains[t][:0]
-		chosen := 0
+		// A []bool set rather than an int bitmask: shifting by fact indices
+		// ≥ 64 would silently wrap and drop chosen facts from the mask.
+		chosen := make([]bool, d.NumFacts())
 		for _, f := range sel {
-			chosen |= 1 << uint(f)
+			chosen[f] = true
 		}
 		for f := 0; f < d.NumFacts(); f++ {
-			if chosen&(1<<uint(f)) != 0 || p.frozen(t, f) {
+			if chosen[f] || p.frozen(t, f) {
 				continue
 			}
 			if err := ctx.Err(); err != nil {
@@ -195,6 +198,9 @@ func (g Greedy) Select(ctx context.Context, p Problem, k int) ([]Candidate, erro
 		picks = append(picks, best.c)
 		t := best.c.Task
 		selected[t] = append(selected[t], best.c.Fact)
+		if len(picks) == k {
+			break // no further pick reads the recomputed gains
+		}
 		// The conditional entropy with the enlarged selection becomes the
 		// new baseline for task t's marginal gains.
 		h, err := CondEntropy(p.Beliefs[t], p.Experts, selected[t])
@@ -367,12 +373,15 @@ func (MaxEntropy) Select(ctx context.Context, p Problem, k int) ([]Candidate, er
 	return picks, nil
 }
 
+// sortCandidates orders picks by (Task, Fact). slices.SortFunc rather
+// than sort.Slice: the latter builds a reflect-based swapper, one heap
+// allocation per call on the selection hot path.
 func sortCandidates(cs []Candidate) {
-	sort.Slice(cs, func(i, j int) bool {
-		if cs[i].Task != cs[j].Task {
-			return cs[i].Task < cs[j].Task
+	slices.SortFunc(cs, func(a, b Candidate) int {
+		if a.Task != b.Task {
+			return a.Task - b.Task
 		}
-		return cs[i].Fact < cs[j].Fact
+		return a.Fact - b.Fact
 	})
 }
 

@@ -1,7 +1,6 @@
 package taskselect
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"strings"
@@ -24,24 +23,26 @@ import (
 //     whose beliefs the previous round's answers updated). A steady-state
 //     round with k picks therefore costs O(touched tasks), not O(N·m)
 //     CondEntropy evaluations.
-//   - The pick loop orders candidates through a lazy-deletion max-heap in
-//     the CELF style. A pick only perturbs the gains of its own task
-//     (tasks are independent), so those candidates are re-evaluated and
-//     re-pushed with a bumped version; superseded entries are discarded
-//     when they surface. The re-evaluation is eager — exactly Greedy's
-//     recompute schedule — rather than CELF's stale-until-popped variant:
+//   - The pick loop replaces a priority queue with a two-level argmax:
+//     every task caches the first strict maximum of its gain row (fact
+//     ascending), and each pick scans those per-task bests in task order
+//     with a strict comparison — exactly the argmax order of Greedy's
+//     full scan (gain descending, ties to the lowest task then fact), at
+//     O(N) per pick with no heap maintenance and no allocation. A pick
+//     only perturbs the gains of its own task (tasks are independent), so
+//     only that task's row is re-evaluated — eagerly, on exactly Greedy's
+//     recompute schedule, rather than CELF-style stale-until-popped:
 //     pure laziness needs stale gains to upper-bound fresh ones, and
 //     while submodularity guarantees that in exact arithmetic, rounding
 //     can violate it by a few ulps, which in the exact-tie regimes of a
-//     converged belief (dozens of candidates whose gains differ only in
-//     the last bits) silently changes the argmax and breaks pick-identity
-//     with Greedy. Eager refresh costs at most m−1 extra evaluations per
-//     pick and keeps the identity provable; the (1−1/e) guarantee carries
-//     over unchanged either way.
+//     converged belief silently changes the argmax and breaks
+//     pick-identity with Greedy. Eager refresh costs at most m−1 extra
+//     evaluations per pick and keeps the identity provable; the (1−1/e)
+//     guarantee carries over unchanged either way.
 //   - The crowd-only pieces of CondEntropy (Hamming-distance likelihood
 //     tables, Σ_cr h(Pr_cr), the asymmetric yes-probability table) are
-//     computed once per crowd, and the belief-dependent projection q is
-//     memoized per task until the task is invalidated.
+//     computed once per crowd; projections and query-set lists are built
+//     in pooled scratch, so a steady-state round allocates O(1).
 //
 // The caller owns cache coherence: after mutating a task's belief (or its
 // Frozen mask) it must call Invalidate(task) before the next Select. The
@@ -49,12 +50,15 @@ import (
 // detects crowd or problem-shape changes and resets wholesale, so one
 // state must only ever serve one logical run at a time.
 //
-// Workers > 1 re-scans invalidated tasks concurrently (the same
-// parallelism Greedy applies to its full scan). SelectionState is not safe
-// for concurrent Select calls.
+// Workers > 1 re-scans invalidated tasks concurrently and fans the
+// post-pick row refresh out across the same pool; every goroutine writes
+// a disjoint slot of the row and the per-task best is reduced serially
+// afterwards, so the parallel refill is deterministic and bit-identical
+// to the serial one. SelectionState is not safe for concurrent Select
+// calls.
 type SelectionState struct {
-	// Workers bounds the goroutines of the invalidation re-scan; <= 1
-	// means serial.
+	// Workers bounds the goroutines of the invalidation re-scan and the
+	// post-pick row refresh; <= 1 means serial.
 	Workers int
 
 	// Crowd-derived memos, reset when the crowd signature changes.
@@ -71,6 +75,11 @@ type SelectionState struct {
 
 	tasks []*taskCache
 
+	// dirtyList and touchedList are per-Select scratch (task indices),
+	// kept on the state so steady-state rounds reuse their capacity.
+	dirtyList   []int
+	touchedList []int
+
 	// pending holds a cache restored via RestoreCache until the next sync
 	// adopts it (the crowd memos must be recomputed for the live crowd
 	// before the per-task gains are trusted).
@@ -81,11 +90,63 @@ type SelectionState struct {
 
 // taskCache holds the belief-derived memos for one task.
 type taskCache struct {
-	dirty   bool
-	entropy float64   // H(O_t)
-	gains   []float64 // round-start gain per fact; NaN marks frozen facts
-	frozen  []bool    // the mask gains was computed under
-	proj    map[string][]float64
+	dirty     bool
+	entropy   float64   // H(O_t)
+	gains     []float64 // round-start gain per fact; NaN marks frozen facts
+	frozen    []bool    // the mask gains was computed under
+	anyFrozen bool      // OR of frozen, the drift check's fast path
+	// bestFact/bestGain cache the first strict maximum of gains in fact
+	// order (the task's entry in the pick loop's argmax); bestFact == -1
+	// when no live candidate remains.
+	bestFact int
+	bestGain float64
+
+	// Pick-loop scratch, only meaningful while touched (reset at the
+	// start of the next Select): sel holds this round's picks in this
+	// task in pick order, chosen marks them, live holds the refreshed
+	// marginal gains given sel with NaN on chosen and frozen facts, and
+	// qs is the refill's fused projection buffer.
+	touched      bool
+	sel          []int
+	chosen       []bool
+	live         []float64
+	qs           []float64
+	liveBestFact int
+	liveBestGain float64
+}
+
+// curBest returns the task's current argmax entry: the refreshed row if
+// the task received a pick this round, the round-start row otherwise.
+func (tc *taskCache) curBest() (int, float64) {
+	if tc.touched {
+		return tc.liveBestFact, tc.liveBestGain
+	}
+	return tc.bestFact, tc.bestGain
+}
+
+// resetRound clears the pick-loop scratch. chosen and live are left
+// dirty; they are re-initialized when the task is next touched.
+func (tc *taskCache) resetRound() {
+	tc.touched = false
+	tc.sel = tc.sel[:0]
+}
+
+// gainRowBest returns the first strict maximum of a gain row in fact
+// order, skipping NaN (frozen or consumed) entries; (-1, -Inf) when the
+// row has no live entry. Scanning facts ascending with a strict > is
+// exactly how Greedy's argmax breaks ties, which is what makes the
+// cached best usable in its place.
+func gainRowBest(gains []float64) (int, float64) {
+	bf, bg := -1, math.Inf(-1)
+	for f, g := range gains {
+		if math.IsNaN(g) {
+			continue
+		}
+		if g > bg {
+			bf, bg = f, g
+		}
+	}
+	return bf, bg
 }
 
 // NewSelectionState returns an empty incremental selection engine; the
@@ -127,13 +188,33 @@ func crowdSignature(ce crowd.Crowd) string {
 	return sb.String()
 }
 
+// crowdEqual reports whether two crowds are identical worker for worker —
+// the steady-state fast path of the crowd-change check, sparing the
+// formatted signature rebuild on every call. Float fields compare by bit
+// pattern, which is at least as strict as the signature string.
+func crowdEqual(a, b crowd.Crowd) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID ||
+			math.Float64bits(a[i].Accuracy) != math.Float64bits(b[i].Accuracy) ||
+			math.Float64bits(a[i].TPR) != math.Float64bits(b[i].TPR) ||
+			math.Float64bits(a[i].TNR) != math.Float64bits(b[i].TNR) {
+			return false
+		}
+	}
+	return true
+}
+
 // sync aligns the cache with the problem: a crowd or shape change resets
 // everything, and a frozen-mask drift on a clean task dirties it.
 func (s *SelectionState) sync(p Problem) {
-	sig := crowdSignature(p.Experts)
-	if sig != s.crowdSig || len(p.Beliefs) != len(s.tasks) {
-		s.crowdSig = sig
-		s.ce = p.Experts
+	if !crowdEqual(s.ce, p.Experts) || len(p.Beliefs) != len(s.tasks) {
+		s.crowdSig = crowdSignature(p.Experts)
+		// Copy the crowd so a caller mutating its slice in place is still
+		// caught by the equality check on the next call.
+		s.ce = append(crowd.Crowd(nil), p.Experts...)
 		s.asym = false
 		for _, w := range p.Experts {
 			if w.Asymmetric() {
@@ -151,21 +232,59 @@ func (s *SelectionState) sync(p Problem) {
 		s.adoptPending(p)
 	}
 	s.pending = nil
-	for t := range s.tasks {
-		if s.tasks[t] == nil {
-			s.tasks[t] = &taskCache{dirty: true}
-			continue
+	// Batch-allocate caches for tasks still missing one (all of them after
+	// a reset, none in steady state) instead of one heap object per task.
+	missing := 0
+	for _, tc := range s.tasks {
+		if tc == nil {
+			missing++
 		}
-		tc := s.tasks[t]
-		if !tc.dirty && !frozenEqual(tc.frozen, p, t) {
+	}
+	if missing > 0 {
+		slab := make([]taskCache, missing)
+		// Carve every new cache's per-fact slices out of two shared backing
+		// arrays; a cold sync otherwise allocates four slices per task. The
+		// three-index slicing caps each slice at its task's fact count, so
+		// a later grow can never reach into a neighbour's segment.
+		totalFacts := 0
+		for t := range s.tasks {
+			if s.tasks[t] == nil {
+				totalFacts += p.Beliefs[t].NumFacts()
+			}
+		}
+		fslab := make([]float64, 2*totalFacts)
+		bslab := make([]bool, 2*totalFacts)
+		i, off := 0, 0
+		for t := range s.tasks {
+			if s.tasks[t] == nil {
+				m := p.Beliefs[t].NumFacts()
+				tc := &slab[i]
+				tc.dirty = true
+				tc.gains = fslab[off : off+m : off+m]
+				tc.live = fslab[off+m : off+2*m : off+2*m]
+				tc.frozen = bslab[off : off+m : off+m]
+				tc.chosen = bslab[off+m : off+2*m : off+2*m]
+				s.tasks[t] = tc
+				i++
+				off += 2 * m
+			}
+		}
+	}
+	for t, tc := range s.tasks {
+		if !tc.dirty && !frozenEqual(tc.frozen, tc.anyFrozen, p, t) {
 			tc.dirty = true
 		}
 	}
 }
 
 // frozenEqual reports whether the cached frozen mask matches the
-// problem's current mask for task t.
-func frozenEqual(cached []bool, p Problem, t int) bool {
+// problem's current mask for task t. anyFrozen is the cached mask's OR,
+// letting the overwhelmingly common nothing-frozen-anywhere case skip the
+// per-fact scan.
+func frozenEqual(cached []bool, anyFrozen bool, p Problem, t int) bool {
+	if !anyFrozen && (p.Frozen == nil || t >= len(p.Frozen) || p.Frozen[t] == nil) {
+		return true
+	}
 	n := p.Beliefs[t].NumFacts()
 	for f := 0; f < n; f++ {
 		was := cached != nil && f < len(cached) && cached[f]
@@ -189,32 +308,10 @@ func (s *SelectionState) likelihoodTablesFor(sz int) [][]float64 {
 	return tbl
 }
 
-// projectionFor returns the memoized projection of task tc's belief onto
-// the ordered fact list.
-func (tc *taskCache) projectionFor(d *belief.Dist, facts []int) []float64 {
-	return memoProjection(tc.proj, d, facts)
-}
-
-// memoProjection is the shared get-or-compute for per-task projection
-// memos (SelectionState and AssignState key them identically).
-func memoProjection(proj map[string][]float64, d *belief.Dist, facts []int) []float64 {
-	key := make([]byte, len(facts))
-	for i, f := range facts {
-		key[i] = byte(f)
-	}
-	k := string(key)
-	if q, ok := proj[k]; ok {
-		return q
-	}
-	q := projection(d, facts)
-	proj[k] = q
-	return q
-}
-
-// condEntropy evaluates H(O_t | AS^facts) through the memos. It matches
-// CondEntropy bitwise: the cores run the identical arithmetic, only the
-// setup (projection, tables) comes from cache.
-func (s *SelectionState) condEntropy(tc *taskCache, d *belief.Dist, facts []int) (float64, error) {
+// condEntropy evaluates H(O_t | AS^facts) through the crowd memos, using
+// sc for the projection. It matches CondEntropy bitwise: the cores run
+// the identical arithmetic, only the setup comes from cache and scratch.
+func (s *SelectionState) condEntropy(sc *evalScratch, tc *taskCache, d *belief.Dist, facts []int) (float64, error) {
 	if len(facts) == 0 {
 		return tc.entropy, nil
 	}
@@ -223,72 +320,152 @@ func (s *SelectionState) condEntropy(tc *taskCache, d *belief.Dist, facts []int)
 		return 0, fmt.Errorf("%w: |T|=%d × |CE|=%d", ErrTooLarge, sz, w)
 	}
 	s.stats.evals.Add(1)
-	q := tc.projectionFor(d, facts)
+	sc.q = projectionInto(sc.q, d, facts)
 	if s.asym {
-		return condEntropyAsymCore(tc.entropy, q, s.pYes, sz, w), nil
+		return condEntropyAsymCore(tc.entropy, sc.q, s.pYes, sz, w), nil
 	}
-	return condEntropySymCore(tc.entropy, q, s.likelihoodTablesFor(sz), s.hPerQuery, sz, w), nil
+	return condEntropySymCore(tc.entropy, sc.q, s.likelihoodTablesFor(sz), s.hPerQuery, sz, w), nil
 }
 
-// rescan rebuilds the round-start gain cache of task t.
+// rescan rebuilds the round-start gain cache of task t. The round-start
+// gains all condition on one-fact query sets, so the per-fact projections
+// are fused into a single observation pass that fills every fact's
+// two-pattern marginal; each addition happens in the order the per-fact
+// projection would perform it, so the gains are bitwise the ones the
+// one-at-a-time evaluation produces.
 func (s *SelectionState) rescan(ctx context.Context, p Problem, t int) error {
 	tc := s.tasks[t]
 	d := p.Beliefs[t]
+	sc := getScratch()
+	defer putScratch(sc)
 	tc.entropy = d.Entropy()
-	tc.proj = make(map[string][]float64)
-	tc.gains = tc.gains[:0]
-	if cap(tc.gains) < d.NumFacts() {
-		tc.gains = make([]float64, 0, d.NumFacts())
+	m, w := d.NumFacts(), len(s.ce)
+	if w > maxFamilyBits {
+		return fmt.Errorf("%w: |T|=1 × |CE|=%d", ErrTooLarge, w)
 	}
-	tc.frozen = make([]bool, d.NumFacts())
-	for f := 0; f < d.NumFacts(); f++ {
+	tc.gains = growFloats(tc.gains, m)
+	tc.frozen = growBools(tc.frozen, m)
+	tc.anyFrozen = false
+	qs := growFloats(sc.q, 2*m)
+	for i := range qs {
+		qs[i] = 0
+	}
+	for o := 0; o < d.NumObservations(); o++ {
+		po := d.P(o)
+		if po == 0 {
+			continue
+		}
+		for f := 0; f < m; f++ {
+			idx := 2 * f
+			if belief.Models(o, f) {
+				idx++
+			}
+			qs[idx] += po
+		}
+	}
+	sc.q = qs
+	var tables [][]float64
+	if !s.asym {
+		tables = s.likelihoodTablesFor(1)
+	}
+	for f := 0; f < m; f++ {
 		tc.frozen[f] = p.frozen(t, f)
 		if tc.frozen[f] {
-			tc.gains = append(tc.gains, math.NaN())
+			tc.anyFrozen = true
+			tc.gains[f] = math.NaN()
 			continue
 		}
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		h, err := s.condEntropy(tc, d, []int{f})
-		if err != nil {
-			return err
+		s.stats.evals.Add(1)
+		q := qs[2*f : 2*f+2]
+		var h float64
+		if s.asym {
+			h = condEntropyAsymCore(tc.entropy, q, s.pYes, 1, w)
+		} else {
+			h = condEntropySymCore(tc.entropy, q, tables, s.hPerQuery, 1, w)
 		}
-		tc.gains = append(tc.gains, tc.entropy-h)
+		tc.gains[f] = tc.entropy - h
 	}
+	tc.bestFact, tc.bestGain = gainRowBest(tc.gains)
 	tc.dirty = false
 	return nil
 }
 
-// heapEntry is one candidate in the pick-ordering max-heap. version
-// stamps the number of picks its task had when gain was computed; a
-// mismatch means the entry was superseded by the eager refresh after a
-// pick in its task and is discarded when it surfaces (lazy deletion).
-type heapEntry struct {
-	task, fact int
-	gain       float64
-	version    int
-}
-
-// candHeap orders entries by gain descending, ties broken by ascending
-// (task, fact) — exactly the argmax order of Greedy's full scan, which is
-// what makes the two selectors' picks identical.
-type candHeap []heapEntry
-
-func (h candHeap) Len() int { return len(h) }
-func (h candHeap) Less(i, j int) bool {
-	//hclint:ignore float-eq exact != is the point: the heap must reproduce Greedy's argmax scan bit-for-bit, and a tolerance would break comparator transitivity
-	if h[i].gain != h[j].gain {
-		return h[i].gain > h[j].gain
+// refill re-evaluates task tc's unchosen candidates against the enlarged
+// selection (conditional entropy nh) — exactly Greedy's recompute
+// schedule after a pick — and refreshes the task's cached argmax. Every
+// candidate's query set is sel plus one fact, so the projections are
+// fused into a single observation pass (the selection's pattern bits are
+// shared; only the candidate's top bit differs), with each addition in
+// the order the per-candidate projection would perform it — the gains
+// are bitwise the ones Greedy's one-at-a-time evaluation produces.
+// Workers > 1 fans the core evaluations out after the serial projection
+// pass; each goroutine writes only its fact's slot and the argmax
+// reduction runs serially afterwards, so the result is identical to the
+// serial sweep.
+func (s *SelectionState) refill(ctx context.Context, tc *taskCache, d *belief.Dist, nh float64) error {
+	m, w := d.NumFacts(), len(s.ce)
+	sz := len(tc.sel) + 1
+	if sz*w > maxFamilyBits {
+		return fmt.Errorf("%w: |T|=%d × |CE|=%d", ErrTooLarge, sz, w)
 	}
-	if h[i].task != h[j].task {
-		return h[i].task < h[j].task
+	var tables [][]float64
+	if !s.asym {
+		tables = s.likelihoodTablesFor(sz)
 	}
-	return h[i].fact < h[j].fact
+	n := 1 << uint(sz)
+	tc.qs = growFloats(tc.qs, m*n)
+	qs := tc.qs
+	for i := range qs {
+		qs[i] = 0
+	}
+	hiBit := uint(sz - 1) // the candidate fact is the query list's last entry
+	for o := 0; o < d.NumObservations(); o++ {
+		po := d.P(o)
+		if po == 0 {
+			continue
+		}
+		pb := 0
+		for j, fs := range tc.sel {
+			if belief.Models(o, fs) {
+				pb |= 1 << uint(j)
+			}
+		}
+		for f := 0; f < m; f++ {
+			if tc.chosen[f] || tc.frozen[f] {
+				continue
+			}
+			idx := pb
+			if belief.Models(o, f) {
+				idx |= 1 << hiBit
+			}
+			qs[f*n+idx] += po
+		}
+	}
+	err := scanAll(ctx, m, s.Workers, func(f int) error {
+		if tc.chosen[f] || tc.frozen[f] {
+			tc.live[f] = math.NaN()
+			return nil
+		}
+		s.stats.evals.Add(1)
+		q := qs[f*n : (f+1)*n]
+		var th float64
+		if s.asym {
+			th = condEntropyAsymCore(tc.entropy, q, s.pYes, sz, w)
+		} else {
+			th = condEntropySymCore(tc.entropy, q, tables, s.hPerQuery, sz, w)
+		}
+		tc.live[f] = nh - th
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	tc.liveBestFact, tc.liveBestGain = gainRowBest(tc.live)
+	return nil
 }
-func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x any)   { *h = append(*h, x.(heapEntry)) }
-func (h *candHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // Select implements Selector. See the type comment for the contract; the
 // picks are identical to Greedy.Select on the same problem.
@@ -299,92 +476,91 @@ func (s *SelectionState) Select(ctx context.Context, p Problem, k int) ([]Candid
 	if k <= 0 {
 		return nil, nil
 	}
+	// Clear the previous round's pick-loop scratch up front (not at the
+	// end: an error-path abort must not leak touched rows into the next
+	// call) and before sync, which may swap the task table wholesale.
+	for _, t := range s.touchedList {
+		if t < len(s.tasks) && s.tasks[t] != nil {
+			s.tasks[t].resetRound()
+		}
+	}
+	s.touchedList = s.touchedList[:0]
 	s.sync(p)
 	s.stats.selects.Add(1)
 
 	// Parallel invalidation re-scan: only dirty tasks pay the O(m)
 	// CondEntropy sweep.
-	var dirty []int
+	s.dirtyList = s.dirtyList[:0]
 	for t, tc := range s.tasks {
 		if tc.dirty {
-			dirty = append(dirty, t)
+			s.dirtyList = append(s.dirtyList, t)
 		}
 	}
-	s.stats.rescans.Add(int64(len(dirty)))
-	s.stats.reused.Add(int64(len(s.tasks) - len(dirty)))
-	if len(dirty) > 0 {
+	s.stats.rescans.Add(int64(len(s.dirtyList)))
+	s.stats.reused.Add(int64(len(s.tasks) - len(s.dirtyList)))
+	if len(s.dirtyList) > 0 {
 		// Pre-warm the size-1 table so the workers only read shared state.
 		if !s.asym {
 			s.likelihoodTablesFor(1)
 		}
-		err := scanAll(ctx, len(dirty), s.Workers, func(i int) error {
-			return s.rescan(ctx, p, dirty[i])
+		err := scanAll(ctx, len(s.dirtyList), s.Workers, func(i int) error {
+			return s.rescan(ctx, p, s.dirtyList[i])
 		})
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	// Seed the CELF heap with every candidate's cached round-start gain.
-	h := make(candHeap, 0, len(s.tasks)*4)
-	for t, tc := range s.tasks {
-		for f, g := range tc.gains {
-			if math.IsNaN(g) {
-				continue
-			}
-			h = append(h, heapEntry{task: t, fact: f, gain: g})
-		}
-	}
-	heap.Init(&h)
-
-	selected := make(map[int][]int)
-	versions := make(map[int]int)
+	sc := getScratch()
+	defer putScratch(sc)
 	var picks []Candidate
-	for len(picks) < k && h.Len() > 0 {
+	for len(picks) < k {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		top := h[0]
-		t := top.task
-		if top.version != versions[t] {
-			// Superseded by the eager refresh after an earlier pick in this
-			// task; its replacement is already queued. Discard.
-			heap.Pop(&h)
-			continue
+		// Two-level argmax: per-task cached bests, scanned in task order
+		// with a strict > — Greedy's exact tie-break order.
+		bt, bf := -1, -1
+		bg := math.Inf(-1)
+		for t, tc := range s.tasks {
+			f, g := tc.curBest()
+			if f >= 0 && g > bg {
+				bt, bf, bg = t, f, g
+			}
 		}
-		if top.gain <= gainEps {
-			// The heap max is current, so every live entry's gain is at most
-			// this — Algorithm 2 line 4 fires for the whole pool.
+		if bt < 0 || bg <= gainEps {
+			// Algorithm 2 line 4: no candidate improves the objective.
 			break
 		}
-		heap.Pop(&h)
-		picks = append(picks, Candidate{Task: t, Fact: top.fact})
-		selected[t] = append(selected[t], top.fact)
-		versions[t]++
+		tc, d := s.tasks[bt], p.Beliefs[bt]
+		if !tc.touched {
+			tc.touched = true
+			s.touchedList = append(s.touchedList, bt)
+			m := d.NumFacts()
+			tc.chosen = growBools(tc.chosen, m)
+			for f := range tc.chosen {
+				tc.chosen[f] = false
+			}
+			tc.live = growFloats(tc.live, m)
+		}
+		picks = append(picks, Candidate{Task: bt, Fact: bf})
+		tc.sel = append(tc.sel, bf)
+		tc.chosen[bf] = true
+		if len(picks) == k {
+			// The round is complete: no further argmax reads the refreshed
+			// row (the next Select rescans or starts from round-start gains),
+			// so the final — and most expensive — refresh is skipped.
+			break
+		}
 		// The enlarged selection's conditional entropy becomes the new gain
-		// baseline for task t; the projection memo makes this a cache hit of
-		// the winning candidate's own evaluation.
-		tc, d := s.tasks[t], p.Beliefs[t]
-		nh, err := s.condEntropy(tc, d, selected[t])
+		// baseline for task bt; its remaining candidates re-evaluate against
+		// it on exactly Greedy's recompute schedule.
+		nh, err := s.condEntropy(sc, tc, d, tc.sel)
 		if err != nil {
 			return nil, err
 		}
-		// Eagerly re-evaluate task t's remaining candidates on exactly
-		// Greedy's recompute schedule (see the type comment for why a lazy
-		// CELF refresh is unsafe here) and supersede their heap entries.
-		chosen := 0
-		for _, f := range selected[t] {
-			chosen |= 1 << uint(f)
-		}
-		for f := 0; f < d.NumFacts(); f++ {
-			if chosen&(1<<uint(f)) != 0 || tc.frozen[f] {
-				continue
-			}
-			th, err := s.condEntropy(tc, d, append(append([]int{}, selected[t]...), f))
-			if err != nil {
-				return nil, err
-			}
-			heap.Push(&h, heapEntry{task: t, fact: f, gain: nh - th, version: versions[t]})
+		if err := s.refill(ctx, tc, d, nh); err != nil {
+			return nil, err
 		}
 	}
 	sortCandidates(picks)
