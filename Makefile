@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint fuzz-smoke race determinism bench bench-snapshot bench-compare snapshot-smoke metrics-smoke serve-smoke verify
+.PHONY: build test vet lint fuzz-smoke race determinism bench bench-snapshot bench-compare snapshot-smoke metrics-smoke serve-smoke crash-smoke verify
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,11 @@ lint:
 	$(GO) run ./cmd/hclint ./...
 
 # Short fuzz pass over every fuzz target (one -fuzz run per target, 5s
-# each): checkpoint decode/round-trip, the mathx entropy/log-domain
-# kernels, and the dataset CSV/JSON loaders.
+# each): checkpoint decode/round-trip, the journal frame decoder, the
+# mathx entropy/log-domain kernels, and the dataset CSV/JSON loaders.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz 'FuzzCheckpointRoundTrip$$' -fuzztime 5s ./internal/pipeline/
+	$(GO) test -run xxx -fuzz 'FuzzJournalReplay$$' -fuzztime 5s ./internal/journal/
 	$(GO) test -run xxx -fuzz 'FuzzLogSumExp$$' -fuzztime 5s ./internal/mathx/
 	$(GO) test -run xxx -fuzz 'FuzzEntropy$$' -fuzztime 5s ./internal/mathx/
 	$(GO) test -run xxx -fuzz 'FuzzBatchKernels$$' -fuzztime 5s ./internal/mathx/
@@ -79,6 +80,13 @@ metrics-smoke:
 serve-smoke:
 	$(GO) test -run 'RunServeSmokeDrain' -count=1 ./cmd/hcserve/
 
+# End-to-end crash-recovery smoke: build the real hcserve binary, run it
+# with -journal-dir, SIGKILL it mid-round, restart it on the same
+# journal, and assert the finished labels and checkpoint are
+# byte-identical to an uninterrupted run.
+crash-smoke:
+	$(GO) test -run 'RunCrashSmoke' -count=1 ./cmd/hcserve/
+
 # Gate order: cheap static analysis first (vet, then hclint), then the
 # fuzz smoke, then the race/determinism suite and the e2e smokes.
-verify: build vet lint fuzz-smoke race determinism snapshot-smoke metrics-smoke serve-smoke
+verify: build vet lint fuzz-smoke race determinism snapshot-smoke metrics-smoke serve-smoke crash-smoke

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hcrowd"
+	"hcrowd/internal/server"
+)
+
+// buildServeBinary compiles the real hcserve binary so the crash test
+// can SIGKILL an actual process — an in-process run() cannot be killed
+// without tearing down the test itself.
+func buildServeBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hcserve-crash-test")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// serveProc is a running hcserve subprocess plus its base URL.
+type serveProc struct {
+	cmd    *exec.Cmd
+	base   string
+	stderr *bytes.Buffer
+}
+
+// startServe launches the binary on an ephemeral port and parses the
+// bound address from the "listening on" startup line.
+func startServe(t *testing.T, bin string, args ...string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var errBuf bytes.Buffer
+	cmd.Stderr = &errBuf
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.LastIndex(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &serveProc{cmd: cmd, base: "http://" + addr, stderr: &errBuf}
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait() // joins the stderr copier before the buffer is read
+		t.Fatalf("server never printed its address; stderr:\n%s", errBuf.String())
+		return nil
+	}
+}
+
+// crashFlip deterministically perturbs the ground truth per (worker,
+// fact) — occurrence-independent, so the reference run and the
+// kill-and-recover run produce identical answers for identical queries
+// no matter how the rounds are cut by the crash.
+func crashFlip(ds *hcrowd.Dataset, worker string, facts []int) []bool {
+	h := 0
+	for _, c := range []byte(worker) {
+		h += int(c)
+	}
+	values := make([]bool, len(facts))
+	for i, f := range facts {
+		v := ds.Truth[f]
+		if (h+7*f)%3 == 0 {
+			v = !v
+		}
+		values[i] = v
+	}
+	return values
+}
+
+// driveServe answers open queries with the flip policy until the
+// session reports done, or until maxAnswers (> 0) answers have been
+// accepted. Returns the number of answers delivered.
+func driveServe(ctx context.Context, t *testing.T, c *server.Client, ds *hcrowd.Dataset, maxAnswers int) int {
+	t.Helper()
+	answered := 0
+	deadline := time.After(45 * time.Second)
+	for {
+		st, err := c.Status(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Done {
+			return answered
+		}
+		experts, err := c.Experts(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progressed := false
+		for _, id := range experts {
+			q, ok, err := c.Queries(ctx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				continue
+			}
+			if err := c.Answer(ctx, q.Round, id, crashFlip(ds, id, q.Facts)); err != nil {
+				t.Fatal(err)
+			}
+			answered++
+			progressed = true
+			if maxAnswers > 0 && answered >= maxAnswers {
+				return answered
+			}
+		}
+		if !progressed {
+			select {
+			case <-deadline:
+				t.Fatalf("session stalled after %d answers", answered)
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}
+}
+
+// TestRunCrashSmoke is the `make crash-smoke` gate: run the real binary
+// with -journal-dir, SIGKILL it mid-round (no drain, no warning),
+// restart it on the same journal, finish the job over HTTP, and demand
+// the final labels and checkpoint are byte-identical to a server that
+// was never killed. This is the tentpole's end-to-end claim at the
+// process level — everything below it (fsync discipline, replay,
+// round-ID monotonicity) has to hold for this to pass.
+func TestRunCrashSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real binary")
+	}
+	bin := buildServeBinary(t)
+	dsPath := writeDataset(t)
+	raw, err := os.ReadFile(dsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := hcrowd.ReadDataset(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	jobFlags := []string{"-in", dsPath, "-addr", "127.0.0.1:0", "-budget", "12", "-seed", "7", "-compact-every", "3"}
+
+	// Reference: the same journaled job, driven to completion without
+	// interruption.
+	refDir := t.TempDir()
+	ref := startServe(t, bin, append(jobFlags, "-journal-dir", refDir)...)
+	refClient := server.NewClient(ref.base)
+	driveServe(ctx, t, refClient, ds, 0)
+	refLabels, err := refClient.Labels(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCk, ok, err := refClient.Checkpoint(ctx)
+	if err != nil || !ok {
+		t.Fatalf("reference checkpoint: ok=%v err=%v", ok, err)
+	}
+	var refCkBuf bytes.Buffer
+	if err := refCk.Write(&refCkBuf); err != nil {
+		t.Fatal(err)
+	}
+	ref.cmd.Process.Kill()
+	ref.cmd.Wait()
+
+	// Victim: same job, killed dead after 5 accepted answers — mid-panel
+	// for every SentiLike expert set, so the journal ends in an open
+	// round with partial answers.
+	dir := t.TempDir()
+	v1 := startServe(t, bin, append(jobFlags, "-journal-dir", dir)...)
+	if got := driveServe(ctx, t, server.NewClient(v1.base), ds, 5); got != 5 {
+		t.Fatalf("pre-crash answers = %d, want 5", got)
+	}
+	if err := v1.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no flush
+		t.Fatal(err)
+	}
+	v1.cmd.Wait()
+
+	// Restart on the same journal dir and finish the job.
+	v2 := startServe(t, bin, append(jobFlags, "-journal-dir", dir)...)
+	c2 := server.NewClient(v2.base)
+	driveServe(ctx, t, c2, ds, 0)
+	gotLabels, err := c2.Labels(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCk, ok, err := c2.Checkpoint(ctx)
+	if err != nil || !ok {
+		t.Fatalf("recovered checkpoint: ok=%v err=%v", ok, err)
+	}
+	var gotCkBuf bytes.Buffer
+	if err := gotCk.Write(&gotCkBuf); err != nil {
+		t.Fatal(err)
+	}
+	// Stop the restarted server before touching its stderr buffer: Wait
+	// joins the stderr-copying goroutine exec.Cmd started.
+	v2.cmd.Process.Kill()
+	v2.cmd.Wait()
+	stderr := v2.stderr.String()
+
+	gotJSON, _ := json.Marshal(gotLabels)
+	wantJSON, _ := json.Marshal(refLabels)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("labels after kill-and-recover diverge from uninterrupted run\n got %s\nwant %s\nrestart stderr:\n%s",
+			gotJSON, wantJSON, stderr)
+	}
+	if !bytes.Equal(gotCkBuf.Bytes(), refCkBuf.Bytes()) {
+		t.Errorf("final checkpoint after kill-and-recover diverges from uninterrupted run\n got %s\nwant %s",
+			gotCkBuf.Bytes(), refCkBuf.Bytes())
+	}
+	if !strings.Contains(stderr, "resumed from its journal") {
+		t.Errorf("restart did not log journal recovery; stderr:\n%s", stderr)
+	}
+}

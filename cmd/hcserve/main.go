@@ -31,6 +31,19 @@
 // loads such a file and continues the job where it stopped, re-asking
 // nothing.
 //
+// With -journal-dir every session is durable: its history is appended
+// to a per-session write-ahead log ("<id>.journal"), fsynced before any
+// answer is acknowledged, and on startup the server recovers every
+// journaled session — including a "default" from a previous run, whose
+// journaled dataset and config then supersede the command-line flags.
+// A kill -9 mid-round loses nothing a client was told succeeded: the
+// restarted server replays the journal and continues the same rounds
+// with the same IDs. -compact-every bounds log growth by folding the
+// journal into its newest checkpoint after that many rounds.
+// -cost-aware switches the default session to the cost-aware checking
+// loop (§III-D); -cost-model picks how answers are priced (unit or
+// accuracy).
+//
 // Shutdown is graceful: on SIGINT/SIGTERM the service drains — every
 // session stops accepting answers (POST /answers returns 503), engines
 // get up to -drain-timeout to absorb their in-flight completed rounds,
@@ -55,10 +68,12 @@
 //	hcserve -in dataset.json -checkpoint job.ck          # crash-safe
 //	hcserve -in dataset.json -checkpoint job.ck -resume job.ck
 //	hcserve -in dataset.json -checkpoint-dir ./ckpts     # drain target
+//	hcserve -in dataset.json -journal-dir ./wal          # kill -9 safe
 //	hcserve -in dataset.json -pprof # also serve /debug/pprof/
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -102,6 +117,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		ckPath  = fs.String("checkpoint", "", "persist the warm checkpoint to this file after every round")
 		rsPath  = fs.String("resume", "", "resume from a checkpoint file written by -checkpoint")
 		ckDir   = fs.String("checkpoint-dir", "", "write one final checkpoint per session here on graceful drain")
+		jDir    = fs.String("journal-dir", "", "per-session write-ahead logs live here; sessions recover from them on start")
+		compact = fs.Int("compact-every", 0, "fold each journal into its newest checkpoint after this many rounds (0 = default, negative = never); needs -journal-dir")
+		costAw  = fs.Bool("cost-aware", false, "run the cost-aware checking loop (greedy per-answer purchases)")
+		costMod = fs.String("cost-model", "", "answer pricing: unit (default) or accuracy")
 		maxRun  = fs.Int("max-running", 4, "session engines allowed to run simultaneously (0 = unbounded)")
 		keep    = fs.Int("retention", 16, "finished sessions kept before eviction (0 = keep all)")
 		drainTO = fs.Duration("drain-timeout", 10*time.Second, "how long a drain waits for in-flight rounds")
@@ -113,12 +132,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *in == "" {
 		return fmt.Errorf("missing -in (dataset file)")
 	}
-	f, err := os.Open(*in)
+	if *compact != 0 && *jDir == "" {
+		return fmt.Errorf("-compact-every requires -journal-dir")
+	}
+	rawDS, err := os.ReadFile(*in)
 	if err != nil {
 		return err
 	}
-	ds, err := hcrowd.ReadDataset(f)
-	f.Close()
+	ds, err := hcrowd.ReadDataset(bytes.NewReader(rawDS))
 	if err != nil {
 		return err
 	}
@@ -130,11 +151,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	cost, err := server.CostModelByName(*costMod)
+	if err != nil {
+		return err
+	}
 	cfg := pipeline.Config{
 		K:             *k,
 		Budget:        *budget,
 		Init:          agg,
 		PriorCoupling: couple,
+		Cost:          cost,
 	}
 	if *ckPath != "" {
 		cfg.OnCheckpoint = func(ck *pipeline.Checkpoint) {
@@ -144,14 +170,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 	}
 	logger := log.New(os.Stderr, "hcserve: ", log.LstdFlags)
-	opts := server.SessionOptions{RoundTimeout: *rt}
+	opts := server.SessionOptions{RoundTimeout: *rt, CostAware: *costAw}
+	var rawResume []byte
 	if *rsPath != "" {
-		cf, err := os.Open(*rsPath)
+		rawResume, err = os.ReadFile(*rsPath)
 		if err != nil {
 			return err
 		}
-		ck, err := pipeline.ReadCheckpoint(cf)
-		cf.Close()
+		ck, err := pipeline.ReadCheckpoint(bytes.NewReader(rawResume))
 		if err != nil {
 			return fmt.Errorf("resume %s: %w", *rsPath, err)
 		}
@@ -165,10 +191,50 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxRunning:    *maxRun,
 		Retention:     *keep,
 		CheckpointDir: *ckDir,
+		JournalDir:    *jDir,
+		CompactEvery:  *compact,
 		Logger:        logger,
 	})
-	_, sess, err := mgr.Create("default", ds, cfg, opts)
-	if err != nil {
+	var sess *server.Session
+	if *jDir != "" {
+		// Durable mode: recover every journaled session first. A recovered
+		// "default" carries its own dataset and config — the flags that
+		// described the original job are superseded by the journal.
+		recovered, err := mgr.Recover()
+		if err != nil {
+			return err
+		}
+		if len(recovered) > 0 {
+			logger.Printf("recovered %d session(s) from %s: %v", len(recovered), *jDir, recovered)
+		}
+		if s, ok := mgr.Get("default"); ok {
+			sess = s
+			logger.Printf("default session resumed from its journal; dataset/config flags ignored")
+		} else {
+			sc := server.SessionConfig{
+				K:          *k,
+				Budget:     *budget,
+				Init:       *init,
+				Seed:       *seed,
+				CostAware:  *costAw,
+				CostModel:  *costMod,
+				Checkpoint: rawResume,
+			}
+			if *rt > 0 {
+				sc.RoundTimeout = rt.String()
+			}
+			if _, sess, err = mgr.CreateFromRequest(server.CreateSessionRequest{
+				Name: "default", Dataset: rawDS, Config: sc,
+			}); err != nil {
+				return err
+			}
+		}
+		if *ckPath != "" {
+			// The per-round checkpoint file callback only rides the flag-built
+			// config; journaled sessions already persist every round.
+			logger.Printf("-checkpoint is superseded by -journal-dir; not writing %s", *ckPath)
+		}
+	} else if _, sess, err = mgr.Create("default", ds, cfg, opts); err != nil {
 		return err
 	}
 	rootHandler, ok := mgr.SessionHandler("default")

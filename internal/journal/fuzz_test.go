@@ -1,0 +1,95 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzJournalReplay drives the crash model end to end: build a journal
+// from fuzzer-chosen records, cut the file at a fuzzer-chosen byte
+// (kill -9 mid-write), reopen, and require that (a) recovery never
+// errors, (b) the recovered records are an exact prefix of what was
+// appended — never a corrupted or invented record — and (c) the
+// reopened journal accepts a further append whose reread includes it.
+func FuzzJournalReplay(f *testing.F) {
+	f.Add([]byte("seed"), uint16(3), uint16(0))
+	f.Add([]byte{}, uint16(0), uint16(7))
+	f.Add([]byte{0xff, 0x00, 0x41}, uint16(9), uint16(12345))
+	f.Fuzz(func(t *testing.T, seed []byte, nRecs uint16, cutAt uint16) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.journal")
+		w, err := Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Derive deterministic records from the seed bytes: type cycles,
+		// payload is a rotating slice of the seed.
+		n := int(nRecs % 64)
+		recs := make([]Record, 0, n)
+		for i := 0; i < n; i++ {
+			var payload []byte
+			if len(seed) > 0 {
+				k := i % (len(seed) + 1)
+				payload = append(append([]byte{}, seed[k:]...), seed[:k]...)
+			}
+			recs = append(recs, Record{Type: byte(i%5 + 1), Payload: payload})
+		}
+		appendFuzz(t, w, recs)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		full, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := int(cutAt) % (len(full) + 1)
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		rw, got, err := Open(path)
+		if err != nil {
+			t.Fatalf("recovery errored at cut %d/%d: %v", cut, len(full), err)
+		}
+		if len(got) > len(recs) {
+			t.Fatalf("recovered %d records from a %d-record journal", len(got), len(recs))
+		}
+		for i := range got {
+			if got[i].Type != recs[i].Type || !bytes.Equal(got[i].Payload, recs[i].Payload) {
+				t.Fatalf("record %d corrupted by crash at byte %d: {%d %x} != {%d %x}",
+					i, cut, got[i].Type, got[i].Payload, recs[i].Type, recs[i].Payload)
+			}
+		}
+		extra := Record{Type: 7, Payload: []byte("post-crash")}
+		appendFuzz(t, rw, []Record{extra})
+		if err := rw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, got2, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append(append([]Record{}, got...), extra)
+		if len(got2) != len(want) {
+			t.Fatalf("post-crash append: %d records, want %d", len(got2), len(want))
+		}
+		last := got2[len(got2)-1]
+		if last.Type != extra.Type || !bytes.Equal(last.Payload, extra.Payload) {
+			t.Fatalf("post-crash append not durable: {%d %x}", last.Type, last.Payload)
+		}
+	})
+}
+
+func appendFuzz(t *testing.T, w *Writer, recs []Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

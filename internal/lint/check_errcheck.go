@@ -36,6 +36,12 @@ var mustCheckCalls = []mustCheckCall{
 	{pkg: "net/http", recv: "Server", name: "Shutdown"},
 	{pkg: "net/http", recv: "Server", name: "Close"},
 	{pkg: "internal/server", recv: "", name: "WriteCheckpointFile"},
+	// The session write-ahead log: a dropped Append or Sync error breaks
+	// the journal's core promise (acknowledged work is durable), and a
+	// dropped Close can hide the final flush failure on retirement.
+	{pkg: "internal/journal", recv: "Writer", name: "Append"},
+	{pkg: "internal/journal", recv: "Writer", name: "Sync"},
+	{pkg: "internal/journal", recv: "Writer", name: "Close"},
 }
 
 // writeOpeners are the os functions whose *os.File result is (or may
@@ -51,8 +57,8 @@ var writeOpeners = map[string]bool{"Create": true, "CreateTemp": true, "OpenFile
 var ErrCheckLite = Check{
 	Name: "errcheck-lite",
 	Doc: "must-check calls (json Encode, write-path Close/Sync, Flush, " +
-		"Checkpoint.Write, http.Server Shutdown/Close, WriteCheckpointFile) " +
-		"may not discard their error",
+		"Checkpoint.Write, http.Server Shutdown/Close, WriteCheckpointFile, " +
+		"journal.Writer Append/Sync/Close) may not discard their error",
 	Run: runErrCheckLite,
 }
 

@@ -176,3 +176,63 @@ func drainChecked(ck *Checkpoint) error {
 		}
 	}
 }
+
+// TestErrCheckLiteJournalWriter pins the internal/journal entries of the
+// must-check set: a discarded Writer.Append, Sync or Close breaks the
+// write-ahead log's durability promise silently. Like the
+// WriteCheckpointFile test, the package is synthesized under a path
+// whose suffix matches the configured rule.
+func TestErrCheckLiteJournalWriter(t *testing.T) {
+	dir := t.TempDir()
+	src := `package journal
+
+import "errors"
+
+type Record struct {
+	Type    byte
+	Payload []byte
+}
+
+type Writer struct{}
+
+func (w *Writer) Append(r Record) error { return errors.New("x") }
+func (w *Writer) Sync() error           { return errors.New("x") }
+func (w *Writer) Close() error          { return errors.New("x") }
+
+func sloppy(w *Writer) {
+	w.Append(Record{})
+	_ = w.Sync()
+	defer w.Close()
+}
+
+func careful(w *Writer) error {
+	if err := w.Append(Record{}); err != nil {
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	return w.Close()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "journal.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewLoader()
+	pkgs, err := loader.LoadDir(dir, "x/internal/journal", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	diags := lint.RunCheck(pkgs[0], lint.ErrCheckLite)
+	if len(diags) != 3 {
+		t.Fatalf("diagnostics = %v, want 3", diags)
+	}
+	for i, want := range []string{"Writer.Append", "Writer.Sync", "Writer.Close"} {
+		if !strings.Contains(diags[i].Message, want+" error discarded") {
+			t.Errorf("diagnostic %d = %q, want %s label", i, diags[i].Message, want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"hcrowd/internal/belief"
 	"hcrowd/internal/crowd"
@@ -79,6 +80,12 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	}
 	if len(c.Beliefs) == 0 {
 		return nil, errors.New("pipeline: checkpoint has no beliefs")
+	}
+	// NOT `< 0` alone: every comparison with NaN is false, so a NaN spend
+	// would pass a plain sign check and poison all later budget math
+	// (resumeSetup's remaining-budget clamp, accumulate's sums).
+	if math.IsNaN(c.BudgetSpent) || math.IsInf(c.BudgetSpent, 0) {
+		return nil, fmt.Errorf("pipeline: checkpoint has non-finite spend %v", c.BudgetSpent)
 	}
 	if c.BudgetSpent < 0 {
 		return nil, errors.New("pipeline: checkpoint has negative spend")

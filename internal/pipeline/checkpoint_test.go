@@ -6,6 +6,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"hcrowd/internal/belief"
 )
 
 func TestCheckpointResumeEquivalence(t *testing.T) {
@@ -138,6 +140,55 @@ func TestReadCheckpointErrors(t *testing.T) {
 			t.Errorf("accepted %q", in)
 		}
 	}
+}
+
+// TestReadCheckpointNonFinite pins the NaN regression: `spend < 0` is
+// false for NaN, so a plain sign check let a NaN (or ±Inf) spend
+// through, and every later budget subtraction — resumeSetup's clamp,
+// accumulate's cumulative sums — stayed NaN for the rest of the job.
+// Non-finite belief probabilities are rejected too (by the belief
+// decoder itself; the case here keeps that covered from this layer).
+func TestReadCheckpointNonFinite(t *testing.T) {
+	cases := []string{
+		`{"beliefs": [{"joint": [0.5, 0.5]}], "budget_spent": "NaN"}`,
+		`{"beliefs": [{"joint": [NaN, 0.5]}], "budget_spent": 1}`,
+		`{"beliefs": [{"joint": [0.5, 0.5]}], "budget_spent": NaN}`,
+		`{"beliefs": [{"joint": [0.5, 0.5]}], "budget_spent": Infinity}`,
+	}
+	for _, in := range cases {
+		if _, err := ReadCheckpoint(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+	// Bare JSON cannot spell NaN, but a hand-built (or corrupted)
+	// Checkpoint value can carry one; the decoder must reject it on the
+	// write->read round trip a journal replay performs.
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		c := &Checkpoint{
+			Version:     CheckpointVersion,
+			Beliefs:     []*belief.Dist{mustDist(t, []float64{0.5, 0.5})},
+			BudgetSpent: bad,
+		}
+		var buf bytes.Buffer
+		// json.Marshal refuses non-finite floats outright, which is fine:
+		// either the write fails loudly or the read must.
+		if err := c.Write(&buf); err != nil {
+			continue
+		}
+		if _, err := ReadCheckpoint(&buf); err == nil {
+			t.Errorf("accepted checkpoint with spend %v", bad)
+		}
+	}
+}
+
+// mustDist builds a belief distribution from an explicit joint.
+func mustDist(t *testing.T, joint []float64) *belief.Dist {
+	t.Helper()
+	d, err := belief.FromJoint(joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
 }
 
 func TestResumeValidation(t *testing.T) {

@@ -266,8 +266,21 @@ func runEngine(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Cr
 			})
 		}
 		prevQ = q
-		if cfg.OnCheckpoint != nil {
-			cfg.OnCheckpoint(engineCheckpoint(res, plan, st, spentBefore))
+		if cfg.Journal != nil || cfg.OnCheckpoint != nil {
+			ck := engineCheckpoint(res, plan, st, spentBefore)
+			if cfg.Journal != nil {
+				// The durability commit point: the round's answers were
+				// already journaled as they arrived; this folds them into a
+				// checkpoint record. A journal that cannot commit stops the
+				// run — advancing past an un-durable round would make the
+				// in-memory state unrecoverable.
+				if err := cfg.Journal.CommitRound(round, ck); err != nil {
+					return nil, fmt.Errorf("pipeline: journal commit round %d: %w", round, err)
+				}
+			}
+			if cfg.OnCheckpoint != nil {
+				cfg.OnCheckpoint(ck)
+			}
 		}
 	}
 	res.Quality = totalQuality(beliefs)

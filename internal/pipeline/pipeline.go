@@ -110,11 +110,35 @@ type Config struct {
 	// counts. The callback owns the value (persist it, hand it to
 	// Resume/ResumeCostAware); it runs synchronously on the loop.
 	OnCheckpoint func(c *Checkpoint)
+	// Journal, when set, is the durability hook: after every completed
+	// round — at the same serialization point OnCheckpoint fires, and
+	// just before it — the engine hands the round number and the round's
+	// warm checkpoint to CommitRound and ABORTS THE RUN if it errors.
+	// OnCheckpoint is advisory (a failed persist loses nothing but a
+	// resume point); Journal is the write-ahead commit a crash-recoverable
+	// service depends on, so an un-durable round must stop the loop
+	// rather than let the in-memory state advance past the log.
+	Journal RoundRecorder
 	// Metrics, when set, receives one RoundMetrics per completed round.
 	// Purely observational: attaching a sink never changes the run's
 	// picks, answers, spend or labels.
 	Metrics MetricsSink
 }
+
+// RoundRecorder commits one completed round to durable storage (see
+// Config.Journal). round counts engine rounds from 1 within this run;
+// ck is the round's warm checkpoint (the same immutable value
+// OnCheckpoint receives). A non-nil error aborts the run: the engine
+// never advances past a round the journal did not accept.
+type RoundRecorder interface {
+	CommitRound(round int, ck *Checkpoint) error
+}
+
+// RoundRecorderFunc adapts a function to RoundRecorder.
+type RoundRecorderFunc func(round int, ck *Checkpoint) error
+
+// CommitRound implements RoundRecorder.
+func (f RoundRecorderFunc) CommitRound(round int, ck *Checkpoint) error { return f(round, ck) }
 
 // RoundStats records one checking round for the experiment curves.
 type RoundStats struct {

@@ -1,0 +1,337 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"hcrowd/internal/journal"
+	"hcrowd/internal/obsv"
+	"hcrowd/internal/pipeline"
+)
+
+// Journal record types. The journal is a write-ahead log of the
+// session's externally visible history: everything the service
+// acknowledged to a client (an accepted answer, a sealed round) is on
+// disk — fsynced — before the acknowledgement, so a kill -9 can lose at
+// most work nobody was told succeeded.
+//
+//	created     the full CreateSessionRequest (dataset + config), the
+//	            recipe recovery rebuilds the session from; always the
+//	            journal's first record, preserved across compaction
+//	roundOpen   a published round: id, sorted facts, panel worker IDs
+//	answer      one accepted expert answer (the ack commit point)
+//	roundSeal   the round completed (full panel or timeout) with its
+//	            final answer count
+//	checkpoint  the engine's per-round warm checkpoint plus the server
+//	            round counter — the compaction target: every record
+//	            before it is folded into it
+const (
+	recCreated    byte = 1
+	recRoundOpen  byte = 2
+	recAnswer     byte = 3
+	recRoundSeal  byte = 4
+	recCheckpoint byte = 5
+)
+
+// roundOpenRec is recRoundOpen's payload.
+type roundOpenRec struct {
+	Round int      `json:"round"`
+	Facts []int    `json:"facts"`
+	Panel []string `json:"panel"`
+}
+
+// answerRec is recAnswer's payload.
+type answerRec struct {
+	Round  int    `json:"round"`
+	Worker string `json:"worker"`
+	Values []bool `json:"values"`
+}
+
+// roundSealRec is recRoundSeal's payload.
+type roundSealRec struct {
+	Round   int `json:"round"`
+	Answers int `json:"answers"`
+}
+
+// checkpointRec is recCheckpoint's payload: the pipeline checkpoint
+// document plus the server's round counter, which compaction would
+// otherwise lose (round IDs must stay monotonic across recoveries so a
+// client never sees an ID reused for different facts).
+type checkpointRec struct {
+	NextRound  int             `json:"next_round"`
+	Checkpoint json.RawMessage `json:"checkpoint"`
+}
+
+// sessionJournal is one session's write-ahead log plus its compaction
+// policy and instruments. Its own mutex (not the session's) serializes
+// file access: the answer path appends under Session.mu, while the
+// engine's CommitRound appends from the pipeline goroutine.
+type sessionJournal struct {
+	mu  sync.Mutex
+	w   *journal.Writer
+	ins *journalInstruments
+
+	// created is the recCreated payload, re-written as the first record
+	// of every compacted log.
+	created []byte
+	// compactEvery folds the log into its latest checkpoint record after
+	// this many checkpoint commits; 0 never compacts.
+	compactEvery int
+	sinceCompact int
+}
+
+func newSessionJournal(w *journal.Writer, created []byte, compactEvery int, ins *journalInstruments) *sessionJournal {
+	if ins == nil {
+		// Unobserved journals still count into a private registry rather
+		// than nil-checking every instrument touch.
+		ins = newJournalInstruments(obsv.NewRegistry())
+	}
+	return &sessionJournal{w: w, ins: ins, created: created, compactEvery: compactEvery}
+}
+
+// appendLocked writes one record, optionally fsyncing — the commit
+// point. Callers hold j.mu.
+func (j *sessionJournal) appendLocked(typ byte, v any, commit bool) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if err := j.w.Append(journal.Record{Type: typ, Payload: payload}); err != nil {
+		j.ins.errors.Inc()
+		return err
+	}
+	j.ins.appends.Inc()
+	j.ins.bytes.Add(float64(len(payload) + 9)) // frame = len + type + payload + crc
+	if commit {
+		start := time.Now()
+		if err := j.w.Sync(); err != nil {
+			j.ins.errors.Inc()
+			return err
+		}
+		j.ins.syncs.Inc()
+		j.ins.syncSeconds.Observe(time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// logCreated journals the session's creation — the ack point of POST
+// /v1/sessions: only after this sync does Create return success.
+func (j *sessionJournal) logCreated() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(recCreated, json.RawMessage(j.created), true)
+}
+
+// roundOpened journals a published round. Not synced: if the append is
+// lost, the recovered engine deterministically re-plans the identical
+// round, and a later answer's fsync makes it durable anyway (appends
+// are ordered, so an answer can never be durable without its round).
+func (j *sessionJournal) roundOpened(round int, facts []int, panel []string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(recRoundOpen, roundOpenRec{Round: round, Facts: facts, Panel: panel}, false)
+}
+
+// answerAccepted journals one accepted answer and syncs — the answer is
+// acknowledged to the expert only after this returns.
+func (j *sessionJournal) answerAccepted(round int, worker string, values []bool) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(recAnswer, answerRec{Round: round, Worker: worker, Values: values}, true)
+}
+
+// roundSealed journals a round's completion and syncs: a timeout-sealed
+// partial round must proceed as a partial round after recovery, not
+// reopen and wait for the full panel.
+func (j *sessionJournal) roundSealed(round, answers int) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(recRoundSeal, roundSealRec{Round: round, Answers: answers}, true)
+}
+
+// commitRound journals the engine's per-round checkpoint (the
+// pipeline.RoundRecorder commit point) and, every compactEvery commits,
+// folds the whole log into {created, checkpoint} via an atomic rewrite.
+// Compaction happens here because this is the one quiescent point: the
+// engine has consumed every published round, so no round or answer
+// record past the checkpoint exists to preserve.
+func (j *sessionJournal) commitRound(nextRound int, ck *pipeline.Checkpoint) error {
+	var buf bytes.Buffer
+	if err := ck.Write(&buf); err != nil {
+		return err
+	}
+	rec := checkpointRec{NextRound: nextRound, Checkpoint: json.RawMessage(bytes.TrimSpace(buf.Bytes()))}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.appendLocked(recCheckpoint, rec, true); err != nil {
+		return err
+	}
+	if j.compactEvery <= 0 {
+		return nil
+	}
+	j.sinceCompact++
+	if j.sinceCompact < j.compactEvery {
+		return nil
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := j.w.Reset([]journal.Record{
+		{Type: recCreated, Payload: j.created},
+		{Type: recCheckpoint, Payload: payload},
+	}); err != nil {
+		j.ins.errors.Inc()
+		return err
+	}
+	j.sinceCompact = 0
+	j.ins.compactions.Inc()
+	return nil
+}
+
+// close releases the journal file (the log stays on disk for recovery).
+func (j *sessionJournal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.w.Close()
+}
+
+// path returns the journal's file path.
+func (j *sessionJournal) path() string {
+	return j.w.Path()
+}
+
+// replayRound is one journaled round awaiting republication during
+// recovery: the rebuilt engine re-plans it, publish validates the
+// republished facts and panel against the journal, and the journaled
+// answers are injected through the session's answer path without being
+// re-journaled.
+type replayRound struct {
+	Round   int
+	Facts   []int
+	Panel   []string
+	Answers []answerRec // journal order
+	Sealed  bool
+}
+
+// recoveredSession is a journal's parsed content: the creation recipe,
+// the newest checkpoint (nil = cold start from the dataset), the round
+// counter to resume from, and the round suffix to replay.
+type recoveredSession struct {
+	req       CreateSessionRequest
+	base      *pipeline.Checkpoint
+	nextRound int
+	replay    []*replayRound
+}
+
+// parseJournal validates and folds a journal's record stream. The
+// stream grammar is strict — created, then (roundOpen answer* roundSeal?)*
+// interleaved with checkpoints at quiescent points — and any violation,
+// including an unknown record type, is a loud error: a journal the
+// parser does not fully understand must never be half-replayed.
+func parseJournal(recs []journal.Record) (*recoveredSession, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("journal has no records")
+	}
+	if recs[0].Type != recCreated {
+		return nil, fmt.Errorf("first record has type %d, want created (%d)", recs[0].Type, recCreated)
+	}
+	state := &recoveredSession{}
+	dec := json.NewDecoder(bytes.NewReader(recs[0].Payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&state.req); err != nil {
+		return nil, fmt.Errorf("created record: %w", err)
+	}
+	var open *replayRound
+	for i, r := range recs[1:] {
+		switch r.Type {
+		case recCreated:
+			return nil, fmt.Errorf("record %d: duplicate created record", i+1)
+		case recRoundOpen:
+			var ro roundOpenRec
+			if err := json.Unmarshal(r.Payload, &ro); err != nil {
+				return nil, fmt.Errorf("record %d: round open: %w", i+1, err)
+			}
+			if open != nil && !open.Sealed {
+				return nil, fmt.Errorf("record %d: round %d opened while round %d is still open", i+1, ro.Round, open.Round)
+			}
+			if ro.Round <= state.nextRound {
+				return nil, fmt.Errorf("record %d: round %d opened after round %d", i+1, ro.Round, state.nextRound)
+			}
+			open = &replayRound{Round: ro.Round, Facts: ro.Facts, Panel: ro.Panel}
+			state.replay = append(state.replay, open)
+			state.nextRound = ro.Round
+		case recAnswer:
+			var a answerRec
+			if err := json.Unmarshal(r.Payload, &a); err != nil {
+				return nil, fmt.Errorf("record %d: answer: %w", i+1, err)
+			}
+			if open == nil || open.Sealed || a.Round != open.Round {
+				return nil, fmt.Errorf("record %d: answer for round %d, which is not open", i+1, a.Round)
+			}
+			for _, prev := range open.Answers {
+				if prev.Worker == a.Worker {
+					return nil, fmt.Errorf("record %d: duplicate answer from %s in round %d", i+1, a.Worker, a.Round)
+				}
+			}
+			inPanel := false
+			for _, id := range open.Panel {
+				if id == a.Worker {
+					inPanel = true
+					break
+				}
+			}
+			if !inPanel {
+				return nil, fmt.Errorf("record %d: answer from %s, not in round %d's panel", i+1, a.Worker, a.Round)
+			}
+			open.Answers = append(open.Answers, a)
+		case recRoundSeal:
+			var sr roundSealRec
+			if err := json.Unmarshal(r.Payload, &sr); err != nil {
+				return nil, fmt.Errorf("record %d: round seal: %w", i+1, err)
+			}
+			if open == nil || open.Sealed || sr.Round != open.Round {
+				return nil, fmt.Errorf("record %d: seal for round %d, which is not open", i+1, sr.Round)
+			}
+			if sr.Answers != len(open.Answers) {
+				return nil, fmt.Errorf("record %d: round %d sealed with %d answers but %d journaled",
+					i+1, sr.Round, sr.Answers, len(open.Answers))
+			}
+			if len(open.Answers) == 0 {
+				return nil, fmt.Errorf("record %d: round %d sealed with no answers", i+1, sr.Round)
+			}
+			open.Sealed = true
+		case recCheckpoint:
+			if open != nil && !open.Sealed {
+				return nil, fmt.Errorf("record %d: checkpoint while round %d is still open", i+1, open.Round)
+			}
+			var cr checkpointRec
+			if err := json.Unmarshal(r.Payload, &cr); err != nil {
+				return nil, fmt.Errorf("record %d: checkpoint: %w", i+1, err)
+			}
+			ck, err := pipeline.ReadCheckpoint(bytes.NewReader(cr.Checkpoint))
+			if err != nil {
+				return nil, fmt.Errorf("record %d: %w", i+1, err)
+			}
+			// Every round before a checkpoint is folded into it; only the
+			// suffix past the newest checkpoint replays.
+			state.base = ck
+			state.replay = nil
+			open = nil
+			// The counter restores round-ID monotonicity past compaction, so
+			// it is usually ahead of the (folded-away) round records; it may
+			// never run behind them.
+			if cr.NextRound < state.nextRound {
+				return nil, fmt.Errorf("record %d: checkpoint round counter %d behind journaled rounds (%d)",
+					i+1, cr.NextRound, state.nextRound)
+			}
+			state.nextRound = cr.NextRound
+		default:
+			return nil, fmt.Errorf("record %d: unknown journal record type %d (newer format?)", i+1, r.Type)
+		}
+	}
+	return state, nil
+}

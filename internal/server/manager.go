@@ -12,11 +12,14 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"hcrowd/internal/aggregate"
+	"hcrowd/internal/crowd"
 	"hcrowd/internal/dataset"
+	"hcrowd/internal/journal"
 	"hcrowd/internal/pipeline"
 )
 
@@ -67,9 +70,17 @@ type managedSession struct {
 	routes http.Handler // the session's route set, rooted at "/"
 	seq    int          // creation order (List order)
 
+	// journal is the session's write-ahead log (nil for unjournaled
+	// sessions); the watcher closes it when the engine finishes.
+	journal *sessionJournal
+
 	// Guarded by Manager.mu.
 	state  SessionState
 	finSeq int // finish order; eviction removes the oldest-finished first
+	// retire marks the journal file for deletion once the session ends:
+	// set by an explicit Cancel (the caller discarded the job). Drained
+	// and failed sessions keep their journals so a restart resumes them.
+	retire bool
 }
 
 // ManagerOptions configures a session manager.
@@ -86,6 +97,17 @@ type ManagerOptions struct {
 	// CheckpointDir, when set, receives one final checkpoint per session
 	// ("<id>.ckpt.json", written atomically) during Drain.
 	CheckpointDir string
+	// JournalDir, when set, makes request-created sessions durable: each
+	// session appends its history ("<id>.journal", fsynced at every
+	// acknowledgement) to a write-ahead log, and Recover rebuilds live
+	// sessions from those logs after a crash or restart. Only sessions
+	// created through CreateFromRequest (the HTTP create path) are
+	// journaled — the creation payload is the recovery recipe.
+	JournalDir string
+	// CompactEvery folds a session's journal into its latest checkpoint
+	// record after that many round commits, bounding log growth. 0 uses
+	// the default (8); negative disables compaction.
+	CompactEvery int
 	// Logger receives manager and session lifecycle lines; nil silences
 	// them.
 	Logger *log.Logger
@@ -185,13 +207,43 @@ func (m *Manager) Create(id string, ds *dataset.Dataset, cfg pipeline.Config, op
 	}
 	m.mu.Unlock()
 
-	ms := &managedSession{id: id, state: StateQueued}
-	if opts.Logger == nil {
-		opts.Logger = m.logger
-	}
 	if opts.Gate != nil {
 		// Sessions the manager starts are gated by the manager alone.
 		return "", nil, errors.New("server: SessionOptions.Gate is owned by the manager")
+	}
+	// Attach a fresh write-ahead journal when the manager is durable and
+	// the session came in through the HTTP create path (journalReq is the
+	// recovery recipe). Recovered sessions arrive with opts.journal
+	// already set and skip this.
+	var freshJournal *sessionJournal
+	if m.opts.JournalDir != "" && opts.journal == nil && opts.journalReq != nil {
+		if opts.Metrics == nil {
+			opts.Metrics = NewMetrics()
+		}
+		j, err := m.newJournal(id, opts.journalReq, opts.Metrics.journal)
+		if err != nil {
+			return "", nil, fmt.Errorf("server: journal %s: %w", id, err)
+		}
+		opts.journal = j
+		freshJournal = j
+	}
+	// A failed construction must not leave a fresh journal behind — the
+	// create never succeeded, so there is nothing to recover.
+	discardFresh := func() {
+		if freshJournal == nil {
+			return
+		}
+		if err := freshJournal.close(); err != nil {
+			m.logf("manager: session %s journal close: %v", id, err)
+		}
+		if err := os.Remove(freshJournal.path()); err != nil {
+			m.logf("manager: session %s journal remove: %v", id, err)
+		}
+	}
+
+	ms := &managedSession{id: id, state: StateQueued, journal: opts.journal}
+	if opts.Logger == nil {
+		opts.Logger = m.logger
 	}
 	opts.Gate = m.gate(ms)
 	sink := m.metrics.sessionSink(id)
@@ -202,17 +254,161 @@ func (m *Manager) Create(id string, ds *dataset.Dataset, cfg pipeline.Config, op
 	}
 	s, err := NewSessionOpts(m.baseCtx, ds, cfg, opts)
 	if err != nil {
+		discardFresh()
 		m.metrics.forgetSession(id)
 		return "", nil, err
 	}
 	ms.s = s
 	if err := m.register(ms); err != nil {
 		s.Close()
+		discardFresh()
 		m.metrics.forgetSession(id)
 		return "", nil, err
 	}
 	m.logf("manager: session %s created (%d facts, budget %.0f)", id, ds.NumFacts(), cfg.Budget)
 	return id, s, nil
+}
+
+// defaultCompactEvery is how many round commits a journal accumulates
+// before folding into its latest checkpoint when CompactEvery is 0.
+const defaultCompactEvery = 8
+
+// compactEvery resolves the manager's compaction cadence.
+func (m *Manager) compactEvery() int {
+	switch {
+	case m.opts.CompactEvery > 0:
+		return m.opts.CompactEvery
+	case m.opts.CompactEvery < 0:
+		return 0 // disabled
+	default:
+		return defaultCompactEvery
+	}
+}
+
+// newJournal creates a session's write-ahead log and commits the
+// creation record — the ack point of the create — before the session is
+// allowed to exist. req.Name is pinned to the resolved ID so recovery
+// recreates the session under the same name (round IDs, routes, and
+// checkpoint files all key on it).
+func (m *Manager) newJournal(id string, req *CreateSessionRequest, ins *journalInstruments) (*sessionJournal, error) {
+	if err := os.MkdirAll(m.opts.JournalDir, 0o755); err != nil {
+		return nil, err
+	}
+	req.Name = id
+	created, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(m.opts.JournalDir, id+".journal")
+	w, err := journal.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	j := newSessionJournal(w, created, m.compactEvery(), ins)
+	if err := j.logCreated(); err != nil {
+		if cerr := j.close(); cerr != nil {
+			m.logf("manager: journal %s close: %v", id, cerr)
+		}
+		if rerr := os.Remove(path); rerr != nil {
+			m.logf("manager: journal %s remove: %v", id, rerr)
+		}
+		return nil, err
+	}
+	return j, nil
+}
+
+// Recover scans JournalDir and rebuilds every journaled session: the
+// creation record supplies the dataset and config, the newest journaled
+// checkpoint warm-starts the engine, and the round suffix past it is
+// replayed through the regular answer path — so a recovered session is
+// indistinguishable from one that was never interrupted. Unreadable or
+// structurally invalid journals fail recovery loudly (the error names
+// the file) rather than silently dropping acknowledged answers; empty
+// journals (created but never acknowledged) are discarded. Returns the
+// recovered session IDs. Call before serving traffic and before
+// creating any sessions, so recovered sessions reclaim their IDs.
+func (m *Manager) Recover() ([]string, error) {
+	if m.opts.JournalDir == "" {
+		return nil, errors.New("server: recover: no JournalDir configured")
+	}
+	if err := os.MkdirAll(m.opts.JournalDir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(m.opts.JournalDir)
+	if err != nil {
+		return nil, err
+	}
+	var recovered []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".journal") {
+			continue
+		}
+		path := filepath.Join(m.opts.JournalDir, e.Name())
+		id, err := m.recoverOne(path)
+		if err != nil {
+			return recovered, fmt.Errorf("server: recover %s: %w", path, err)
+		}
+		if id != "" {
+			recovered = append(recovered, id)
+			m.metrics.sessionsRecovered.Inc()
+			m.logf("manager: session %s recovered from %s", id, path)
+		}
+	}
+	return recovered, nil
+}
+
+// recoverOne rebuilds one session from its journal; returns "" for an
+// empty journal (discarded, nothing was ever acknowledged).
+func (m *Manager) recoverOne(path string) (string, error) {
+	w, recs, err := journal.Open(path)
+	if err != nil {
+		return "", err
+	}
+	if len(recs) == 0 {
+		// The create this journal belonged to never returned success, so
+		// no client was promised anything.
+		if cerr := w.Close(); cerr != nil {
+			return "", cerr
+		}
+		return "", os.Remove(path)
+	}
+	closeOnErr := func() {
+		if cerr := w.Close(); cerr != nil {
+			m.logf("manager: journal %s close: %v", path, cerr)
+		}
+	}
+	state, err := parseJournal(recs)
+	if err != nil {
+		closeOnErr()
+		return "", err
+	}
+	if state.req.Name == "" {
+		closeOnErr()
+		return "", errors.New("created record has no session name")
+	}
+	ds, cfg, opts, err := buildFromRequest(state.req)
+	if err != nil {
+		closeOnErr()
+		return "", err
+	}
+	if state.base != nil {
+		// The journaled checkpoint supersedes any checkpoint embedded in
+		// the original create payload: it is strictly newer.
+		opts.Checkpoint = state.base
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = NewMetrics()
+	}
+	created := append([]byte(nil), recs[0].Payload...)
+	opts.journal = newSessionJournal(w, created, m.compactEvery(), opts.Metrics.journal)
+	opts.replay = state.replay
+	opts.nextRound = state.nextRound
+	id, _, err := m.Create(state.req.Name, ds, cfg, opts)
+	if err != nil {
+		closeOnErr()
+		return "", err
+	}
+	return id, nil
 }
 
 // Adopt registers an externally constructed, already-running session —
@@ -317,9 +513,25 @@ func (m *Manager) watch(ms *managedSession) {
 	ms.state = state
 	m.finSeq++
 	ms.finSeq = m.finSeq
+	retire := ms.retire
 	evicted := m.evictLocked()
 	m.updateStateGaugesLocked()
 	m.mu.Unlock()
+	if ms.journal != nil {
+		// The engine has returned, so nothing appends anymore. The file
+		// stays on disk — done/failed/drained sessions all recover on the
+		// next start — unless an explicit Cancel retired the job.
+		if cerr := ms.journal.close(); cerr != nil {
+			m.logf("manager: session %s journal close: %v", ms.id, cerr)
+		}
+		if retire {
+			if rerr := os.Remove(ms.journal.path()); rerr != nil {
+				m.logf("manager: session %s journal retire: %v", ms.id, rerr)
+			} else {
+				m.logf("manager: session %s journal retired", ms.id)
+			}
+		}
+	}
 	if err != nil {
 		m.logf("manager: session %s %s: %v", ms.id, state, err)
 	} else {
@@ -443,13 +655,31 @@ func (m *Manager) List() []SessionInfo {
 }
 
 // Cancel stops a session's run (its state becomes cancelled; the entry
-// stays listed until retention evicts it).
+// stays listed until retention evicts it). Cancelling a journaled
+// session retires its journal: the caller discarded the job, so it must
+// not resurrect at the next restart — unlike a drain, which keeps every
+// journal precisely so sessions resume.
 func (m *Manager) Cancel(id string) error {
 	m.mu.Lock()
 	ms, ok := m.sessions[id]
+	var retireNow *sessionJournal
+	if ok {
+		if ms.state.finished() {
+			// The watcher already ran (and closed the journal); retire the
+			// file directly.
+			retireNow = ms.journal
+		} else {
+			ms.retire = true
+		}
+	}
 	m.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	if retireNow != nil {
+		if err := os.Remove(retireNow.path()); err != nil && !errors.Is(err, os.ErrNotExist) {
+			m.logf("manager: session %s journal retire: %v", id, err)
+		}
 	}
 	ms.s.Close()
 	return nil
@@ -558,26 +788,56 @@ type SessionConfig struct {
 	// Checkpoint, when present, warm-resumes the job from a checkpoint
 	// document (the GET /checkpoint body or a Drain file).
 	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+	// CostAware runs the §III-D cost-aware checking loop: each round
+	// greedily buys individual (query, expert) answers by gain-per-cost
+	// instead of sending every query to the full panel.
+	CostAware bool `json:"cost_aware,omitempty"`
+	// CostModel names how one answer is priced: "unit" (or empty) charges
+	// 1 per answer; "accuracy" charges 1 + the worker's accuracy (better
+	// experts cost more).
+	CostModel string `json:"cost_model,omitempty"`
 }
 
-// CreateFromRequest builds and starts a session from the HTTP payload.
-func (m *Manager) CreateFromRequest(req CreateSessionRequest) (string, *Session, error) {
+// CostModelByName resolves a SessionConfig.CostModel name to a pricing
+// function for pipeline.Config.Cost; nil means unit cost (the
+// pipeline's default).
+func CostModelByName(name string) (func(crowd.Worker) float64, error) {
+	switch name {
+	case "", "unit":
+		return nil, nil
+	case "accuracy":
+		return func(w crowd.Worker) float64 { return 1 + w.Accuracy }, nil
+	default:
+		return nil, fmt.Errorf("server: unknown cost model %q (want unit or accuracy)", name)
+	}
+}
+
+// buildFromRequest translates the HTTP payload into the session's
+// constructor arguments. CreateFromRequest and Recover share it — it is
+// the reason a journaled creation record is a sufficient recovery
+// recipe: everything a session runs with is derived deterministically
+// from the request document.
+func buildFromRequest(req CreateSessionRequest) (*dataset.Dataset, pipeline.Config, SessionOptions, error) {
+	var opts SessionOptions
+	fail := func(err error) (*dataset.Dataset, pipeline.Config, SessionOptions, error) {
+		return nil, pipeline.Config{}, SessionOptions{}, err
+	}
 	if len(req.Dataset) == 0 {
-		return "", nil, errors.New("server: create: missing dataset")
+		return fail(errors.New("server: create: missing dataset"))
 	}
 	ds, err := dataset.Read(bytes.NewReader(req.Dataset))
 	if err != nil {
-		return "", nil, fmt.Errorf("server: create: dataset: %w", err)
+		return fail(fmt.Errorf("server: create: dataset: %w", err))
 	}
 	sc := req.Config
 	if sc.Budget <= 0 {
-		return "", nil, errors.New("server: create: config.budget must be > 0")
+		return fail(errors.New("server: create: config.budget must be > 0"))
 	}
 	if sc.K == 0 {
 		sc.K = 1
 	}
 	if sc.K < 0 {
-		return "", nil, errors.New("server: create: config.k must be >= 1")
+		return fail(errors.New("server: create: config.k must be >= 1"))
 	}
 	initName := sc.Init
 	if initName == "" {
@@ -589,11 +849,15 @@ func (m *Manager) CreateFromRequest(req CreateSessionRequest) (string, *Session,
 	}
 	agg, err := aggregate.ByName(initName, seed)
 	if err != nil {
-		return "", nil, fmt.Errorf("server: create: %w", err)
+		return fail(fmt.Errorf("server: create: %w", err))
 	}
 	couple, err := ds.EstimateCoupling()
 	if err != nil {
-		return "", nil, fmt.Errorf("server: create: %w", err)
+		return fail(fmt.Errorf("server: create: %w", err))
+	}
+	cost, err := CostModelByName(sc.CostModel)
+	if err != nil {
+		return fail(fmt.Errorf("server: create: %w", err))
 	}
 	cfg := pipeline.Config{
 		K:             sc.K,
@@ -601,22 +865,35 @@ func (m *Manager) CreateFromRequest(req CreateSessionRequest) (string, *Session,
 		Init:          agg,
 		PriorCoupling: couple,
 		MaxRounds:     sc.MaxRounds,
+		Cost:          cost,
 	}
-	var opts SessionOptions
+	opts.CostAware = sc.CostAware
 	if sc.RoundTimeout != "" {
 		d, err := time.ParseDuration(sc.RoundTimeout)
 		if err != nil || d < 0 {
-			return "", nil, fmt.Errorf("server: create: bad round_timeout %q", sc.RoundTimeout)
+			return fail(fmt.Errorf("server: create: bad round_timeout %q", sc.RoundTimeout))
 		}
 		opts.RoundTimeout = d
 	}
 	if len(sc.Checkpoint) > 0 {
 		ck, err := pipeline.ReadCheckpoint(bytes.NewReader(sc.Checkpoint))
 		if err != nil {
-			return "", nil, fmt.Errorf("server: create: checkpoint: %w", err)
+			return fail(fmt.Errorf("server: create: checkpoint: %w", err))
 		}
 		opts.Checkpoint = ck
 	}
+	return ds, cfg, opts, nil
+}
+
+// CreateFromRequest builds and starts a session from the HTTP payload.
+// Under a JournalDir the request document itself is journaled as the
+// session's recovery recipe.
+func (m *Manager) CreateFromRequest(req CreateSessionRequest) (string, *Session, error) {
+	ds, cfg, opts, err := buildFromRequest(req)
+	if err != nil {
+		return "", nil, err
+	}
+	opts.journalReq = &req
 	return m.Create(req.Name, ds, cfg, opts)
 }
 

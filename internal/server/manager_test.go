@@ -345,13 +345,10 @@ func TestManagerSemaphoreBoundsRunning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, sb, err := m.Create("second", dsB, pipeline.Config{K: 1, Budget: 8}, SessionOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
 
-	// Wait until the first session publishes a round; the second must
-	// still be queued with nothing to answer.
+	// Wait until the first session holds the only slot (it published a
+	// round) BEFORE creating the second — the gates run in goroutines, so
+	// two queued sessions race for the slot in arbitrary order.
 	for {
 		if _, _, ok := sa.Queries(sa.Experts()[0]); ok {
 			break
@@ -362,6 +359,11 @@ func TestManagerSemaphoreBoundsRunning(t *testing.T) {
 		case <-time.After(time.Millisecond):
 		}
 	}
+	_, sb, err := m.Create("second", dsB, pipeline.Config{K: 1, Budget: 8}, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second must sit queued with nothing to answer.
 	if info, _ := m.Info("second"); info.State != StateQueued {
 		t.Fatalf("second state = %q, want queued", info.State)
 	}

@@ -39,6 +39,43 @@ type Metrics struct {
 	selectorEvals    *obsv.Counter
 	selectorRescans  *obsv.Counter
 	selectorReused   *obsv.Counter
+
+	// Durability (journal-backed sessions only; zero otherwise).
+	journal *journalInstruments
+}
+
+// journalInstruments is the write-ahead journal's instrument set:
+// append/sync volume (every sync is an fsync on the session's ack path,
+// so syncSeconds is the durability tax on answer latency), compactions,
+// I/O errors, and the records replayed into the session at recovery.
+type journalInstruments struct {
+	appends     *obsv.Counter
+	bytes       *obsv.Counter
+	syncs       *obsv.Counter
+	syncSeconds *obsv.Histogram
+	compactions *obsv.Counter
+	errors      *obsv.Counter
+	replayed    *obsv.Counter
+}
+
+// newJournalInstruments registers the journal instrument set.
+func newJournalInstruments(reg *obsv.Registry) *journalInstruments {
+	return &journalInstruments{
+		appends: reg.Counter("journal_appends_total",
+			"records appended to the session journal"),
+		bytes: reg.Counter("journal_bytes_total",
+			"payload bytes appended to the session journal"),
+		syncs: reg.Counter("journal_syncs_total",
+			"journal fsyncs (each one a client-visible commit point)"),
+		syncSeconds: reg.Histogram("journal_sync_seconds",
+			"journal fsync latency", nil),
+		compactions: reg.Counter("journal_compactions_total",
+			"journal logs folded into their latest checkpoint"),
+		errors: reg.Counter("journal_errors_total",
+			"journal append/sync/compact failures (each fails its session)"),
+		replayed: reg.Counter("journal_replayed_records_total",
+			"journaled answers re-injected during crash recovery"),
+	}
 }
 
 // httpInstruments is the HTTP middleware's instrument set. The session
@@ -114,6 +151,8 @@ func NewMetrics() *Metrics {
 			"task gain caches rebuilt (selector cache misses)"),
 		selectorReused: reg.Counter("selector_reused_total",
 			"task gain caches reused across rounds (selector cache hits)"),
+
+		journal: newJournalInstruments(reg),
 	}
 }
 
@@ -153,9 +192,10 @@ type ManagerMetrics struct {
 
 	http *httpInstruments
 
-	sessionsCreated *obsv.Counter
-	sessionsEvicted *obsv.Counter
-	sessionsByState *obsv.GaugeVec // state
+	sessionsCreated   *obsv.Counter
+	sessionsEvicted   *obsv.Counter
+	sessionsRecovered *obsv.Counter
+	sessionsByState   *obsv.GaugeVec // state
 
 	// Per-session families ("session" label = session ID).
 	sessionRounds  *obsv.CounterVec
@@ -177,6 +217,8 @@ func NewManagerMetrics() *ManagerMetrics {
 			"sessions created or adopted"),
 		sessionsEvicted: reg.Counter("manager_sessions_evicted_total",
 			"finished sessions evicted by the retention policy"),
+		sessionsRecovered: reg.Counter("manager_sessions_recovered_total",
+			"sessions rebuilt from their journals at startup"),
 		sessionsByState: reg.GaugeVec("manager_sessions",
 			"registered sessions by lifecycle state", "state"),
 

@@ -44,6 +44,7 @@ var ErrRoundClosed = errors.New("server: round closed")
 type pendingRound struct {
 	id       int
 	facts    []int                      // global fact indices
+	panel    crowd.Crowd                // the experts this round awaits
 	answers  map[string]crowd.AnswerSet // keyed by worker ID
 	done     chan struct{}              // closed when the round completes
 	complete bool                       // guards double-close of done
@@ -66,6 +67,21 @@ type Session struct {
 	// checkpoint is the latest warm checkpoint the loop emitted (one per
 	// completed round); nil until the first round finishes.
 	checkpoint *pipeline.Checkpoint
+
+	// journal, when non-nil, makes the session durable: accepted answers
+	// and sealed rounds are fsynced before they are acknowledged, and
+	// every engine round commits its checkpoint to the log. jerr is the
+	// sticky first journal failure — once set, the session stops
+	// accepting answers and the engine aborts with it (a session that
+	// cannot persist its history must not keep collecting it).
+	journal *sessionJournal
+	jerr    error
+	// replay is the journaled round suffix a recovered session still owes
+	// the engine: publish pops it, validates the engine re-planned the
+	// identical round, and injects the journaled answers before going
+	// live. costAware selects the cost-aware engine flavor.
+	replay    []*replayRound
+	costAware bool
 
 	finished chan struct{}
 	cancel   context.CancelFunc
@@ -103,6 +119,20 @@ type SessionOptions struct {
 	// error (the gate rejected the session, or ctx ended) finishes the
 	// session with that error without running the engine.
 	Gate func(ctx context.Context) (release func(), err error)
+	// CostAware runs the cost-aware checking loop (per-worker answer
+	// prices drive the assignment; see pipeline.RunCostAware) instead of
+	// the uniform one. The cfg passed to the constructor must then carry
+	// the Cost function.
+	CostAware bool
+
+	// Journal-backed operation; wired by the Manager (Create attaches a
+	// fresh journal when journalReq carries the creation payload, Recover
+	// supplies a reopened journal plus the replay suffix and the restored
+	// round counter).
+	journal    *sessionJournal
+	replay     []*replayRound
+	nextRound  int
+	journalReq *CreateSessionRequest
 }
 
 // NewSession starts the pipeline on ds with cfg; cfg.Source is replaced
@@ -157,14 +187,31 @@ func NewSessionOpts(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Confi
 	s := &Session{
 		ds:           ds,
 		experts:      ce,
+		nextID:       opts.nextRound,
 		finished:     make(chan struct{}),
 		cancel:       cancel,
 		roundTimeout: opts.RoundTimeout,
 		checkpoint:   c,
+		journal:      opts.journal,
+		replay:       opts.replay,
+		costAware:    opts.CostAware,
 		metrics:      metrics,
 		logger:       opts.Logger,
 	}
 	cfg.Source = queueSource{s: s, ctx: runCtx}
+	if s.journal != nil {
+		// Commit every engine round to the journal — with the server's
+		// round counter, so recovery restores ID monotonicity — before the
+		// advisory OnCheckpoint hook runs. The counter is read under s.mu;
+		// the append itself runs under the journal's own lock (Session.mu
+		// is never held across journal I/O from this path).
+		cfg.Journal = pipeline.RoundRecorderFunc(func(round int, ck *pipeline.Checkpoint) error {
+			s.mu.Lock()
+			next := s.nextID
+			s.mu.Unlock()
+			return s.journal.commitRound(next, ck)
+		})
+	}
 	// The session's bundle taps the pipeline's per-round metrics; a
 	// caller-provided sink still receives every record.
 	if cfg.Metrics != nil {
@@ -199,13 +246,25 @@ func NewSessionOpts(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Confi
 		}
 		var res *pipeline.Result
 		var err error
-		if c != nil {
+		switch {
+		case s.costAware && c != nil:
+			res, err = pipeline.ResumeCostAware(runCtx, ds, cfg, c)
+		case s.costAware:
+			res, err = pipeline.RunCostAware(runCtx, ds, cfg)
+		case c != nil:
 			res, err = pipeline.Resume(runCtx, ds, cfg, c)
-		} else {
+		default:
 			res, err = pipeline.Run(runCtx, ds, cfg)
 		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
+		if err == nil && len(s.replay) > 0 {
+			// The journal promised more rounds than the rebuilt engine ran:
+			// the recovery does not reproduce the interrupted run, and
+			// trusting its labels would silently drop acknowledged answers.
+			err = fmt.Errorf("server: recovery diverged: engine finished with %d journaled rounds unconsumed", len(s.replay))
+			res = nil
+		}
 		s.result = res
 		s.runErr = err
 		s.closed = true
@@ -252,10 +311,15 @@ type queueSource struct {
 	ctx context.Context
 }
 
-// Answers implements pipeline.AnswerSource: publish the queries and block
-// until every expert answered or the session ends.
+// Answers implements pipeline.AnswerSource: publish the queries to the
+// round's panel (the experts the engine selected — the full expert set
+// in the uniform loop, an assignment in the cost-aware one) and block
+// until the round completes or the session ends.
 func (q queueSource) Answers(experts crowd.Crowd, facts []int) (crowd.AnswerFamily, error) {
-	round := q.s.publish(facts)
+	round, err := q.s.publish(experts, facts)
+	if err != nil {
+		return nil, err
+	}
 	select {
 	case <-round.done:
 	case <-q.ctx.Done():
@@ -263,8 +327,11 @@ func (q queueSource) Answers(experts crowd.Crowd, facts []int) (crowd.AnswerFami
 	}
 	q.s.mu.Lock()
 	defer q.s.mu.Unlock()
-	fam := make(crowd.AnswerFamily, 0, len(experts))
-	for _, w := range experts {
+	if q.s.jerr != nil {
+		return nil, q.s.jerr
+	}
+	fam := make(crowd.AnswerFamily, 0, len(round.panel))
+	for _, w := range round.panel {
 		if as, ok := round.answers[w.ID]; ok {
 			fam = append(fam, as)
 		}
@@ -276,26 +343,167 @@ func (q queueSource) Answers(experts crowd.Crowd, facts []int) (crowd.AnswerFami
 	return fam, nil
 }
 
-// publish installs a new pending round.
-func (s *Session) publish(facts []int) *pendingRound {
+// panelIDs lists a panel's worker IDs in panel order.
+func panelIDs(panel crowd.Crowd) []string {
+	ids := make([]string, len(panel))
+	for i, w := range panel {
+		ids[i] = w.ID
+	}
+	return ids
+}
+
+// publish installs a new pending round — or, while a recovered session
+// still owes the engine journaled rounds, validates and replays the next
+// one instead of going live.
+func (s *Session) publish(panel crowd.Crowd, facts []int) (*pendingRound, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.nextID++
 	sorted := append([]int{}, facts...)
 	sort.Ints(sorted)
+	if len(s.replay) > 0 {
+		return s.replayRoundLocked(panel, sorted)
+	}
+	if s.jerr != nil {
+		return nil, s.jerr
+	}
+	s.nextID++
 	round := &pendingRound{
 		id:      s.nextID,
 		facts:   sorted,
-		answers: make(map[string]crowd.AnswerSet, len(s.experts)),
+		panel:   panel,
+		answers: make(map[string]crowd.AnswerSet, len(panel)),
 		done:    make(chan struct{}),
+	}
+	if s.journal != nil {
+		// Appended but not synced: a torn round-open record just re-plans
+		// deterministically at recovery, and any later answer's fsync
+		// carries it to disk first (appends are ordered).
+		if err := s.journal.roundOpened(round.id, sorted, panelIDs(panel)); err != nil {
+			s.journalFailLocked(err)
+			return nil, s.jerr
+		}
 	}
 	s.pending = round
 	if s.roundTimeout > 0 {
 		time.AfterFunc(s.roundTimeout, func() { s.expireRound(round) })
 	}
 	s.metrics.roundsPublished.Inc()
-	s.logf("round %d published: %d facts, awaiting %d experts", round.id, len(sorted), len(s.experts))
-	return round
+	s.logf("round %d published: %d facts, awaiting %d experts", round.id, len(sorted), len(panel))
+	return round, nil
+}
+
+// replayRoundLocked republishes the next journaled round during
+// recovery: the engine's re-planned round must match the journal
+// byte-for-byte (same facts, same panel — the engine is deterministic,
+// so anything else means the journal and the code disagree and the
+// session must fail rather than relabel), and the journaled answers are
+// injected through the same AnswerSet validation live answers get,
+// without being re-journaled.
+func (s *Session) replayRoundLocked(panel crowd.Crowd, sortedFacts []int) (*pendingRound, error) {
+	rr := s.replay[0]
+	s.replay = s.replay[1:]
+	if !equalInts(sortedFacts, rr.Facts) || !equalStrings(panelIDs(panel), rr.Panel) {
+		return nil, fmt.Errorf("server: recovery diverged: engine re-planned round %d with different facts or panel than journaled", rr.Round)
+	}
+	s.nextID = rr.Round
+	round := &pendingRound{
+		id:      rr.Round,
+		facts:   sortedFacts,
+		panel:   panel,
+		answers: make(map[string]crowd.AnswerSet, len(panel)),
+		done:    make(chan struct{}),
+	}
+	for _, a := range rr.Answers {
+		w, ok := panel.ByID(a.Worker)
+		if !ok {
+			return nil, fmt.Errorf("server: recovery diverged: journaled answer from %s, not on round %d's panel", a.Worker, rr.Round)
+		}
+		as := crowd.AnswerSet{
+			Worker: w,
+			Facts:  append([]int{}, sortedFacts...),
+			Values: append([]bool{}, a.Values...),
+		}
+		if err := as.Validate(); err != nil {
+			return nil, fmt.Errorf("server: recovery: journaled answer from %s in round %d: %w", a.Worker, rr.Round, err)
+		}
+		round.answers[a.Worker] = as
+	}
+	if s.journal != nil {
+		s.journal.ins.replayed.Add(float64(len(rr.Answers)))
+	}
+	s.pending = round
+	if rr.Sealed || len(round.answers) == len(panel) {
+		round.complete = true
+		if !rr.Sealed && s.journal != nil && s.jerr == nil {
+			// Full panel but the seal record was lost in the crash; journal
+			// it now so the record grammar (no checkpoint over an open
+			// round) holds for the next recovery.
+			if err := s.journal.roundSealed(round.id, len(round.answers)); err != nil {
+				s.journalFailLocked(err)
+			}
+		}
+		close(round.done)
+	} else if s.roundTimeout > 0 {
+		time.AfterFunc(s.roundTimeout, func() { s.expireRound(round) })
+	}
+	s.logf("round %d replayed from journal: %d/%d answers, sealed=%v", rr.Round, len(round.answers), len(panel), round.complete)
+	return round, nil
+}
+
+// equalInts reports whether two int slices are identical.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// equalStrings reports whether two string slices are identical.
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// journalFailLocked records the first journal failure and fails the
+// session: the error sticks, the open round is closed so the engine
+// wakes, and queueSource surfaces the error to the engine, which aborts
+// the run. Callers hold s.mu.
+func (s *Session) journalFailLocked(err error) {
+	if s.jerr != nil {
+		return
+	}
+	s.jerr = fmt.Errorf("server: journal: %w", err)
+	s.logf("journal failure, failing session: %v", err)
+	if s.pending != nil && !s.pending.complete {
+		s.pending.complete = true
+		close(s.pending.done)
+	}
+}
+
+// sealRoundLocked completes a round: the seal is journaled (fsynced)
+// before the engine is woken, so a timeout-sealed partial round recovers
+// as exactly that partial round. Callers hold s.mu and count their own
+// metrics (completed vs expired).
+func (s *Session) sealRoundLocked(round *pendingRound) {
+	round.complete = true
+	if s.journal != nil && s.jerr == nil {
+		if err := s.journal.roundSealed(round.id, len(round.answers)); err != nil {
+			s.journalFailLocked(err)
+		}
+	}
+	close(round.done)
 }
 
 // expireRound closes a round at its deadline if it gathered at least one
@@ -311,10 +519,9 @@ func (s *Session) expireRound(round *pendingRound) {
 		time.AfterFunc(s.roundTimeout, func() { s.expireRound(round) })
 		return
 	}
-	round.complete = true
-	close(round.done)
+	s.sealRoundLocked(round)
 	s.metrics.roundsExpired.Inc()
-	s.logf("round %d expired: proceeding with %d/%d answers", round.id, len(round.answers), len(s.experts))
+	s.logf("round %d expired: proceeding with %d/%d answers", round.id, len(round.answers), len(round.panel))
 }
 
 // Queries returns the open round for the given expert: the round ID and
@@ -334,6 +541,9 @@ func (s *Session) Queries(workerID string) (roundID int, facts []int, ok bool) {
 		return 0, nil, false
 	}
 	if _, isExpert := s.experts.ByID(workerID); !isExpert {
+		return 0, nil, false
+	}
+	if _, onPanel := s.pending.panel.ByID(workerID); !onPanel {
 		return 0, nil, false
 	}
 	if _, answered := s.pending.answers[workerID]; answered {
@@ -369,6 +579,10 @@ func (s *Session) Answer(roundID int, workerID string, values []bool) error {
 	if !isExpert {
 		return s.rejectAnswer("not_expert", fmt.Errorf("server: %q is not an expert worker", workerID))
 	}
+	if _, onPanel := s.pending.panel.ByID(workerID); !onPanel {
+		return s.rejectAnswer("not_panelist",
+			fmt.Errorf("server: %s is not on round %d's panel", workerID, roundID))
+	}
 	if _, dup := s.pending.answers[workerID]; dup {
 		return s.rejectAnswer("duplicate", fmt.Errorf("server: %s already answered round %d", workerID, roundID))
 	}
@@ -384,13 +598,21 @@ func (s *Session) Answer(roundID int, workerID string, values []bool) error {
 	if err := as.Validate(); err != nil {
 		return s.rejectAnswer("invalid", err)
 	}
+	if s.journal != nil && s.jerr == nil {
+		// Durability before acknowledgement: the answer is fsynced into
+		// the journal before it is recorded or confirmed, so no accepted
+		// answer can be lost to a crash.
+		if err := s.journal.answerAccepted(roundID, workerID, values); err != nil {
+			s.journalFailLocked(err)
+			return s.rejectAnswer("journal", s.jerr)
+		}
+	}
 	s.pending.answers[workerID] = as
 	s.metrics.answersAccepted.Inc()
-	if len(s.pending.answers) == len(s.experts) {
-		s.pending.complete = true
-		close(s.pending.done)
+	if len(s.pending.answers) == len(s.pending.panel) {
+		s.sealRoundLocked(s.pending)
 		s.metrics.roundsCompleted.Inc()
-		s.logf("round %d complete: all %d experts answered", roundID, len(s.experts))
+		s.logf("round %d complete: all %d panelists answered", roundID, len(s.pending.panel))
 	}
 	return nil
 }
