@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint fuzz-smoke race determinism bench bench-snapshot bench-compare snapshot-smoke metrics-smoke serve-smoke crash-smoke verify
+.PHONY: build test vet lint fuzz-smoke race determinism bench bench-snapshot bench-compare snapshot-smoke metrics-smoke serve-smoke crash-smoke load-smoke verify
 
 build:
 	$(GO) build ./...
@@ -42,7 +42,7 @@ race:
 # must label byte-identically to same-seed single sessions, and a drain
 # must persist exactly the last emitted checkpoint.
 determinism:
-	$(GO) test -count=2 -run 'DeterministicGivenSeed' ./internal/pipeline/ ./internal/experiments/ ./internal/server/ ./internal/taskselect/
+	$(GO) test -count=2 -run 'DeterministicGivenSeed' ./internal/pipeline/ ./internal/experiments/ ./internal/server/ ./internal/taskselect/ ./internal/admit/
 
 # One pass over every paper benchmark (including the incremental
 # selection engine's pick-identity + evals/round check).
@@ -87,6 +87,14 @@ serve-smoke:
 crash-smoke:
 	$(GO) test -run 'RunCrashSmoke' -count=1 ./cmd/hcserve/
 
+# End-to-end streaming-load smoke: build the real hcserve binary, then
+# drive it with hcload — several concurrent streaming sessions, Poisson
+# fragment admissions over POST /v1/sessions/{id}/tasks racing
+# goroutine-per-expert answer loops — and assert every session finishes
+# with labels covering the grown task set.
+load-smoke:
+	$(GO) test -run 'RunLoadSmoke' -count=1 ./cmd/hcload/
+
 # Gate order: cheap static analysis first (vet, then hclint), then the
 # fuzz smoke, then the race/determinism suite and the e2e smokes.
-verify: build vet lint fuzz-smoke race determinism snapshot-smoke metrics-smoke serve-smoke crash-smoke
+verify: build vet lint fuzz-smoke race determinism snapshot-smoke metrics-smoke serve-smoke crash-smoke load-smoke

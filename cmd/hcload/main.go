@@ -1,0 +1,305 @@
+// Command hcload is a streaming traffic generator for the labeling
+// service: it drives a live hcserve through the /v1 management API with
+// many concurrent sessions, each fed by a seeded Poisson stream of task
+// fragments and answered by one goroutine per simulated expert. It is
+// the load half of the streaming-admission feature — hcserve hosts the
+// event-driven scheduler, hcload supplies the open-world workload:
+//
+//	hcserve -in dataset.json -addr :8080 &
+//	hcload -addr http://127.0.0.1:8080 -sessions 8 -tasks 60 -rate 20
+//
+// Per session, hcload generates a seeded dataset (base tasks available
+// up front, the rest held back), creates a streaming session
+// (config.budget_window > 0), starts one AnswerLoop per expert with a
+// deterministic index-only answer policy, and admits the held-back
+// tasks as two-task fragments on a Poisson arrival schedule via POST
+// /v1/sessions/{id}/tasks — the last batch carries final=true so the
+// run can conclude. It then waits for the session to finish, fetches
+// the labels, and reports per-session and aggregate throughput.
+//
+// Seeds fix the datasets, the arrival schedules, and the answer policy;
+// only the interleaving of concurrent HTTP requests varies between
+// runs. Total simulated experts = sessions × experts-per-dataset, so
+// -sessions scales the concurrency into the thousands.
+//
+// Exit status: 0 when every session finishes with labels, 1 otherwise.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"hcrowd/internal/admit"
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/rngutil"
+	"hcrowd/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hcload:", err)
+		os.Exit(1)
+	}
+}
+
+// loadConfig is one session's worth of generator parameters.
+type loadConfig struct {
+	tasks     int
+	baseTasks int
+	rate      float64
+	budget    float64
+	window    float64
+	k         int
+	costAware bool
+	poll      time.Duration
+	timeout   time.Duration
+}
+
+// report is what one driven session came back with.
+type report struct {
+	id       string
+	answers  int64
+	rounds   int
+	frags    int
+	labels   int
+	quality  float64
+	elapsed  time.Duration
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hcload", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "base URL of a running hcserve, e.g. http://127.0.0.1:8080 (required)")
+		sessions = fs.Int("sessions", 1, "concurrent streaming sessions to drive")
+		tasks    = fs.Int("tasks", 40, "total tasks per session (base + streamed)")
+		streamed = fs.Int("streamed", 0, "tasks held back and admitted over time (default: a third of -tasks)")
+		rate     = fs.Float64("rate", 10, "fragment arrivals per second (Poisson)")
+		budget   = fs.Float64("budget", 0, "up-front checking budget (default: one pick per base task)")
+		window   = fs.Float64("window", 0, "budget refill per admitted fragment (default: one pick)")
+		k        = fs.Int("k", 1, "checking queries per round")
+		seed     = fs.Int64("seed", 1, "base seed; session i uses seed+i")
+		costAw   = fs.Bool("cost-aware", false, "create cost-aware sessions")
+		poll     = fs.Duration("poll", 5*time.Millisecond, "answer-loop poll interval")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout (negative disables)")
+		maxWait  = fs.Duration("max-wait", 2*time.Minute, "give up on a session after this long")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("missing -addr (running hcserve base URL)")
+	}
+	if *sessions < 1 || *tasks < 2 {
+		return fmt.Errorf("need -sessions >= 1 and -tasks >= 2")
+	}
+	st := *streamed
+	if st == 0 {
+		st = *tasks / 3
+	}
+	if st < 1 || st >= *tasks {
+		return fmt.Errorf("-streamed %d must be in [1, tasks)", st)
+	}
+	lc := loadConfig{
+		tasks: *tasks, baseTasks: *tasks - st,
+		rate: *rate, budget: *budget, window: *window,
+		k: *k, costAware: *costAw, poll: *poll, timeout: *timeout,
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, *maxWait)
+	defer cancel()
+	start := time.Now()
+	reports := make([]*report, *sessions)
+	errs := make([]error, *sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = driveSession(runCtx, *addr, fmt.Sprintf("load-%d", i), *seed+int64(i), lc)
+		}(i)
+	}
+	wg.Wait()
+
+	failed := 0
+	var answers int64
+	for i, r := range reports {
+		if errs[i] != nil {
+			failed++
+			fmt.Fprintf(stdout, "hcload: session %d failed: %v\n", i, errs[i])
+			continue
+		}
+		answers += r.answers
+		fmt.Fprintf(stdout, "hcload: %s: %d labels in %d rounds, %d fragments streamed, %d answers, quality %.4f, %.2fs\n",
+			r.id, r.labels, r.rounds, r.frags, r.answers, r.quality, r.elapsed.Seconds())
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(stdout, "hcload: %d/%d sessions done, %d answers total, %.1f answers/s over %.2fs\n",
+		*sessions-failed, *sessions, answers, float64(answers)/elapsed.Seconds(), elapsed.Seconds())
+	if failed > 0 {
+		return fmt.Errorf("%d of %d sessions failed", failed, *sessions)
+	}
+	return nil
+}
+
+// driveSession creates and drives one streaming session end to end.
+func driveSession(ctx context.Context, addr, name string, seed int64, lc loadConfig) (*report, error) {
+	start := time.Now()
+	ds, frags, err := buildWorkload(seed, lc)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := admit.PoissonSchedule(rngutil.New(seed+7), lc.rate, len(frags))
+	if err != nil {
+		return nil, err
+	}
+	var dsBuf bytes.Buffer
+	if err := ds.Write(&dsBuf); err != nil {
+		return nil, err
+	}
+	ce, _ := ds.Split()
+	budget, window := lc.budget, lc.window
+	if budget <= 0 {
+		budget = float64(lc.baseTasks * len(ce))
+	}
+	if window <= 0 {
+		window = float64(len(ce))
+	}
+	mc := server.NewManagerClient(addr)
+	mc.Timeout = lc.timeout
+	info, err := mc.Create(ctx, server.CreateSessionRequest{
+		Name:    name,
+		Dataset: dsBuf.Bytes(),
+		Config: server.SessionConfig{
+			K: lc.k, Budget: budget, BudgetWindow: window,
+			Seed: seed, CostAware: lc.costAware,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("create %s: %w", name, err)
+	}
+	cl := mc.Session(info.ID)
+
+	experts, err := cl.Experts(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var answers atomic.Int64
+	loopErrs := make(chan error, len(experts))
+	var wg sync.WaitGroup
+	for _, id := range experts {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			loopErrs <- cl.AnswerLoop(ctx, id, func(facts []int) []bool {
+				answers.Add(int64(len(facts)))
+				return flipPolicy(id, facts)
+			}, lc.poll)
+		}(id)
+	}
+
+	// The admission stream runs alongside the answer loops: batch i is
+	// posted sched.At[i] seconds into the run, and the last post carries
+	// final=true so the engine knows the workload is complete.
+	admitErr := make(chan error, 1)
+	go func() {
+		next := 0
+		for i := 0; i < sched.Len(); i++ {
+			select {
+			case <-ctx.Done():
+				admitErr <- ctx.Err()
+				return
+			case <-time.After(time.Duration(sched.At[i]*float64(time.Second)) - time.Since(start)):
+			}
+			batch := frags[next : next+sched.Count[i]]
+			next += sched.Count[i]
+			if err := cl.AdmitTasks(ctx, batch, next == len(frags)); err != nil {
+				admitErr <- fmt.Errorf("admit batch %d: %w", i, err)
+				return
+			}
+		}
+		admitErr <- nil
+	}()
+
+	wg.Wait()
+	close(loopErrs)
+	for err := range loopErrs {
+		if err != nil {
+			return nil, fmt.Errorf("answer loop: %w", err)
+		}
+	}
+	if err := <-admitErr; err != nil {
+		return nil, err
+	}
+	st, err := cl.Status(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if !st.Done {
+		return nil, fmt.Errorf("answer loops returned but session is not done (status %+v)", st)
+	}
+	labels, err := cl.Labels(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &report{
+		id:      info.ID,
+		answers: answers.Load(),
+		rounds:  st.Rounds,
+		frags:   st.AdmittedFragments,
+		labels:  len(labels),
+		quality: st.Quality,
+		elapsed: time.Since(start),
+	}, nil
+}
+
+// buildWorkload generates the session's seeded base dataset and the
+// two-task fragments that will be streamed into it.
+func buildWorkload(seed int64, lc loadConfig) (*dataset.Dataset, []*dataset.Fragment, error) {
+	cfg := dataset.DefaultSentiConfig()
+	cfg.NumTasks = lc.baseTasks
+	ds, err := dataset.SentiLike(rngutil.New(seed), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	frng := rngutil.New(seed + 3)
+	var frags []*dataset.Fragment
+	for left := lc.tasks - lc.baseTasks; left > 0; left -= 2 {
+		n := 2
+		if left < 2 {
+			n = left
+		}
+		fr, err := dataset.SentiFragment(frng, ds, dataset.DefaultSentiConfig(), n)
+		if err != nil {
+			return nil, nil, err
+		}
+		frags = append(frags, fr)
+	}
+	return ds, frags, nil
+}
+
+// flipPolicy is the deterministic index-only answer policy: it reads
+// nothing but the worker ID and the global fact indices, so concurrent
+// expert goroutines share no state with the (growing) dataset and the
+// same query always gets the same answer no matter when it is asked.
+func flipPolicy(worker string, facts []int) []bool {
+	h := 0
+	for _, c := range []byte(worker) {
+		h += int(c)
+	}
+	values := make([]bool, len(facts))
+	for i, f := range facts {
+		values[i] = (h+7*f)%3 == 0
+	}
+	return values
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hcrowd/internal/dataset"
+	"hcrowd/internal/rngutil"
+)
+
+// buildServe compiles the real hcserve binary: the load smoke is an
+// end-to-end exercise of the streaming API against a live server
+// process, not an in-process handler.
+func buildServe(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hcserve-load-test")
+	cmd := exec.Command("go", "build", "-o", bin, "../hcserve")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ../hcserve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startServe launches hcserve on an ephemeral port and parses the bound
+// address from the startup line.
+func startServe(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var errBuf bytes.Buffer
+	cmd.Stderr = &errBuf
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.LastIndex(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr
+	case <-time.After(20 * time.Second):
+		t.Fatalf("hcserve never printed its address; stderr:\n%s", errBuf.String())
+		return ""
+	}
+}
+
+// writeDataset writes the seed dataset hcserve's default session needs.
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	cfg := dataset.DefaultSentiConfig()
+	cfg.NumTasks = 4
+	ds, err := dataset.SentiLike(rngutil.New(9), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "seed.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunLoadSmoke is `make load-smoke`: build and start a real
+// hcserve, then drive it with several concurrent streaming sessions —
+// Poisson fragment admissions racing goroutine-per-expert answer loops
+// over real HTTP — and require every session to finish with labels.
+func TestRunLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end load smoke")
+	}
+	bin := buildServe(t)
+	base := startServe(t, bin, "-in", writeDataset(t), "-addr", "127.0.0.1:0", "-budget", "4")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	var out bytes.Buffer
+	err := run(ctx, []string{
+		"-addr", base,
+		"-sessions", "3",
+		"-tasks", "12",
+		"-streamed", "4",
+		"-rate", "50",
+		"-seed", "21",
+	}, &out)
+	t.Logf("hcload output:\n%s", out.String())
+	if err != nil {
+		t.Fatalf("hcload run: %v", err)
+	}
+	if !strings.Contains(out.String(), "3/3 sessions done") {
+		t.Errorf("summary line does not report 3/3 sessions done")
+	}
+	// Each session labels all 12 tasks × 5 facts despite only 8 tasks
+	// existing at creation.
+	for i := 0; i < 3; i++ {
+		if !strings.Contains(out.String(), "60 labels") {
+			t.Errorf("per-session report missing the grown label count (60)")
+			break
+		}
+	}
+}
+
+// TestRunFlagValidation pins the generator's argument contract without
+// touching the network.
+func TestRunFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	var out bytes.Buffer
+	if err := run(ctx, nil, &out); err == nil || !strings.Contains(err.Error(), "-addr") {
+		t.Errorf("missing -addr error = %v", err)
+	}
+	if err := run(ctx, []string{"-addr", "http://x", "-tasks", "1"}, &out); err == nil {
+		t.Error("tasks=1 accepted")
+	}
+	if err := run(ctx, []string{"-addr", "http://x", "-streamed", "40", "-tasks", "10"}, &out); err == nil {
+		t.Error("streamed >= tasks accepted")
+	}
+}
+
+// TestFlipPolicyDeterministic pins the index-only answer policy: equal
+// inputs, equal answers, no dataset access.
+func TestFlipPolicyDeterministic(t *testing.T) {
+	a := flipPolicy("e3", []int{0, 7, 12})
+	b := flipPolicy("e3", []int{0, 7, 12})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("policy unstable at %d", i)
+		}
+	}
+	if len(flipPolicy("e0", nil)) != 0 {
+		t.Error("empty query answered")
+	}
+}

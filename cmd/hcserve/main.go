@@ -6,6 +6,7 @@
 //	GET  /experts                 experts who may answer
 //	GET  /queries?worker=e0       the open checking round for that expert
 //	POST /answers                 {"round": n, "worker": "e0", "values": [...]}
+//	POST /tasks                   streaming sessions: admit task fragments
 //	GET  /status                  progress JSON
 //	GET  /labels                  final labels once done
 //	GET  /checkpoint              warm checkpoint JSON
@@ -109,6 +110,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		in      = fs.String("in", "", "dataset JSON file (required)")
 		addr    = fs.String("addr", "127.0.0.1:8080", "listen address")
 		budget  = fs.Float64("budget", 500, "expert answer budget")
+		bw      = fs.Float64("budget-window", 0, "streaming mode: budget refilled per admitted fragment (POST /tasks); 0 = closed task set")
 		k       = fs.Int("k", 1, "checking queries per round")
 		init    = fs.String("init", "EBCC", "belief initializer")
 		seed    = fs.Int64("seed", 1, "seed (simulation mode)")
@@ -158,6 +160,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg := pipeline.Config{
 		K:             *k,
 		Budget:        *budget,
+		BudgetWindow:  *bw,
 		Init:          agg,
 		PriorCoupling: couple,
 		Cost:          cost,
@@ -212,13 +215,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			logger.Printf("default session resumed from its journal; dataset/config flags ignored")
 		} else {
 			sc := server.SessionConfig{
-				K:          *k,
-				Budget:     *budget,
-				Init:       *init,
-				Seed:       *seed,
-				CostAware:  *costAw,
-				CostModel:  *costMod,
-				Checkpoint: rawResume,
+				K:            *k,
+				Budget:       *budget,
+				BudgetWindow: *bw,
+				Init:         *init,
+				Seed:         *seed,
+				CostAware:    *costAw,
+				CostModel:    *costMod,
+				Checkpoint:   rawResume,
 			}
 			if *rt > 0 {
 				sc.RoundTimeout = rt.String()

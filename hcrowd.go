@@ -61,6 +61,24 @@ type (
 	// live crowdsourcing platform, or use NewSimulatedSource.
 	AnswerSource = pipeline.AnswerSource
 
+	// Fragment is a self-contained batch of new tasks for streaming
+	// admission: its own ground truth, task grouping and preliminary
+	// answers, folded into a running job through Config.Admit (or POST
+	// /tasks against a streaming session).
+	Fragment = dataset.Fragment
+	// FragmentAnswer is one preliminary answer inside a Fragment,
+	// addressed by fragment-local fact index and worker ID.
+	FragmentAnswer = dataset.FragmentAnswer
+	// AdmissionSource feeds fragments into a running engine at round
+	// boundaries, turning the closed checking loop into an event-driven
+	// scheduler; set it via Config.Admit together with a positive
+	// Config.BudgetWindow.
+	AdmissionSource = pipeline.AdmissionSource
+	// ScheduleSource is the deterministic AdmissionSource used by the
+	// streaming experiments: batch i is handed to the engine on the i-th
+	// round-boundary poll.
+	ScheduleSource = pipeline.ScheduleSource
+
 	// RoundMetrics is one checking round's observability record: wall
 	// time, queries bought, answers requested vs received, spend, quality
 	// movement and selector cache statistics. Purely observational —
@@ -396,6 +414,16 @@ func PairIndex(i, j, n int) (int, error) { return belief.PairIndex(i, j, n) }
 
 // ReadDataset deserializes a dataset written by (*Dataset).Write.
 func ReadDataset(r io.Reader) (*Dataset, error) { return dataset.Read(r) }
+
+// ReadFragment deserializes a task fragment written by (*Fragment).Write.
+func ReadFragment(r io.Reader) (*Fragment, error) { return dataset.ReadFragment(r) }
+
+// GenerateSentiFragment draws a streaming task fragment shaped like the
+// dataset's generator config: numTasks new tasks with Markov-coupled
+// truth and preliminary answers from ds's preliminary workers.
+func GenerateSentiFragment(rng *rand.Rand, ds *Dataset, cfg SentiConfig, numTasks int) (*Fragment, error) {
+	return dataset.SentiFragment(rng, ds, cfg, numTasks)
+}
 
 // ReadAnswersCSV parses a `fact,worker,value` CSV (the interchange format
 // of crowdsourcing platform exports) into an answer matrix; numFacts = 0

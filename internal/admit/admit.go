@@ -1,0 +1,149 @@
+// Package admit generates seeded arrival schedules for streaming task
+// admission. A streaming session (pipeline.Config.BudgetWindow > 0)
+// receives its tasks over time instead of up front; this package turns
+// a seed and a rate into the deterministic Poisson arrival process the
+// streaming experiment driver and the hcload generator both feed from,
+// so "same seed, same admission schedule" is reproducible across runs
+// and across machines.
+//
+// Everything here is pure: the only state is the caller's *rand.Rand,
+// and equal seeds yield identical schedules. The package is on the
+// determinism lint list (internal/lint) — no wall-clock, no global RNG.
+package admit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Poisson draws a Poisson(lambda) count with Knuth's multiplication
+// method. exp(-lambda) underflows float64 near lambda ≈ 745, so large
+// means are drawn as a sum of bounded chunks — the sum of independent
+// Poissons is Poisson in the combined mean, and the chunked draw keeps
+// the stream of rng consumptions deterministic for a given lambda.
+func Poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 || math.IsNaN(lambda) {
+		return 0
+	}
+	const chunk = 500.0
+	n := 0
+	for lambda > chunk {
+		n += knuthPoisson(rng, chunk)
+		lambda -= chunk
+	}
+	return n + knuthPoisson(rng, lambda)
+}
+
+func knuthPoisson(rng *rand.Rand, lambda float64) int {
+	limit := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// Exp draws an exponential inter-arrival gap for a process with the
+// given rate (mean gap 1/rate).
+func Exp(rng *rand.Rand, rate float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	// Float64 is in [0, 1); flip to (0, 1] so the log is finite.
+	return -math.Log(1-rng.Float64()) / rate
+}
+
+// Times returns the arrival times of a rate-`rate` Poisson process on
+// [0, horizon), strictly increasing, built from exponential gaps.
+func Times(rng *rand.Rand, rate, horizon float64) []float64 {
+	var ts []float64
+	for t := Exp(rng, rate); t < horizon; t += Exp(rng, rate) {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// Batches counts the arrivals of a rate-`rate` Poisson process inside
+// each half-open window [boundaries[i], boundaries[i+1]). Boundaries
+// must be non-decreasing with at least two entries; the result has
+// len(boundaries)-1 counts. Conditioning on the window totals rather
+// than binning Times keeps a schedule's shape stable when only the
+// window layout changes.
+func Batches(rng *rand.Rand, rate float64, boundaries []float64) ([]int, error) {
+	if len(boundaries) < 2 {
+		return nil, fmt.Errorf("admit: need at least 2 boundaries, got %d", len(boundaries))
+	}
+	counts := make([]int, len(boundaries)-1)
+	for i := range counts {
+		lo, hi := boundaries[i], boundaries[i+1]
+		if hi < lo {
+			return nil, fmt.Errorf("admit: boundaries not sorted: [%v, %v)", lo, hi)
+		}
+		counts[i] = Poisson(rng, rate*(hi-lo))
+	}
+	return counts, nil
+}
+
+// Schedule is a concrete admission plan: how many tasks arrive at each
+// of a sequence of strictly increasing times.
+type Schedule struct {
+	// At[i] is the arrival time of batch i, in the caller's time unit
+	// (seconds for hcload, round indices for in-process drivers).
+	At []float64
+	// Count[i] is the number of tasks arriving at At[i]; always >= 1.
+	Count []int
+}
+
+// Total is the number of tasks across all batches.
+func (s *Schedule) Total() int {
+	n := 0
+	for _, c := range s.Count {
+		n += c
+	}
+	return n
+}
+
+// Len is the number of batches.
+func (s *Schedule) Len() int { return len(s.At) }
+
+// PoissonSchedule draws a Poisson arrival plan for `tasks` tasks at the
+// given rate (tasks per time unit): arrival times come from the process
+// on [0, tasks/rate·slack) and are truncated or padded so exactly
+// `tasks` arrivals exist, then coalesced into batches at equal times.
+// The padding falls at the end of the horizon, so a too-quiet draw
+// still admits everything.
+func PoissonSchedule(rng *rand.Rand, rate float64, tasks int) (*Schedule, error) {
+	if tasks <= 0 {
+		return nil, fmt.Errorf("admit: schedule needs tasks > 0, got %d", tasks)
+	}
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("admit: schedule needs a finite rate > 0, got %v", rate)
+	}
+	// 1.5× the expected horizon leaves room for a slow draw before the
+	// deterministic padding kicks in.
+	horizon := 1.5 * float64(tasks) / rate
+	ts := Times(rng, rate, horizon)
+	if len(ts) > tasks {
+		ts = ts[:tasks]
+	}
+	for len(ts) < tasks {
+		ts = append(ts, horizon)
+	}
+	sort.Float64s(ts)
+	s := &Schedule{}
+	for _, t := range ts {
+		//hclint:ignore float-eq exact-identity coalescing of duplicated padding times, not a tolerance comparison
+		if n := len(s.At); n > 0 && s.At[n-1] == t {
+			s.Count[n-1]++
+			continue
+		}
+		s.At = append(s.At, t)
+		s.Count = append(s.Count, 1)
+	}
+	return s, nil
+}

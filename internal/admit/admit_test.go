@@ -1,0 +1,133 @@
+package admit
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"hcrowd/internal/rngutil"
+)
+
+// TestPoissonDeterministicGivenSeed pins that equal seeds reproduce the
+// identical draw sequence — the property every streaming schedule rests
+// on — and that independent seeds actually differ.
+func TestPoissonDeterministicGivenSeed(t *testing.T) {
+	draw := func(seed int64) []int {
+		rng := rngutil.New(seed)
+		out := make([]int, 40)
+		for i := range out {
+			out[i] = Poisson(rng, 3.5)
+		}
+		return out
+	}
+	if a, b := draw(7), draw(7); !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+	if a, b := draw(7), draw(8); reflect.DeepEqual(a, b) {
+		t.Error("different seeds drew identical sequences")
+	}
+}
+
+// TestPoissonMoments sanity-checks the sampler's mean and variance for
+// both the direct Knuth regime and the chunked large-lambda regime.
+func TestPoissonMoments(t *testing.T) {
+	for _, lambda := range []float64{0.5, 4, 30, 1200} {
+		rng := rngutil.New(11)
+		const n = 4000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := float64(Poisson(rng, lambda))
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		// Poisson mean == variance == lambda; 4000 samples hold both to
+		// within ~10% at these sizes.
+		if math.Abs(mean-lambda) > 0.1*lambda+0.2 {
+			t.Errorf("lambda=%v: mean %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.25*lambda+0.5 {
+			t.Errorf("lambda=%v: variance %v", lambda, variance)
+		}
+	}
+	if got := Poisson(rngutil.New(1), 0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+	if got := Poisson(rngutil.New(1), -3); got != 0 {
+		t.Errorf("Poisson(-3) = %d, want 0", got)
+	}
+}
+
+// TestTimesAndBatches pins the process helpers: Times is strictly
+// increasing within the horizon, Batches validates its boundaries and
+// matches the process rate in expectation.
+func TestTimesAndBatches(t *testing.T) {
+	ts := Times(rngutil.New(5), 2.0, 50)
+	for i, x := range ts {
+		if x < 0 || x >= 50 {
+			t.Fatalf("arrival %d = %v outside [0, 50)", i, x)
+		}
+		if i > 0 && ts[i-1] >= x {
+			t.Fatalf("arrivals not strictly increasing at %d: %v then %v", i, ts[i-1], x)
+		}
+	}
+	// rate 2 on a 50-wide horizon: ~100 arrivals.
+	if len(ts) < 60 || len(ts) > 150 {
+		t.Errorf("rate-2 process on [0,50) produced %d arrivals", len(ts))
+	}
+
+	counts, err := Batches(rngutil.New(6), 3.0, []float64{0, 10, 10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 3 {
+		t.Fatalf("counts = %v, want 3 windows", counts)
+	}
+	if counts[1] != 0 {
+		t.Errorf("empty window drew %d arrivals", counts[1])
+	}
+	if _, err := Batches(rngutil.New(6), 1, []float64{0}); err == nil {
+		t.Error("single boundary accepted")
+	}
+	if _, err := Batches(rngutil.New(6), 1, []float64{3, 1}); err == nil {
+		t.Error("unsorted boundaries accepted")
+	}
+}
+
+// TestPoissonScheduleDeterministicGivenSeed pins the full schedule
+// constructor: exact task conservation, strictly increasing batch
+// times, and byte-identical plans from equal seeds.
+func TestPoissonScheduleDeterministicGivenSeed(t *testing.T) {
+	build := func(seed int64) *Schedule {
+		s, err := PoissonSchedule(rngutil.New(seed), 4.0, 37)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := build(9)
+	if s.Total() != 37 {
+		t.Fatalf("schedule carries %d tasks, want 37", s.Total())
+	}
+	if len(s.At) != len(s.Count) || s.Len() != len(s.At) {
+		t.Fatalf("ragged schedule: %d times, %d counts", len(s.At), len(s.Count))
+	}
+	for i := range s.At {
+		if s.Count[i] < 1 {
+			t.Errorf("batch %d carries %d tasks", i, s.Count[i])
+		}
+		if i > 0 && s.At[i-1] >= s.At[i] {
+			t.Errorf("batch times not strictly increasing at %d", i)
+		}
+	}
+	if !reflect.DeepEqual(s, build(9)) {
+		t.Error("same seed produced different schedules")
+	}
+	if _, err := PoissonSchedule(rngutil.New(1), 0, 5); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := PoissonSchedule(rngutil.New(1), 1, 0); err == nil {
+		t.Error("zero tasks accepted")
+	}
+}

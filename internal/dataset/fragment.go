@@ -1,0 +1,224 @@
+package dataset
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"hcrowd/internal/rngutil"
+)
+
+// FragmentAnswer is one preliminary answer arriving with a fragment. The
+// fact index is fragment-local (0-based within the fragment's truth); the
+// worker is referenced by ID and must be one of the dataset's preliminary
+// (below-theta) workers.
+type FragmentAnswer struct {
+	Fact   int    `json:"fact"`
+	Worker string `json:"worker"`
+	Value  bool   `json:"value"`
+}
+
+// Fragment is a batch of labeling tasks admitted into a dataset
+// mid-flight: new ground truth, a task grouping over the fragment-local
+// fact space, and the preliminary answers already collected for those
+// facts. It is the unit of streaming admission — self-contained (all fact
+// indices are fragment-local) so it can be validated without looking at
+// the dataset it will join.
+type Fragment struct {
+	Truth   []bool           `json:"truth"`
+	Tasks   [][]int          `json:"tasks"`
+	Answers []FragmentAnswer `json:"answers,omitempty"`
+}
+
+// Validate checks the fragment's internal invariants: the tasks partition
+// the fragment-local facts in strictly increasing order, and the answers
+// stay within that fact space with at most one answer per (fact, worker).
+func (fr *Fragment) Validate() error {
+	if len(fr.Truth) == 0 {
+		return errors.New("dataset: fragment has no facts")
+	}
+	if len(fr.Tasks) == 0 {
+		return errors.New("dataset: fragment has no tasks")
+	}
+	seen := make([]bool, len(fr.Truth))
+	for t, facts := range fr.Tasks {
+		if len(facts) == 0 {
+			return fmt.Errorf("dataset: fragment task %d is empty", t)
+		}
+		for j, f := range facts {
+			if f < 0 || f >= len(fr.Truth) {
+				return fmt.Errorf("dataset: fragment task %d references fact %d out of range", t, f)
+			}
+			if seen[f] {
+				return fmt.Errorf("dataset: fragment fact %d appears in two tasks", f)
+			}
+			seen[f] = true
+			if j > 0 && facts[j-1] >= f {
+				return fmt.Errorf("dataset: fragment task %d facts not strictly increasing at %d", t, j)
+			}
+		}
+	}
+	for f, ok := range seen {
+		if !ok {
+			return fmt.Errorf("dataset: fragment fact %d belongs to no task", f)
+		}
+	}
+	type key struct {
+		fact   int
+		worker string
+	}
+	answered := make(map[key]bool, len(fr.Answers))
+	for _, a := range fr.Answers {
+		if a.Fact < 0 || a.Fact >= len(fr.Truth) {
+			return fmt.Errorf("dataset: fragment answer for fact %d out of range [0,%d)", a.Fact, len(fr.Truth))
+		}
+		if a.Worker == "" {
+			return errors.New("dataset: fragment answer with empty worker ID")
+		}
+		k := key{a.Fact, a.Worker}
+		if answered[k] {
+			return fmt.Errorf("dataset: fragment duplicate answer for fact %d by worker %q", a.Fact, a.Worker)
+		}
+		answered[k] = true
+	}
+	return nil
+}
+
+// NumFacts returns the number of fragment-local facts.
+func (fr *Fragment) NumFacts() int { return len(fr.Truth) }
+
+// Write serializes the fragment as JSON.
+func (fr *Fragment) Write(w io.Writer) error {
+	if err := fr.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(fr)
+}
+
+// ReadFragment deserializes a fragment written by (*Fragment).Write and
+// validates it.
+func ReadFragment(r io.Reader) (*Fragment, error) {
+	var fr Fragment
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fr); err != nil {
+		return nil, fmt.Errorf("dataset: decode fragment: %w", err)
+	}
+	if err := fr.Validate(); err != nil {
+		return nil, err
+	}
+	return &fr, nil
+}
+
+// Admit grows the dataset with the fragment's tasks in place: the new
+// facts are appended at the end of the global fact space (so every
+// existing index stays valid), the tasks are re-based onto global
+// indices, and the fragment's preliminary answers extend the matrix. Each
+// answer's worker must be one of the dataset's preliminary workers.
+//
+// It returns the index of the first new task and a fragment-local answer
+// matrix (fragment facts × the full preliminary worker columns) for
+// initializing the new tasks' beliefs. The dataset is not mutated when an
+// error is returned.
+func (ds *Dataset) Admit(fr *Fragment) (firstTask int, local *Matrix, err error) {
+	if err := fr.Validate(); err != nil {
+		return 0, nil, err
+	}
+	// Resolve and stage everything fallible before mutating the dataset.
+	widx := make([]int, len(fr.Answers))
+	for i, a := range fr.Answers {
+		wi, ok := ds.Prelim.WorkerIndex(a.Worker)
+		if !ok {
+			return 0, nil, fmt.Errorf("dataset: admit: answer from unknown or non-preliminary worker %q", a.Worker)
+		}
+		widx[i] = wi
+	}
+	local, err = NewMatrix(len(fr.Truth), ds.Prelim.WorkerIDs())
+	if err != nil {
+		return 0, nil, err
+	}
+	for i, a := range fr.Answers {
+		if err := local.Add(a.Fact, widx[i], a.Value); err != nil {
+			return 0, nil, err
+		}
+	}
+	base := len(ds.Truth)
+	firstTask = len(ds.Tasks)
+	if _, err := ds.Prelim.AddFacts(len(fr.Truth)); err != nil {
+		return 0, nil, err
+	}
+	ds.Truth = append(ds.Truth, fr.Truth...)
+	for _, facts := range fr.Tasks {
+		globals := make([]int, len(facts))
+		for j, f := range facts {
+			globals[j] = base + f
+		}
+		ds.Tasks = append(ds.Tasks, globals)
+	}
+	for i, a := range fr.Answers {
+		// Cannot fail: bounds and duplicates were proven on the local
+		// matrix, and the new global rows start empty.
+		if err := ds.Prelim.Add(base+a.Fact, widx[i], a.Value); err != nil {
+			return 0, nil, fmt.Errorf("dataset: admit: %w", err)
+		}
+	}
+	return firstTask, local, nil
+}
+
+// SentiFragment generates a fragment of numTasks new tasks shaped like
+// the dataset's SentiLike workload: Markov-coupled truth per cfg, and
+// preliminary answers from the dataset's below-theta workers under their
+// private accuracies at cfg.AnswerRate. It is the seeded arrival payload
+// of the streaming experiment and the hcload generator.
+func SentiFragment(rng *rand.Rand, ds *Dataset, cfg SentiConfig, numTasks int) (*Fragment, error) {
+	if numTasks <= 0 {
+		return nil, errors.New("dataset: SentiFragment needs a positive task count")
+	}
+	if cfg.FactsPerTask <= 0 || cfg.CorrelationAlpha <= 0 || cfg.AnswerRate <= 0 || cfg.AnswerRate > 1 {
+		return nil, errors.New("dataset: SentiFragment needs valid FactsPerTask, CorrelationAlpha and AnswerRate")
+	}
+	_, cp := ds.Split()
+	if len(cp) == 0 {
+		return nil, errors.New("dataset: no preliminary workers to answer the fragment")
+	}
+	m := cfg.FactsPerTask
+	nFacts := numTasks * m
+	fr := &Fragment{
+		Truth: make([]bool, nFacts),
+		Tasks: make([][]int, numTasks),
+	}
+	couple := 1 / (1 + cfg.CorrelationAlpha)
+	for t := 0; t < numTasks; t++ {
+		facts := make([]int, m)
+		for j := 0; j < m; j++ {
+			f := t*m + j
+			facts[j] = f
+			switch {
+			case j == 0:
+				fr.Truth[f] = rng.Intn(2) == 0
+			case rngutil.Bernoulli(rng, couple):
+				fr.Truth[f] = fr.Truth[f-1]
+			default:
+				fr.Truth[f] = rng.Intn(2) == 0
+			}
+		}
+		fr.Tasks[t] = facts
+	}
+	for _, w := range cp {
+		for f := 0; f < nFacts; f++ {
+			if cfg.AnswerRate < 1 && !rngutil.Bernoulli(rng, cfg.AnswerRate) {
+				continue
+			}
+			v := fr.Truth[f]
+			if !rngutil.Bernoulli(rng, w.Accuracy) {
+				v = !v
+			}
+			fr.Answers = append(fr.Answers, FragmentAnswer{Fact: f, Worker: w.ID, Value: v})
+		}
+	}
+	return fr, nil
+}

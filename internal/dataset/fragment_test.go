@@ -1,0 +1,205 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hcrowd/internal/rngutil"
+)
+
+func admitDataset(t *testing.T) *Dataset {
+	t.Helper()
+	cfg := DefaultSentiConfig()
+	cfg.NumTasks = 4
+	ds, err := SentiLike(rngutil.New(11), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestFragmentValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		fr   Fragment
+		want string // substring of the error; "" = valid
+	}{
+		{"valid", Fragment{Truth: []bool{true, false, true}, Tasks: [][]int{{0, 1}, {2}},
+			Answers: []FragmentAnswer{{Fact: 0, Worker: "w", Value: true}}}, ""},
+		{"no facts", Fragment{Tasks: [][]int{{0}}}, "no facts"},
+		{"no tasks", Fragment{Truth: []bool{true}}, "no tasks"},
+		{"empty task", Fragment{Truth: []bool{true}, Tasks: [][]int{{}}}, "is empty"},
+		{"fact out of range", Fragment{Truth: []bool{true}, Tasks: [][]int{{1}}}, "out of range"},
+		{"fact twice", Fragment{Truth: []bool{true, false}, Tasks: [][]int{{0}, {0, 1}}}, "two tasks"},
+		{"not increasing", Fragment{Truth: []bool{true, false}, Tasks: [][]int{{1, 0}}}, "strictly increasing"},
+		{"orphan fact", Fragment{Truth: []bool{true, false}, Tasks: [][]int{{0}}}, "belongs to no task"},
+		{"answer out of range", Fragment{Truth: []bool{true}, Tasks: [][]int{{0}},
+			Answers: []FragmentAnswer{{Fact: 3, Worker: "w"}}}, "out of range"},
+		{"answer empty worker", Fragment{Truth: []bool{true}, Tasks: [][]int{{0}},
+			Answers: []FragmentAnswer{{Fact: 0}}}, "empty worker"},
+		{"duplicate answer", Fragment{Truth: []bool{true}, Tasks: [][]int{{0}},
+			Answers: []FragmentAnswer{{Fact: 0, Worker: "w"}, {Fact: 0, Worker: "w", Value: true}}}, "duplicate answer"},
+	}
+	for _, tc := range cases {
+		err := tc.fr.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDatasetAdmit(t *testing.T) {
+	ds := admitDataset(t)
+	baseFacts := ds.NumFacts()
+	baseTasks := len(ds.Tasks)
+	baseAnswers := ds.Prelim.NumAnswers()
+
+	cp := ds.Prelim.WorkerIDs()
+	fr := &Fragment{
+		Truth: []bool{true, false, false},
+		Tasks: [][]int{{0, 1}, {2}},
+		Answers: []FragmentAnswer{
+			{Fact: 0, Worker: cp[0], Value: true},
+			{Fact: 2, Worker: cp[0], Value: false},
+			{Fact: 0, Worker: cp[1], Value: false},
+		},
+	}
+	firstTask, local, err := ds.Admit(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstTask != baseTasks {
+		t.Errorf("firstTask = %d, want %d", firstTask, baseTasks)
+	}
+	if ds.NumFacts() != baseFacts+3 {
+		t.Errorf("NumFacts = %d, want %d", ds.NumFacts(), baseFacts+3)
+	}
+	if got := ds.Tasks[firstTask]; got[0] != baseFacts || got[1] != baseFacts+1 {
+		t.Errorf("admitted task 0 globals = %v, want [%d %d]", got, baseFacts, baseFacts+1)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("grown dataset invalid: %v", err)
+	}
+	if ds.Prelim.NumAnswers() != baseAnswers+3 {
+		t.Errorf("answers = %d, want %d", ds.Prelim.NumAnswers(), baseAnswers+3)
+	}
+	w0, _ := ds.Prelim.WorkerIndex(cp[0])
+	if !ds.Prelim.Has(baseFacts, w0) || !ds.Prelim.Has(baseFacts+2, w0) {
+		t.Error("admitted answers not present at the re-based global facts")
+	}
+	// The fragment-local matrix mirrors the answers at local indices over
+	// the full preliminary worker columns.
+	if local.NumFacts() != 3 || local.NumWorkers() != len(cp) {
+		t.Fatalf("local matrix %dx%d, want 3x%d", local.NumFacts(), local.NumWorkers(), len(cp))
+	}
+	if !local.Has(0, w0) || !local.Has(2, w0) || local.NumAnswers() != 3 {
+		t.Error("local matrix does not mirror the fragment answers")
+	}
+}
+
+func TestDatasetAdmitRejectsUnknownWorkerWithoutMutating(t *testing.T) {
+	ds := admitDataset(t)
+	baseFacts := ds.NumFacts()
+	baseTasks := len(ds.Tasks)
+	fr := &Fragment{
+		Truth:   []bool{true},
+		Tasks:   [][]int{{0}},
+		Answers: []FragmentAnswer{{Fact: 0, Worker: "nobody", Value: true}},
+	}
+	if _, _, err := ds.Admit(fr); err == nil || !strings.Contains(err.Error(), "non-preliminary") {
+		t.Fatalf("err = %v, want non-preliminary worker rejection", err)
+	}
+	// Experts check answers online; they must not slip into the
+	// preliminary matrix through admission either.
+	ce, _ := ds.Split()
+	fr.Answers[0].Worker = ce[0].ID
+	if _, _, err := ds.Admit(fr); err == nil {
+		t.Fatal("expert answer admitted into the preliminary matrix")
+	}
+	if ds.NumFacts() != baseFacts || len(ds.Tasks) != baseTasks {
+		t.Errorf("failed admit mutated the dataset: %d facts %d tasks", ds.NumFacts(), len(ds.Tasks))
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentJSONRoundTrip(t *testing.T) {
+	ds := admitDataset(t)
+	fr, err := SentiFragment(rngutil.New(5), ds, DefaultSentiConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFragment(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := got.Write(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("fragment JSON round-trip not byte-stable")
+	}
+}
+
+func TestSentiFragmentAdmitsCleanly(t *testing.T) {
+	ds := admitDataset(t)
+	cfg := DefaultSentiConfig()
+	rng := rngutil.New(7)
+	for i := 0; i < 3; i++ {
+		fr, err := SentiFragment(rng, ds, cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ds.Admit(fr); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Tasks) != 4+6 {
+		t.Errorf("tasks = %d, want 10", len(ds.Tasks))
+	}
+}
+
+func TestMatrixAddFacts(t *testing.T) {
+	m, err := NewMatrix(2, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.AddFacts(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 2 || m.NumFacts() != 5 {
+		t.Fatalf("first = %d NumFacts = %d, want 2 and 5", first, m.NumFacts())
+	}
+	if share, n := m.VoteShare(3); n != 0 || share != 0.5 {
+		t.Errorf("new fact VoteShare = %v/%d, want 0.5/0", share, n)
+	}
+	if err := m.Add(4, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has(4, 1) || !m.Has(1, 0) {
+		t.Error("answers lost across AddFacts")
+	}
+	if _, err := m.AddFacts(0); err == nil {
+		t.Error("AddFacts(0) should error")
+	}
+}

@@ -157,6 +157,18 @@ func (m *Matrix) AddWorkers(ids ...string) (int, error) {
 	return first, nil
 }
 
+// AddFacts appends n empty fact rows and returns the index of the first;
+// streaming admission grows the fact space in place so existing indices
+// stay valid.
+func (m *Matrix) AddFacts(n int) (int, error) {
+	if n <= 0 {
+		return 0, errors.New("dataset: AddFacts needs a positive count")
+	}
+	first := len(m.byFact)
+	m.byFact = append(m.byFact, make([][]Obs, n)...)
+	return first, nil
+}
+
 // Has reports whether worker w already answered fact f.
 func (m *Matrix) Has(f, w int) bool {
 	return m.answered[int64(f)<<workerBits|int64(w)]

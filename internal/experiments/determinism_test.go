@@ -19,6 +19,9 @@ func TestDriversDeterministicGivenSeed(t *testing.T) {
 		{"fig2", Fig2},
 		{"fig3", Fig3},
 		{"ablation-cost", AblationCost},
+		// Streaming covers the event-driven scheduler: Poisson admission
+		// batches folded into both loop flavors mid-run.
+		{"streaming", Streaming},
 	} {
 		t.Run(d.name, func(t *testing.T) {
 			render := func() []byte {

@@ -107,6 +107,7 @@ func All() map[string]Driver {
 		"ablation-prior":     AblationPrior,
 		"ablation-estacc":    AblationEstAcc,
 		"ablation-robust":    AblationRobust,
+		"streaming":          Streaming,
 	}
 }
 

@@ -191,7 +191,8 @@ func TestAllRegistryComplete(t *testing.T) {
 	want := []string{
 		"ablation-cost", "ablation-crossover", "ablation-estacc",
 		"ablation-prior", "ablation-robust",
-		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3",
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"streaming", "table3",
 	}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs = %v", ids)

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestStreamingAdmitsFullWorkload pins the streaming figure's schedule
+// contract: by the last grid round, both loop flavors have admitted
+// every streamed task (the dataset minus the up-front base), and the
+// cumulative-admission curve never decreases.
+func TestStreamingAdmitsFullWorkload(t *testing.T) {
+	o := quickOpts()
+	fig, err := Streaming(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Grids) != 2 {
+		t.Fatalf("streaming figure has %d grids, want quality + admissions", len(fig.Grids))
+	}
+	adm := fig.Grids[1]
+	want := float64(o.numTasks() - o.streamBase())
+	if want <= 0 {
+		t.Fatalf("quick sizes stream no tasks (base %d of %d)", o.streamBase(), o.numTasks())
+	}
+	for _, s := range adm.Series {
+		last := len(s.Y) - 1
+		if s.Y[last] != want {
+			t.Errorf("%s admitted %v tasks by the final round, want %v", s.Name, s.Y[last], want)
+		}
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Errorf("%s admission curve decreases at round %d", s.Name, i+1)
+			}
+		}
+	}
+	// The quality grid carries both flavors' quality and accuracy.
+	if got := len(fig.Grids[0].Series); got != 4 {
+		t.Errorf("quality grid has %d series, want 4", got)
+	}
+}

@@ -250,6 +250,7 @@ var deterministicPackages = []string{
 	"internal/crowd",
 	"internal/belief",
 	"internal/experiments",
+	"internal/admit",
 }
 
 // IsDeterministicPackage reports whether the import path is one of the

@@ -117,6 +117,7 @@ func TestIsDeterministicPackage(t *testing.T) {
 		{"hcrowd/internal/crowd", true},
 		{"hcrowd/internal/belief", true},
 		{"hcrowd/internal/experiments", true},
+		{"hcrowd/internal/admit", true},
 		{"hcrowd/internal/server", false},
 		{"hcrowd/internal/obsv", false},
 		{"hcrowd/internal/mathx", false},

@@ -46,6 +46,10 @@ type roundPlan interface {
 	// stats snapshots the plan's cumulative selector work counters (zero
 	// when the selector is not incremental).
 	stats() taskselect.SelectStats
+	// admit grows the plan's selection cache to total tasks after a
+	// streaming admission, so existing tasks' cached gains survive
+	// instead of cold-resyncing; a no-op for stateless selectors.
+	admit(total int)
 }
 
 // stopState tracks the per-fact vote counts and frozen masks of the
@@ -148,6 +152,9 @@ func (s *stopState) snapshot() *StopVotes {
 // and record the round. spentBefore is the budget consumed before this
 // engine started (resume), folded into the checkpoints it emits.
 func runEngine(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Crowd, beliefs []*belief.Dist, plan roundPlan, st *stopState, spentBefore float64) (*Result, error) {
+	if cfg.BudgetWindow < 0 {
+		return nil, errors.New("pipeline: Config.BudgetWindow must not be negative")
+	}
 	res := &Result{Beliefs: beliefs}
 	res.InitQuality = totalQuality(beliefs)
 	acc, err := totalAccuracy(ds, beliefs)
@@ -166,6 +173,12 @@ func runEngine(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Cr
 	budget := cfg.Budget
 	round := 0
 	prevQ := res.InitQuality
+	// admitted counts the tasks folded in since the last completed round,
+	// so the next round's metrics record can attribute them; justAdmitted
+	// suppresses the boundary poll right after the idle path already
+	// admitted a batch, so one planning attempt sees one batch at most.
+	admitted := 0
+	justAdmitted := false
 	for {
 		if cfg.MaxRounds > 0 && round >= cfg.MaxRounds {
 			break
@@ -173,6 +186,23 @@ func runEngine(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Cr
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		// Streaming admission, non-blocking: fold whatever arrived since
+		// the last round boundary into the dataset, beliefs, stop state and
+		// selection caches, and refill the rolling budget window per batch.
+		if cfg.Admit != nil && !justAdmitted {
+			frags, err := cfg.Admit.Poll(ctx, false)
+			if err != nil {
+				return nil, err
+			}
+			n, err := admitAll(ds, cfg, plan, st, frags, &beliefs, &budget)
+			if err != nil {
+				return nil, err
+			}
+			admitted += n
+			res.TasksAdmitted += n
+			res.Beliefs = beliefs
+		}
+		justAdmitted = false
 		// Metrics bookkeeping is gated on the sink so an uninstrumented run
 		// pays nothing; none of it feeds back into the loop.
 		var roundStart time.Time
@@ -187,7 +217,29 @@ func runEngine(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Cr
 			return nil, err
 		}
 		if len(buys) == 0 {
-			break // budget exhausted or nothing left worth checking
+			if cfg.Admit == nil {
+				break // budget exhausted or nothing left worth checking
+			}
+			// Event-driven idle path: nothing affordable or worth checking
+			// right now, but the admission stream is still open — park on
+			// the source until the next batch (which also refills the
+			// window) or until the stream finishes.
+			frags, err := cfg.Admit.Poll(ctx, true)
+			if err != nil {
+				return nil, err
+			}
+			if len(frags) == 0 {
+				break // admission stream finished; the run is complete
+			}
+			n, err := admitAll(ds, cfg, plan, st, frags, &beliefs, &budget)
+			if err != nil {
+				return nil, err
+			}
+			admitted += n
+			res.TasksAdmitted += n
+			res.Beliefs = beliefs
+			justAdmitted = true
+			continue
 		}
 		// Execute the purchases in plan order (sorted by task — Go map
 		// order is randomized, and every family draw advances the shared
@@ -235,7 +287,19 @@ func runEngine(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Cr
 		// selector keeps every other task's cached gains.
 		plan.invalidate(touched)
 		budget -= spent
+		// Floor the remaining budget at zero and record the excess: the
+		// plans clamp purchases to what remains, but a source delivering
+		// more answers than requested (each still charged) or the
+		// affordability clamp's epsilon can push the charge past the
+		// remainder, and a negative balance must not silently shrink the
+		// next rolling-window refill.
+		var over float64
+		if budget < 0 {
+			over = -budget
+			budget = 0
+		}
 		res.BudgetSpent += spent
+		res.Overspent += over
 		round++
 		q := totalQuality(beliefs)
 		acc, err := totalAccuracy(ds, beliefs)
@@ -259,12 +323,15 @@ func runEngine(ctx context.Context, ds *dataset.Dataset, cfg Config, ce crowd.Cr
 				AnswersReceived:  received,
 				Spent:            spent,
 				BudgetSpent:      spentBefore + res.BudgetSpent,
+				Overspent:        over,
+				TasksAdmitted:    admitted,
 				Quality:          q,
 				QualityDelta:     q - prevQ,
 				FrozenFacts:      st.frozenCount(),
 				Selector:         plan.stats().Sub(statsBefore),
 			})
 		}
+		admitted = 0
 		prevQ = q
 		if cfg.Journal != nil || cfg.OnCheckpoint != nil {
 			ck := engineCheckpoint(res, plan, st, spentBefore)

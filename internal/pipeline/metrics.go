@@ -32,6 +32,14 @@ type RoundMetrics struct {
 	// total including any spend resumed from a checkpoint.
 	Spent       float64 `json:"spent"`
 	BudgetSpent float64 `json:"budget_spent"`
+	// Overspent is the slice of Spent beyond the authorized budget (the
+	// engine floors the remaining budget at zero instead of going
+	// negative); almost always 0 — non-zero only when a round's last
+	// purchase straddles the budget boundary.
+	Overspent float64 `json:"overspent"`
+	// TasksAdmitted counts tasks folded in through Config.Admit since the
+	// previous round record; 0 for closed-loop runs.
+	TasksAdmitted int `json:"tasks_admitted"`
 	// Quality is Σ_t Q(F_t) after the round's update, QualityDelta its
 	// change over the round.
 	Quality      float64 `json:"quality"`

@@ -123,6 +123,19 @@ type Config struct {
 	// Purely observational: attaching a sink never changes the run's
 	// picks, answers, spend or labels.
 	Metrics MetricsSink
+	// Admit, when set, turns the closed loop into an event-driven round
+	// scheduler: the engine polls the source at every round boundary and
+	// admits the returned fragments — growing the dataset, beliefs,
+	// stop-rule state and selection caches in place — before planning the
+	// next round. When the budget runs dry the engine blocks on the
+	// source instead of finishing, and only ends once the source reports
+	// the stream finished (empty blocking poll).
+	Admit AdmissionSource
+	// BudgetWindow is the rolling-budget refill of the streaming design:
+	// every admitted fragment adds this much to the remaining budget, on
+	// top of the fixed Budget. Meaningful only with Admit set; must not
+	// be negative.
+	BudgetWindow float64
 }
 
 // RoundRecorder commits one completed round to durable storage (see
@@ -161,6 +174,17 @@ type Result struct {
 	InitQuality  float64
 	InitAccuracy float64
 	BudgetSpent  float64
+	// Overspent is the total spend beyond the authorized budget across
+	// this engine run. The plans clamp purchases to the remaining budget,
+	// but a source delivering more answers than requested — or a
+	// floating-point epsilon in the affordability clamp — can still push a
+	// round's charge past what remained; the engine floors the remaining
+	// budget at zero and records the excess here instead of letting it
+	// silently fund extra rounds.
+	Overspent float64
+	// TasksAdmitted counts the tasks the run admitted through
+	// Config.Admit; 0 for a closed-loop run.
+	TasksAdmitted int
 
 	// selCache and stopVotes carry the finished run's warm-resume state
 	// into NewCheckpoint; nil when the run used no incremental selector

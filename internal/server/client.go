@@ -11,10 +11,30 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
+	"hcrowd/internal/dataset"
 	"hcrowd/internal/pipeline"
 )
+
+// defaultClientTimeout bounds each request when the caller configures
+// neither an HTTPClient nor a Timeout.
+const defaultClientTimeout = 10 * time.Second
+
+// resolveTimeout maps the Timeout knob to an http.Client timeout: zero
+// means the default, negative disables the whole-request timeout (the
+// per-call context is then the only deadline).
+func resolveTimeout(d time.Duration) time.Duration {
+	switch {
+	case d == 0:
+		return defaultClientTimeout
+	case d < 0:
+		return 0
+	default:
+		return d
+	}
+}
 
 // StatusError reports a non-success HTTP status from the labeling
 // service, keeping the code inspectable so callers can tell benign
@@ -36,8 +56,15 @@ func (e *StatusError) Error() string {
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// HTTPClient defaults to a client with a 10 s timeout.
+	// HTTPClient, when non-nil, is used as-is for every request (and
+	// Timeout is ignored — configure the client's own Timeout instead).
 	HTTPClient *http.Client
+	// Timeout bounds each whole request when HTTPClient is nil: 0 means
+	// the 10 s default, negative disables the timeout so only the
+	// per-call context deadline applies (long-poll friendly). Set before
+	// the first request; the derived client is built once and reused, so
+	// connections pool across calls.
+	Timeout time.Duration
 
 	// Retry policy for transient transport errors inside AnswerLoop:
 	// consecutive failures back off exponentially from RetryBaseDelay
@@ -47,14 +74,15 @@ type Client struct {
 	RetryBaseDelay time.Duration
 	RetryMaxDelay  time.Duration
 	MaxRetries     int
+
+	once    sync.Once
+	derived *http.Client
 }
 
-// NewClient returns a client for the given server root.
+// NewClient returns a client for the given server root with the default
+// request timeout (tune via the Timeout field).
 func NewClient(baseURL string) *Client {
-	return &Client{
-		BaseURL:    baseURL,
-		HTTPClient: &http.Client{Timeout: 10 * time.Second},
-	}
+	return &Client{BaseURL: baseURL}
 }
 
 // NewSessionClient returns a client scoped to one managed session: the
@@ -68,7 +96,10 @@ func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return &http.Client{Timeout: 10 * time.Second}
+	c.once.Do(func() {
+		c.derived = &http.Client{Timeout: resolveTimeout(c.Timeout)}
+	})
+	return c.derived
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, v any) (int, error) {
@@ -149,6 +180,31 @@ func (c *Client) Answer(ctx context.Context, round int, workerID string, values 
 	if resp.StatusCode != http.StatusAccepted {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return &StatusError{Path: "/answers", Code: resp.StatusCode, Msg: string(msg)}
+	}
+	return nil
+}
+
+// AdmitTasks posts a batch of task fragments into a streaming session
+// (one created with a budget window); final closes the admission stream.
+// AdmitTasks(ctx, nil, true) just closes it.
+func (c *Client) AdmitTasks(ctx context.Context, frs []*dataset.Fragment, final bool) error {
+	body, err := json.Marshal(AdmitTasksRequest{Fragments: frs, Final: final})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/tasks", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &StatusError{Path: "/tasks", Code: resp.StatusCode, Msg: string(msg)}
 	}
 	return nil
 }
@@ -340,23 +396,32 @@ func (c *Client) AnswerLoop(ctx context.Context, workerID string, answer func(fa
 type ManagerClient struct {
 	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// HTTPClient defaults to a client with a 10 s timeout.
+	// HTTPClient, when non-nil, is used as-is for every request (and
+	// Timeout is ignored).
 	HTTPClient *http.Client
+	// Timeout bounds each whole request when HTTPClient is nil: 0 means
+	// the 10 s default, negative disables the timeout (per-call context
+	// deadlines still apply). Set before the first request.
+	Timeout time.Duration
+
+	once    sync.Once
+	derived *http.Client
 }
 
-// NewManagerClient returns a manager client for the given service root.
+// NewManagerClient returns a manager client for the given service root
+// with the default request timeout (tune via the Timeout field).
 func NewManagerClient(baseURL string) *ManagerClient {
-	return &ManagerClient{
-		BaseURL:    strings.TrimSuffix(baseURL, "/"),
-		HTTPClient: &http.Client{Timeout: 10 * time.Second},
-	}
+	return &ManagerClient{BaseURL: strings.TrimSuffix(baseURL, "/")}
 }
 
 func (c *ManagerClient) http() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return &http.Client{Timeout: 10 * time.Second}
+	c.once.Do(func() {
+		c.derived = &http.Client{Timeout: resolveTimeout(c.Timeout)}
+	})
+	return c.derived
 }
 
 // do issues one request and decodes the JSON response into v (when
@@ -425,9 +490,10 @@ func (c *ManagerClient) Cancel(ctx context.Context, id string) error {
 }
 
 // Session returns an expert-side client scoped to one session,
-// inheriting this client's transport.
+// inheriting this client's transport configuration.
 func (c *ManagerClient) Session(id string) *Client {
 	cl := NewSessionClient(c.BaseURL, id)
 	cl.HTTPClient = c.HTTPClient
+	cl.Timeout = c.Timeout
 	return cl
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -89,6 +90,68 @@ func TestClientQueriesNoContent(t *testing.T) {
 	ctx := context.Background()
 	if _, ok, err := c.Queries(ctx, "not-an-expert"); err != nil || ok {
 		t.Errorf("queries for non-expert: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestClientTimeoutOption pins the configurable HTTP timeout: a client
+// whose Timeout is shorter than the handler's response time must fail,
+// one with a generous or disabled timeout must succeed, and the derived
+// http.Client is built once and reused across calls.
+func TestClientTimeoutOption(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(200 * time.Millisecond)
+		w.Write([]byte(`{"experts": []}`)) //nolint:errcheck
+	}))
+	defer srv.Close()
+	ctx := context.Background()
+
+	slow := NewClient(srv.URL)
+	slow.Timeout = 50 * time.Millisecond
+	if _, err := slow.Experts(ctx); err == nil {
+		t.Error("50ms client survived a 200ms handler; the timeout option is not applied")
+	}
+
+	patient := NewClient(srv.URL)
+	patient.Timeout = 5 * time.Second
+	if _, err := patient.Experts(ctx); err != nil {
+		t.Errorf("5s client failed against a 200ms handler: %v", err)
+	}
+
+	unlimited := NewClient(srv.URL)
+	unlimited.Timeout = -1 // negative disables the timeout entirely
+	if _, err := unlimited.Experts(ctx); err != nil {
+		t.Errorf("no-timeout client failed: %v", err)
+	}
+	if unlimited.http().Timeout != 0 {
+		t.Errorf("negative Timeout derived %v, want 0 (disabled)", unlimited.http().Timeout)
+	}
+
+	// The zero value keeps the historical 10s default, and the derived
+	// client is cached — repeated calls must reuse one instance so
+	// connection pooling works.
+	def := NewClient(srv.URL)
+	if got := def.http(); got.Timeout != defaultClientTimeout {
+		t.Errorf("default timeout = %v, want %v", got.Timeout, defaultClientTimeout)
+	} else if def.http() != got {
+		t.Error("derived http.Client not cached across calls")
+	}
+
+	// An explicit HTTPClient wins over Timeout.
+	custom := &http.Client{Timeout: time.Minute}
+	override := NewClient(srv.URL)
+	override.HTTPClient = custom
+	override.Timeout = time.Nanosecond
+	if override.http() != custom {
+		t.Error("explicit HTTPClient not honored over the Timeout option")
+	}
+
+	mc := NewManagerClient(srv.URL)
+	mc.Timeout = -1
+	if mc.http().Timeout != 0 {
+		t.Errorf("manager client negative Timeout derived %v, want 0", mc.http().Timeout)
+	}
+	if cl := mc.Session("s1"); cl.Timeout != mc.Timeout {
+		t.Errorf("Session() dropped the manager's Timeout: got %v, want %v", cl.Timeout, mc.Timeout)
 	}
 }
 

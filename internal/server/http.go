@@ -10,7 +10,17 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"hcrowd/internal/dataset"
 )
+
+// AdmitTasksRequest is the POST /tasks payload of a streaming session:
+// task fragments to admit, and optionally the final flag closing the
+// admission stream ({"final": true} with no fragments just closes it).
+type AdmitTasksRequest struct {
+	Fragments []*dataset.Fragment `json:"fragments,omitempty"`
+	Final     bool                `json:"final,omitempty"`
+}
 
 // Handler exposes a Session over HTTP:
 //
@@ -63,6 +73,7 @@ func sessionRoutes(s *Session, logger *log.Logger) http.Handler {
 	rt.handle("GET /experts", h.experts)
 	rt.handle("GET /queries", h.queries)
 	rt.handle("POST /answers", h.answers)
+	rt.handle("POST /tasks", h.tasks)
 	rt.handle("GET /status", h.status)
 	rt.handle("GET /checkpoint", h.checkpoint)
 	rt.handle("GET /labels", h.labels)
@@ -273,6 +284,36 @@ func (h *httpHandler) answers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)
+}
+
+// tasks admits a batch of task fragments into a streaming session (one
+// created with a budget window). 202 acknowledges the batch is journaled
+// and staged; 409 when the session is not streaming or the stream
+// already ended; 422 when a fragment fails validation; 410 once the
+// session has finished; 503 while draining.
+func (h *httpHandler) tasks(w http.ResponseWriter, r *http.Request) {
+	var req AdmitTasksRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		h.rt.httpError(w, http.StatusBadRequest, "bad admit payload: "+err.Error())
+		return
+	}
+	if err := h.s.AdmitTasks(req.Fragments, req.Final); err != nil {
+		code := http.StatusConflict
+		switch {
+		case errors.Is(err, ErrClosed):
+			code = http.StatusGone
+		case errors.Is(err, ErrDraining):
+			code = http.StatusServiceUnavailable
+		case errors.Is(err, ErrBadFragment):
+			code = http.StatusUnprocessableEntity
+		}
+		h.rt.httpError(w, code, err.Error())
+		return
+	}
+	h.rt.writeJSON(w, http.StatusAccepted,
+		map[string]any{"accepted": len(req.Fragments), "final": req.Final})
 }
 
 func (h *httpHandler) status(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"hcrowd/internal/dataset"
 	"hcrowd/internal/journal"
 	"hcrowd/internal/obsv"
 	"hcrowd/internal/pipeline"
@@ -28,19 +29,38 @@ import (
 //	checkpoint  the engine's per-round warm checkpoint plus the server
 //	            round counter — the compaction target: every record
 //	            before it is folded into it
+//	taskAdmit   one streaming-admitted task fragment (the ack commit
+//	            point of POST /tasks), with its admission sequence
+//	            number; preserved across compaction because the dataset
+//	            rebuild needs every fragment, folded or not
 const (
 	recCreated    byte = 1
 	recRoundOpen  byte = 2
 	recAnswer     byte = 3
 	recRoundSeal  byte = 4
 	recCheckpoint byte = 5
+	recTaskAdmit  byte = 6
 )
 
-// roundOpenRec is recRoundOpen's payload.
+// roundOpenRec is recRoundOpen's payload. AdmitSeq is the highest
+// admission sequence folded into the engine when the round was planned:
+// recovery re-applies exactly the fragments up to it before re-planning
+// the round, so the replayed selection sees the identical problem.
 type roundOpenRec struct {
-	Round int      `json:"round"`
-	Facts []int    `json:"facts"`
-	Panel []string `json:"panel"`
+	Round    int      `json:"round"`
+	Facts    []int    `json:"facts"`
+	Panel    []string `json:"panel"`
+	AdmitSeq int      `json:"admit_seq,omitempty"`
+}
+
+// taskAdmitRec is recTaskAdmit's payload: one admitted fragment under
+// its session-assigned sequence number. Final marks the end of the
+// admission stream (no further admits are valid); a Final record may
+// carry no fragment — a pure stream close.
+type taskAdmitRec struct {
+	Seq      int               `json:"seq"`
+	Final    bool              `json:"final,omitempty"`
+	Fragment *dataset.Fragment `json:"fragment,omitempty"`
 }
 
 // answerRec is recAnswer's payload.
@@ -59,9 +79,13 @@ type roundSealRec struct {
 // checkpointRec is recCheckpoint's payload: the pipeline checkpoint
 // document plus the server's round counter, which compaction would
 // otherwise lose (round IDs must stay monotonic across recoveries so a
-// client never sees an ID reused for different facts).
+// client never sees an ID reused for different facts). AdmitSeq is the
+// highest admission sequence folded into the checkpointed state:
+// recovery admits fragments up to it into the rebuilt dataset before
+// resuming, and stages the rest for the engine to re-apply live.
 type checkpointRec struct {
 	NextRound  int             `json:"next_round"`
+	AdmitSeq   int             `json:"admit_seq,omitempty"`
 	Checkpoint json.RawMessage `json:"checkpoint"`
 }
 
@@ -77,6 +101,11 @@ type sessionJournal struct {
 	// created is the recCreated payload, re-written as the first record
 	// of every compacted log.
 	created []byte
+	// admits holds every taskAdmit payload in sequence order. Compaction
+	// re-writes them all between the created record and the checkpoint:
+	// the checkpoint's beliefs cover the admitted tasks, but only the
+	// fragments themselves let recovery rebuild the grown dataset.
+	admits [][]byte
 	// compactEvery folds the log into its latest checkpoint record after
 	// this many checkpoint commits; 0 never compacts.
 	compactEvery int
@@ -129,10 +158,40 @@ func (j *sessionJournal) logCreated() error {
 // lost, the recovered engine deterministically re-plans the identical
 // round, and a later answer's fsync makes it durable anyway (appends
 // are ordered, so an answer can never be durable without its round).
-func (j *sessionJournal) roundOpened(round int, facts []int, panel []string) error {
+// admitSeq is the admission high-water mark at planning time; any
+// fsynced taskAdmit up to it precedes this record, so a durable answer
+// implies the round's full admission context is durable too.
+func (j *sessionJournal) roundOpened(round int, facts []int, panel []string, admitSeq int) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.appendLocked(recRoundOpen, roundOpenRec{Round: round, Facts: facts, Panel: panel}, false)
+	return j.appendLocked(recRoundOpen, roundOpenRec{Round: round, Facts: facts, Panel: panel, AdmitSeq: admitSeq}, false)
+}
+
+// taskAdmitted journals one admitted fragment — the ack commit point of
+// POST /tasks when commit is true (callers batching several fragments
+// sync only the last, which carries the whole batch to disk). The
+// payload is retained for compaction.
+func (j *sessionJournal) taskAdmitted(seq int, final bool, fr *dataset.Fragment, commit bool) error {
+	rec := taskAdmitRec{Seq: seq, Final: final, Fragment: fr}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.appendLocked(recTaskAdmit, json.RawMessage(payload), commit); err != nil {
+		return err
+	}
+	j.admits = append(j.admits, payload)
+	return nil
+}
+
+// seedAdmits primes the retained admit payloads from a recovered
+// journal, so the next compaction preserves pre-crash admissions.
+func (j *sessionJournal) seedAdmits(payloads [][]byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.admits = append(j.admits, payloads...)
 }
 
 // answerAccepted journals one accepted answer and syncs — the answer is
@@ -158,12 +217,12 @@ func (j *sessionJournal) roundSealed(round, answers int) error {
 // Compaction happens here because this is the one quiescent point: the
 // engine has consumed every published round, so no round or answer
 // record past the checkpoint exists to preserve.
-func (j *sessionJournal) commitRound(nextRound int, ck *pipeline.Checkpoint) error {
+func (j *sessionJournal) commitRound(nextRound, admitSeq int, ck *pipeline.Checkpoint) error {
 	var buf bytes.Buffer
 	if err := ck.Write(&buf); err != nil {
 		return err
 	}
-	rec := checkpointRec{NextRound: nextRound, Checkpoint: json.RawMessage(bytes.TrimSpace(buf.Bytes()))}
+	rec := checkpointRec{NextRound: nextRound, AdmitSeq: admitSeq, Checkpoint: json.RawMessage(bytes.TrimSpace(buf.Bytes()))}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err := j.appendLocked(recCheckpoint, rec, true); err != nil {
@@ -180,10 +239,17 @@ func (j *sessionJournal) commitRound(nextRound int, ck *pipeline.Checkpoint) err
 	if err != nil {
 		return err
 	}
-	if err := j.w.Reset([]journal.Record{
-		{Type: recCreated, Payload: j.created},
-		{Type: recCheckpoint, Payload: payload},
-	}); err != nil {
+	// Admit records survive compaction in sequence order: the checkpoint
+	// folds their effect on beliefs, but the dataset rebuild needs the
+	// fragments themselves, and the staged (not yet applied) suffix must
+	// re-enter the admission queue on recovery.
+	recs := make([]journal.Record, 0, len(j.admits)+2)
+	recs = append(recs, journal.Record{Type: recCreated, Payload: j.created})
+	for _, a := range j.admits {
+		recs = append(recs, journal.Record{Type: recTaskAdmit, Payload: a})
+	}
+	recs = append(recs, journal.Record{Type: recCheckpoint, Payload: payload})
+	if err := j.w.Reset(recs); err != nil {
 		j.ins.errors.Inc()
 		return err
 	}
@@ -215,23 +281,35 @@ type replayRound struct {
 	Panel   []string
 	Answers []answerRec // journal order
 	Sealed  bool
+	// AdmitSeq is the admission high-water mark the round was planned
+	// under; the replay admission source withholds later fragments until
+	// this round is consumed.
+	AdmitSeq int
 }
 
 // recoveredSession is a journal's parsed content: the creation recipe,
 // the newest checkpoint (nil = cold start from the dataset), the round
-// counter to resume from, and the round suffix to replay.
+// counter to resume from, the round suffix to replay, and the full
+// admission history (fragments up to baseAdmitSeq are folded into the
+// rebuilt dataset; the rest re-enter the admission queue).
 type recoveredSession struct {
-	req       CreateSessionRequest
-	base      *pipeline.Checkpoint
-	nextRound int
-	replay    []*replayRound
+	req          CreateSessionRequest
+	base         *pipeline.Checkpoint
+	nextRound    int
+	replay       []*replayRound
+	admits       []taskAdmitRec // sequence order, contiguous from 1
+	admitRaw     [][]byte       // the raw payloads, for compaction reseeding
+	admitFinal   bool
+	baseAdmitSeq int // admissions folded into base; 0 without a checkpoint
 }
 
 // parseJournal validates and folds a journal's record stream. The
 // stream grammar is strict — created, then (roundOpen answer* roundSeal?)*
-// interleaved with checkpoints at quiescent points — and any violation,
-// including an unknown record type, is a loud error: a journal the
-// parser does not fully understand must never be half-replayed.
+// interleaved with checkpoints at quiescent points and taskAdmit records
+// anywhere after created (contiguous ascending sequence, none after a
+// final) — and any violation, including an unknown record type, is a
+// loud error: a journal the parser does not fully understand must never
+// be half-replayed.
 func parseJournal(recs []journal.Record) (*recoveredSession, error) {
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("journal has no records")
@@ -246,10 +324,35 @@ func parseJournal(recs []journal.Record) (*recoveredSession, error) {
 		return nil, fmt.Errorf("created record: %w", err)
 	}
 	var open *replayRound
+	admitFloor := 0 // high-water mark the next roundOpen/checkpoint must not run behind
 	for i, r := range recs[1:] {
 		switch r.Type {
 		case recCreated:
 			return nil, fmt.Errorf("record %d: duplicate created record", i+1)
+		case recTaskAdmit:
+			var ta taskAdmitRec
+			if err := json.Unmarshal(r.Payload, &ta); err != nil {
+				return nil, fmt.Errorf("record %d: task admit: %w", i+1, err)
+			}
+			if state.admitFinal {
+				return nil, fmt.Errorf("record %d: task admit seq %d after the stream was finalized", i+1, ta.Seq)
+			}
+			if ta.Seq != len(state.admits)+1 {
+				return nil, fmt.Errorf("record %d: task admit seq %d, want %d (contiguous ascending)", i+1, ta.Seq, len(state.admits)+1)
+			}
+			if ta.Fragment == nil && !ta.Final {
+				return nil, fmt.Errorf("record %d: task admit seq %d has no fragment and is not final", i+1, ta.Seq)
+			}
+			if ta.Fragment != nil {
+				if err := ta.Fragment.Validate(); err != nil {
+					return nil, fmt.Errorf("record %d: task admit seq %d: %w", i+1, ta.Seq, err)
+				}
+			}
+			state.admits = append(state.admits, ta)
+			state.admitRaw = append(state.admitRaw, append([]byte(nil), r.Payload...))
+			if ta.Final {
+				state.admitFinal = true
+			}
 		case recRoundOpen:
 			var ro roundOpenRec
 			if err := json.Unmarshal(r.Payload, &ro); err != nil {
@@ -261,7 +364,16 @@ func parseJournal(recs []journal.Record) (*recoveredSession, error) {
 			if ro.Round <= state.nextRound {
 				return nil, fmt.Errorf("record %d: round %d opened after round %d", i+1, ro.Round, state.nextRound)
 			}
-			open = &replayRound{Round: ro.Round, Facts: ro.Facts, Panel: ro.Panel}
+			if ro.AdmitSeq > len(state.admits) {
+				return nil, fmt.Errorf("record %d: round %d planned under admit seq %d but only %d admits journaled",
+					i+1, ro.Round, ro.AdmitSeq, len(state.admits))
+			}
+			if ro.AdmitSeq < admitFloor {
+				return nil, fmt.Errorf("record %d: round %d admit seq %d behind the prior high-water mark %d",
+					i+1, ro.Round, ro.AdmitSeq, admitFloor)
+			}
+			admitFloor = ro.AdmitSeq
+			open = &replayRound{Round: ro.Round, Facts: ro.Facts, Panel: ro.Panel, AdmitSeq: ro.AdmitSeq}
 			state.replay = append(state.replay, open)
 			state.nextRound = ro.Round
 		case recAnswer:
@@ -316,9 +428,19 @@ func parseJournal(recs []journal.Record) (*recoveredSession, error) {
 			if err != nil {
 				return nil, fmt.Errorf("record %d: %w", i+1, err)
 			}
+			if cr.AdmitSeq > len(state.admits) {
+				return nil, fmt.Errorf("record %d: checkpoint folds admit seq %d but only %d admits journaled",
+					i+1, cr.AdmitSeq, len(state.admits))
+			}
+			if cr.AdmitSeq < admitFloor {
+				return nil, fmt.Errorf("record %d: checkpoint admit seq %d behind the prior high-water mark %d",
+					i+1, cr.AdmitSeq, admitFloor)
+			}
+			admitFloor = cr.AdmitSeq
 			// Every round before a checkpoint is folded into it; only the
 			// suffix past the newest checkpoint replays.
 			state.base = ck
+			state.baseAdmitSeq = cr.AdmitSeq
 			state.replay = nil
 			open = nil
 			// The counter restores round-ID monotonicity past compaction, so

@@ -396,11 +396,50 @@ func (m *Manager) recoverOne(path string) (string, error) {
 		// the original create payload: it is strictly newer.
 		opts.Checkpoint = state.base
 	}
+	if len(state.admits) > 0 && cfg.BudgetWindow <= 0 {
+		closeOnErr()
+		return "", errors.New("journal has task admissions but the creation config carries no budget window")
+	}
+	// Streaming sessions: admissions the checkpoint already folded are
+	// re-applied to the dataset (the checkpoint's beliefs and selection
+	// cache were taken over the grown dataset, and the engine resumes on
+	// it); their budget-window refills — which admitAll granted in the
+	// original run — are folded into the base budget. Admissions past the
+	// checkpoint are re-staged for the engine's admission source, which
+	// replays them at the exact round boundaries the journal recorded.
+	folded := 0
+	for _, ar := range state.admits {
+		if ar.Fragment == nil || ar.Seq > state.baseAdmitSeq {
+			continue
+		}
+		if _, _, err := ds.Admit(ar.Fragment); err != nil {
+			closeOnErr()
+			return "", fmt.Errorf("re-admit journaled fragment %d: %w", ar.Seq, err)
+		}
+		folded++
+	}
+	cfg.Budget += float64(folded) * cfg.BudgetWindow
+	for _, ar := range state.admits {
+		if ar.Fragment == nil {
+			opts.admitFinal = true
+			continue
+		}
+		opts.admitFrags++
+		if ar.Seq > state.baseAdmitSeq {
+			opts.pendingAdmits = append(opts.pendingAdmits, stagedAdmit{seq: ar.Seq, fr: ar.Fragment})
+		}
+		if ar.Final {
+			opts.admitFinal = true
+		}
+	}
+	opts.admitSeq = len(state.admits)
+	opts.appliedSeq = state.baseAdmitSeq
 	if opts.Metrics == nil {
 		opts.Metrics = NewMetrics()
 	}
 	created := append([]byte(nil), recs[0].Payload...)
 	opts.journal = newSessionJournal(w, created, m.compactEvery(), opts.Metrics.journal)
+	opts.journal.seedAdmits(state.admitRaw)
 	opts.replay = state.replay
 	opts.nextRound = state.nextRound
 	id, _, err := m.Create(state.req.Name, ds, cfg, opts)
@@ -774,6 +813,11 @@ type SessionConfig struct {
 	K int `json:"k,omitempty"`
 	// Budget is the total expert-answer budget. Required, > 0.
 	Budget float64 `json:"budget"`
+	// BudgetWindow, when > 0, makes the session streaming: each task
+	// fragment admitted through POST /tasks refills the remaining budget
+	// by this much, and the engine parks awaiting admissions instead of
+	// finishing when the budget runs dry (see pipeline.Config.BudgetWindow).
+	BudgetWindow float64 `json:"budget_window,omitempty"`
 	// Init names the belief initializer (aggregate.ByName); defaults to
 	// EBCC.
 	Init string `json:"init,omitempty"`
@@ -839,6 +883,9 @@ func buildFromRequest(req CreateSessionRequest) (*dataset.Dataset, pipeline.Conf
 	if sc.K < 0 {
 		return fail(errors.New("server: create: config.k must be >= 1"))
 	}
+	if sc.BudgetWindow < 0 {
+		return fail(errors.New("server: create: config.budget_window must be >= 0"))
+	}
 	initName := sc.Init
 	if initName == "" {
 		initName = "EBCC"
@@ -862,6 +909,7 @@ func buildFromRequest(req CreateSessionRequest) (*dataset.Dataset, pipeline.Conf
 	cfg := pipeline.Config{
 		K:             sc.K,
 		Budget:        sc.Budget,
+		BudgetWindow:  sc.BudgetWindow,
 		Init:          agg,
 		PriorCoupling: couple,
 		MaxRounds:     sc.MaxRounds,

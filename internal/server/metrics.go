@@ -26,6 +26,7 @@ type Metrics struct {
 	roundsExpired   *obsv.Counter
 	answersAccepted *obsv.Counter
 	answersRejected *obsv.CounterVec // reason
+	tasksAdmitted   *obsv.Counter    // streaming sessions: fragments accepted
 
 	// Pipeline rounds (fed by RecordRound).
 	pipelineRounds   *obsv.Counter
@@ -128,6 +129,8 @@ func NewMetrics() *Metrics {
 			"expert answer sets accepted"),
 		answersRejected: reg.CounterVec("session_answers_rejected_total",
 			"expert answer sets rejected", "reason"),
+		tasksAdmitted: reg.Counter("session_fragments_admitted_total",
+			"task fragments admitted into the streaming session"),
 
 		pipelineRounds: reg.Counter("pipeline_rounds_total",
 			"checking rounds the pipeline completed"),

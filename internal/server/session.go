@@ -40,6 +40,22 @@ var ErrDraining = errors.New("server: session draining")
 // round.
 var ErrRoundClosed = errors.New("server: round closed")
 
+// ErrNotStreaming is returned when admitting tasks into a session that
+// was not created with a budget window: a closed-loop session's engine
+// never polls for admissions, so accepted fragments would sit in the
+// queue forever. HTTP maps it to 409.
+var ErrNotStreaming = errors.New("server: session is not streaming (no budget window)")
+
+// ErrStreamEnded is returned when admitting tasks after a final
+// admission closed the stream. HTTP maps it to 409.
+var ErrStreamEnded = errors.New("server: admission stream already ended")
+
+// ErrBadFragment wraps fragment validation failures on the admission
+// path. HTTP maps it to 422: the request was well-formed JSON but the
+// fragment itself is unusable (inconsistent structure, or answers from
+// workers that are not the dataset's preliminary crowd).
+var ErrBadFragment = errors.New("server: invalid fragment")
+
 // pendingRound is one published query set awaiting expert answers.
 type pendingRound struct {
 	id       int
@@ -82,6 +98,21 @@ type Session struct {
 	// live. costAware selects the cost-aware engine flavor.
 	replay    []*replayRound
 	costAware bool
+
+	// Streaming admission (enabled when the config carries a budget
+	// window): AdmitTasks journals and queues fragments, the engine's
+	// admission source drains the queue at round boundaries. All guarded
+	// by mu except admitCh, which is replaced under mu and closed to wake
+	// a parked engine.
+	admitEnabled  bool
+	admitQueue    []stagedAdmit
+	admitSeq      int // last journaled admission sequence number
+	appliedSeq    int // highest sequence handed to the engine
+	admitFrags    int // fragments accepted (streaming Status)
+	admitFinal    bool
+	admitWaiting  bool // engine parked in Poll awaiting fragments
+	admitCh       chan struct{}
+	prelimWorkers map[string]bool // accept-time validation snapshot; immutable after construction
 
 	finished chan struct{}
 	cancel   context.CancelFunc
@@ -133,6 +164,23 @@ type SessionOptions struct {
 	replay     []*replayRound
 	nextRound  int
 	journalReq *CreateSessionRequest
+
+	// Recovered streaming-admission state (wired by Manager.Recover):
+	// the staged fragments not yet folded into the engine, the last
+	// journaled sequence, the sequence already folded into the
+	// checkpoint, and whether the stream was finalized.
+	pendingAdmits []stagedAdmit
+	admitSeq      int
+	appliedSeq    int
+	admitFrags    int
+	admitFinal    bool
+}
+
+// stagedAdmit is one queued admission: a fragment under its journaled
+// sequence number, awaiting the engine's next round boundary.
+type stagedAdmit struct {
+	seq int
+	fr  *dataset.Fragment
 }
 
 // NewSession starts the pipeline on ds with cfg; cfg.Source is replaced
@@ -199,6 +247,25 @@ func NewSessionOpts(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Confi
 		logger:       opts.Logger,
 	}
 	cfg.Source = queueSource{s: s, ctx: runCtx}
+	if cfg.BudgetWindow > 0 {
+		// Streaming session: the engine polls the admission queue at every
+		// round boundary and parks on it when the budget runs dry, instead
+		// of ending the run. The preliminary-worker snapshot validates
+		// fragments at accept time without touching the dataset the engine
+		// goroutine is mutating.
+		s.admitEnabled = true
+		s.admitCh = make(chan struct{})
+		s.admitQueue = opts.pendingAdmits
+		s.admitSeq = opts.admitSeq
+		s.appliedSeq = opts.appliedSeq
+		s.admitFinal = opts.admitFinal
+		s.admitFrags = opts.admitFrags
+		s.prelimWorkers = make(map[string]bool, ds.Prelim.NumWorkers())
+		for _, id := range ds.Prelim.WorkerIDs() {
+			s.prelimWorkers[id] = true
+		}
+		cfg.Admit = sessionAdmit{s: s}
+	}
 	if s.journal != nil {
 		// Commit every engine round to the journal — with the server's
 		// round counter, so recovery restores ID monotonicity — before the
@@ -208,8 +275,9 @@ func NewSessionOpts(ctx context.Context, ds *dataset.Dataset, cfg pipeline.Confi
 		cfg.Journal = pipeline.RoundRecorderFunc(func(round int, ck *pipeline.Checkpoint) error {
 			s.mu.Lock()
 			next := s.nextID
+			applied := s.appliedSeq
 			s.mu.Unlock()
-			return s.journal.commitRound(next, ck)
+			return s.journal.commitRound(next, applied, ck)
 		})
 	}
 	// The session's bundle taps the pipeline's per-round metrics; a
@@ -343,6 +411,178 @@ func (q queueSource) Answers(experts crowd.Crowd, facts []int) (crowd.AnswerFami
 	return fam, nil
 }
 
+// sessionAdmit adapts the session's admission queue to
+// pipeline.AdmissionSource: the engine drains staged fragments at round
+// boundaries and, when idle, parks on the admission channel until
+// AdmitTasks wakes it (or the stream ends, or the session drains).
+type sessionAdmit struct {
+	s *Session
+}
+
+// Poll implements pipeline.AdmissionSource. During recovery replay the
+// drain is capped at the next journaled round's admission sequence, so
+// the engine re-plans every replayed round over exactly the dataset it
+// was originally planned on.
+func (a sessionAdmit) Poll(ctx context.Context, wait bool) ([]*dataset.Fragment, error) {
+	s := a.s
+	s.mu.Lock()
+	for {
+		if s.jerr != nil {
+			err := s.jerr
+			s.mu.Unlock()
+			return nil, err
+		}
+		limit := int(^uint(0) >> 1) // MaxInt: no replay cap
+		if len(s.replay) > 0 {
+			limit = s.replay[0].AdmitSeq
+		}
+		n := 0
+		for _, st := range s.admitQueue {
+			if st.seq > limit {
+				break
+			}
+			n++
+		}
+		if n > 0 {
+			frags := make([]*dataset.Fragment, n)
+			for i, st := range s.admitQueue[:n] {
+				frags[i] = st.fr
+			}
+			s.appliedSeq = s.admitQueue[n-1].seq
+			s.admitQueue = s.admitQueue[n:]
+			s.mu.Unlock()
+			return frags, nil
+		}
+		if !wait {
+			s.mu.Unlock()
+			return nil, nil
+		}
+		if s.admitFinal || s.draining || s.closed {
+			// Stream over (finalized, draining, or the session ended):
+			// report exhaustion so the engine finishes the run.
+			s.mu.Unlock()
+			return nil, nil
+		}
+		if len(s.replay) > 0 {
+			// The engine ran dry with journaled rounds still unconsumed and
+			// no admission it may fold before them: the journal promises
+			// rounds this rebuild cannot re-plan.
+			err := fmt.Errorf("server: recovery diverged: engine idle awaiting admissions with %d journaled rounds unconsumed", len(s.replay))
+			s.mu.Unlock()
+			return nil, err
+		}
+		ch := s.admitCh
+		s.admitWaiting = true
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.admitWaiting = false
+			s.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		s.mu.Lock()
+		s.admitWaiting = false
+	}
+}
+
+// admitParked reports whether the engine is parked in the admission
+// source awaiting new fragments — the quiescent point streaming drivers
+// (and tests) key admissions on.
+func (s *Session) admitParked() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.admitWaiting
+}
+
+// wakeAdmitLocked rouses an engine parked in sessionAdmit.Poll by
+// rotating the admission channel. Callers hold s.mu.
+func (s *Session) wakeAdmitLocked() {
+	if s.admitCh != nil {
+		close(s.admitCh)
+		s.admitCh = make(chan struct{})
+	}
+}
+
+// AdmitTasks stages a batch of fragments for the engine's next round
+// boundary: each fragment is validated (structure plus answer-worker
+// membership in the dataset's preliminary crowd), journaled, and queued;
+// final marks the end of the admission stream, after which the engine
+// finishes the run once the queue drains instead of parking for more.
+// AdmitTasks(nil, true) closes the stream without admitting anything.
+// The batch is atomic: it is fully validated before anything is
+// journaled, and one fsync — on the batch's last record — covers it all.
+func (s *Session) AdmitTasks(frs []*dataset.Fragment, final bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.draining {
+		return ErrDraining
+	}
+	if !s.admitEnabled {
+		return ErrNotStreaming
+	}
+	if s.admitFinal {
+		return ErrStreamEnded
+	}
+	if s.jerr != nil {
+		return s.jerr
+	}
+	if len(frs) == 0 && !final {
+		return fmt.Errorf("%w: empty batch without final", ErrBadFragment)
+	}
+	for i, fr := range frs {
+		if fr == nil {
+			return fmt.Errorf("%w: fragment %d is null", ErrBadFragment, i)
+		}
+		if err := fr.Validate(); err != nil {
+			return fmt.Errorf("%w: fragment %d: %v", ErrBadFragment, i, err)
+		}
+		for _, ans := range fr.Answers {
+			if !s.prelimWorkers[ans.Worker] {
+				return fmt.Errorf("%w: fragment %d: answer from %q, not a preliminary worker", ErrBadFragment, i, ans.Worker)
+			}
+		}
+	}
+	if s.journal != nil {
+		// Durability before acknowledgement, like Answer: every fragment
+		// gets its own record (so recovery replays admissions in order),
+		// but only the batch's last record forces the fsync.
+		for i, fr := range frs {
+			last := i == len(frs)-1
+			if err := s.journal.taskAdmitted(s.admitSeq+i+1, final && last, fr, last); err != nil {
+				s.journalFailLocked(err)
+				return s.jerr
+			}
+		}
+		if len(frs) == 0 {
+			// Final-only close: a fragment-less record carries the flag.
+			if err := s.journal.taskAdmitted(s.admitSeq+1, true, nil, true); err != nil {
+				s.journalFailLocked(err)
+				return s.jerr
+			}
+		}
+	}
+	for _, fr := range frs {
+		s.admitSeq++
+		s.admitQueue = append(s.admitQueue, stagedAdmit{seq: s.admitSeq, fr: fr})
+		s.admitFrags++
+	}
+	if len(frs) == 0 {
+		s.admitSeq++ // the fragment-less final record still consumes a sequence number
+	}
+	if final {
+		s.admitFinal = true
+	}
+	s.metrics.tasksAdmitted.Add(float64(len(frs)))
+	s.wakeAdmitLocked()
+	s.logf("admitted %d fragment(s), final=%v (seq %d)", len(frs), final, s.admitSeq)
+	return nil
+}
+
 // panelIDs lists a panel's worker IDs in panel order.
 func panelIDs(panel crowd.Crowd) []string {
 	ids := make([]string, len(panel))
@@ -378,7 +618,7 @@ func (s *Session) publish(panel crowd.Crowd, facts []int) (*pendingRound, error)
 		// Appended but not synced: a torn round-open record just re-plans
 		// deterministically at recovery, and any later answer's fsync
 		// carries it to disk first (appends are ordered).
-		if err := s.journal.roundOpened(round.id, sorted, panelIDs(panel)); err != nil {
+		if err := s.journal.roundOpened(round.id, sorted, panelIDs(panel), s.appliedSeq); err != nil {
 			s.journalFailLocked(err)
 			return nil, s.jerr
 		}
@@ -404,6 +644,12 @@ func (s *Session) replayRoundLocked(panel crowd.Crowd, sortedFacts []int) (*pend
 	s.replay = s.replay[1:]
 	if !equalInts(sortedFacts, rr.Facts) || !equalStrings(panelIDs(panel), rr.Panel) {
 		return nil, fmt.Errorf("server: recovery diverged: engine re-planned round %d with different facts or panel than journaled", rr.Round)
+	}
+	if rr.AdmitSeq != s.appliedSeq {
+		// The journal says this round was planned over the dataset as of
+		// admission rr.AdmitSeq, but the rebuilt engine folded a different
+		// prefix — the round's facts could only match by coincidence.
+		return nil, fmt.Errorf("server: recovery diverged: round %d journaled at admission seq %d, engine replayed it at %d", rr.Round, rr.AdmitSeq, s.appliedSeq)
 	}
 	s.nextID = rr.Round
 	round := &pendingRound{
@@ -432,17 +678,16 @@ func (s *Session) replayRoundLocked(panel crowd.Crowd, sortedFacts []int) (*pend
 		s.journal.ins.replayed.Add(float64(len(rr.Answers)))
 	}
 	s.pending = round
-	if rr.Sealed || len(round.answers) == len(panel) {
+	if rr.Sealed {
+		// Already sealed in the journal — complete it without journaling a
+		// second seal record.
 		round.complete = true
-		if !rr.Sealed && s.journal != nil && s.jerr == nil {
-			// Full panel but the seal record was lost in the crash; journal
-			// it now so the record grammar (no checkpoint over an open
-			// round) holds for the next recovery.
-			if err := s.journal.roundSealed(round.id, len(round.answers)); err != nil {
-				s.journalFailLocked(err)
-			}
-		}
 		close(round.done)
+	} else if len(round.answers) == len(panel) {
+		// Full panel but the seal record was lost in the crash; seal (and
+		// journal) it now so the record grammar (no checkpoint over an open
+		// round) holds for the next recovery.
+		s.sealRoundLocked(round)
 	} else if s.roundTimeout > 0 {
 		time.AfterFunc(s.roundTimeout, func() { s.expireRound(round) })
 	}
@@ -494,9 +739,15 @@ func (s *Session) journalFailLocked(err error) {
 
 // sealRoundLocked completes a round: the seal is journaled (fsynced)
 // before the engine is woken, so a timeout-sealed partial round recovers
-// as exactly that partial round. Callers hold s.mu and count their own
-// metrics (completed vs expired).
+// as exactly that partial round. Idempotent — a round seals exactly once
+// no matter how many paths race to it (full panel, timeout, replay), so
+// the journal never carries a duplicate seal record and done is never
+// double-closed. Callers hold s.mu and count their own metrics
+// (completed vs expired).
 func (s *Session) sealRoundLocked(round *pendingRound) {
+	if round.complete {
+		return
+	}
 	round.complete = true
 	if s.journal != nil && s.jerr == nil {
 		if err := s.journal.roundSealed(round.id, len(round.answers)); err != nil {
@@ -628,6 +879,11 @@ type Status struct {
 	OpenRound   int      `json:"open_round,omitempty"`
 	OpenFacts   []int    `json:"open_facts,omitempty"`
 	Error       string   `json:"error,omitempty"`
+	// Streaming admission (sessions created with a budget window).
+	Streaming         bool `json:"streaming,omitempty"`
+	AdmittedFragments int  `json:"admitted_fragments,omitempty"`
+	PendingFragments  int  `json:"pending_fragments,omitempty"`
+	StreamEnded       bool `json:"stream_ended,omitempty"`
 }
 
 // Status reports progress; final numbers come from the pipeline result
@@ -636,6 +892,12 @@ func (s *Session) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Status{Done: s.closed, Draining: s.draining}
+	if s.admitEnabled {
+		st.Streaming = true
+		st.AdmittedFragments = s.admitFrags
+		st.PendingFragments = len(s.admitQueue)
+		st.StreamEnded = s.admitFinal
+	}
 	if s.pending != nil {
 		st.OpenRound = s.pending.id
 		st.OpenFacts = append([]int{}, s.pending.facts...)
@@ -690,6 +952,10 @@ func (s *Session) beginDrain() {
 	defer s.mu.Unlock()
 	if !s.draining {
 		s.draining = true
+		// A streaming engine may be parked awaiting admissions; wake it so
+		// it observes the drain and finishes the run (its journal and
+		// checkpoint survive for a later recovery to resume the stream).
+		s.wakeAdmitLocked()
 		s.logf("session draining: rejecting new answers")
 	}
 }

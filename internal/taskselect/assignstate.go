@@ -206,6 +206,19 @@ func (s *AssignState) InvalidateAll() {
 	}
 }
 
+// Admit grows the task table to total tasks, appending cold cache slots
+// for the newly admitted tasks while keeping every existing task's cached
+// unit gains and the crowd memos — the next sync slab-fills only the new
+// slots instead of resetting wholesale. A state that has not synced yet
+// is left untouched: its first sync builds the table at the grown size
+// anyway. total at or below the current size is a no-op.
+func (s *AssignState) Admit(total int) {
+	if len(s.tasks) == 0 || total <= len(s.tasks) {
+		return
+	}
+	s.tasks = append(s.tasks, make([]*assignTaskCache, total-len(s.tasks))...)
+}
+
 // costOf applies the configured cost model.
 func (s *AssignState) costOf(w crowd.Worker) float64 {
 	if s.Cost != nil {

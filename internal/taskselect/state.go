@@ -179,6 +179,19 @@ func (s *SelectionState) InvalidateAll() {
 	}
 }
 
+// Admit grows the task table to total tasks, appending cold cache slots
+// for the newly admitted tasks while keeping every existing task's cached
+// gains and the crowd memos — the next sync slab-fills only the new
+// slots instead of resetting wholesale. A state that has not synced yet
+// is left untouched: its first sync builds the table at the grown size
+// anyway. total at or below the current size is a no-op.
+func (s *SelectionState) Admit(total int) {
+	if len(s.tasks) == 0 || total <= len(s.tasks) {
+		return
+	}
+	s.tasks = append(s.tasks, make([]*taskCache, total-len(s.tasks))...)
+}
+
 // crowdSignature fingerprints the crowd for cache-reset detection.
 func crowdSignature(ce crowd.Crowd) string {
 	var sb strings.Builder
