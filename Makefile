@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint fuzz-smoke race determinism bench bench-snapshot bench-compare snapshot-smoke metrics-smoke serve-smoke crash-smoke load-smoke verify
+.PHONY: build test vet lint lint-fixtures fuzz-smoke race determinism bench bench-snapshot bench-compare snapshot-smoke metrics-smoke serve-smoke crash-smoke load-smoke verify
 
 build:
 	$(GO) build ./...
@@ -13,13 +13,20 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The repo's own determinism/correctness linter (cmd/hclint): no global
-# math/rand, no wall-clock or raw map iteration in deterministic
-# packages, no raw float equality, must-check persistence errors. Fails
-# on any unsuppressed finding; suppressions require a written reason
-# (//hclint:ignore <check> <why>).
+# The repo's own determinism + concurrency linter (cmd/hclint): no
+# global math/rand, no wall-clock or raw map iteration in deterministic
+# packages, no raw float equality, must-check persistence errors — plus
+# the server/journal invariant checks (guardedby lock discipline,
+# append-then-Sync ack ordering, goroutine/mutex/atomic hygiene; see
+# docs/lint-checks.md). Fails on any unsuppressed finding; suppressions
+# require a written reason (//hclint:ignore <check> <why>).
 lint:
 	$(GO) run ./cmd/hclint ./...
+
+# Self-test the linter: rerun every check against its golden fixture
+# corpus under internal/lint/testdata/src/ and fail on any drift.
+lint-fixtures:
+	$(GO) run ./cmd/hclint -fixtures
 
 # Short fuzz pass over every fuzz target (one -fuzz run per target, 5s
 # each): checkpoint decode/round-trip, the journal frame decoder, the
@@ -95,6 +102,7 @@ crash-smoke:
 load-smoke:
 	$(GO) test -run 'RunLoadSmoke' -count=1 ./cmd/hcload/
 
-# Gate order: cheap static analysis first (vet, then hclint), then the
-# fuzz smoke, then the race/determinism suite and the e2e smokes.
-verify: build vet lint fuzz-smoke race determinism snapshot-smoke metrics-smoke serve-smoke crash-smoke load-smoke
+# Gate order: cheap static analysis first (vet, then hclint and its
+# fixture self-test), then the fuzz smoke, then the race/determinism
+# suite and the e2e smokes.
+verify: build vet lint lint-fixtures fuzz-smoke race determinism snapshot-smoke metrics-smoke serve-smoke crash-smoke load-smoke

@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	hclint [-json] [-checks name,name] [packages]
+//	hclint [-json] [-checks name,name] [-fixtures] [packages]
+//
+// -fixtures ignores the package arguments and instead self-tests the
+// linter: every registered check runs against its golden fixture under
+// internal/lint/testdata/src/<check>/ and any drift from the fixture's
+// `// want` expectations — or a check with no fixture at all — fails.
 //
 // Packages may be `./...` (the whole module, the default), `dir/...`
 // (a subtree), or a single package directory. Findings are suppressed
@@ -29,6 +34,7 @@ import (
 	"strings"
 
 	"hcrowd/internal/lint"
+	"hcrowd/internal/lint/linttest"
 )
 
 func main() {
@@ -39,12 +45,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hclint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit diagnostics as a JSON array")
-		checks  = fs.String("checks", "", "comma-separated check names to run (default: all)")
-		list    = fs.Bool("list", false, "list registered checks and exit")
+		jsonOut  = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		checks   = fs.String("checks", "", "comma-separated check names to run (default: all)")
+		list     = fs.Bool("list", false, "list registered checks and exit")
+		fixtures = fs.Bool("fixtures", false, "self-test every check against its golden fixture and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *fixtures {
+		return runFixtures(stdout, stderr)
 	}
 	if *list {
 		for _, c := range lint.Checks() {
@@ -90,6 +100,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runFixtures is the -fixtures mode: a from-the-binary rerun of the
+// golden fixture suite, so `make lint-fixtures` can prove the shipped
+// linter still matches its own test corpus without invoking go test.
+func runFixtures(stdout, stderr io.Writer) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "hclint:", err)
+		return 2
+	}
+	modRoot, _, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "hclint:", err)
+		return 2
+	}
+	failed := false
+	for _, c := range lint.Checks() {
+		dir := filepath.Join(modRoot, "internal", "lint", "testdata", "src", c.Name)
+		if _, err := os.Stat(dir); err != nil {
+			fmt.Fprintf(stdout, "FAIL %s: no golden fixture at %s\n", c.Name, dir)
+			failed = true
+			continue
+		}
+		mismatches, err := linttest.Verify(c, dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "hclint: %s: %v\n", c.Name, err)
+			return 2
+		}
+		if len(mismatches) > 0 {
+			failed = true
+			fmt.Fprintf(stdout, "FAIL %s:\n", c.Name)
+			for _, m := range mismatches {
+				fmt.Fprintf(stdout, "  %s\n", m)
+			}
+			continue
+		}
+		fmt.Fprintf(stdout, "ok   %s\n", c.Name)
+	}
+	if failed {
 		return 1
 	}
 	return 0

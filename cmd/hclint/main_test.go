@@ -85,3 +85,49 @@ func TestListChecks(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrencyChecksRegistered pins the v2 analyzer suite: the five
+// invariant checks must stay registered under these exact names — a
+// registry regression would otherwise silently drop them from `make
+// lint` while TestSelfSmoke kept passing on whatever remained.
+func TestConcurrencyChecksRegistered(t *testing.T) {
+	want := []string{
+		"ack-discipline",
+		"atomic-mix",
+		"goroutine-hygiene",
+		"lock-discipline",
+		"mutex-copy",
+	}
+	for _, name := range want {
+		if _, err := lint.CheckByName(name); err != nil {
+			t.Errorf("check %q not registered: %v", name, err)
+		}
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list = %d", code)
+	}
+	for _, name := range want {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestRunFixtures drives the -fixtures self-test mode: every check's
+// golden fixture must verify clean from the CLI, with one ok line per
+// check.
+func TestRunFixtures(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-fixtures"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-fixtures = %d, stderr=%s stdout=%s", code, stderr.String(), stdout.String())
+	}
+	for _, c := range lint.Checks() {
+		if !strings.Contains(stdout.String(), "ok   "+c.Name) {
+			t.Errorf("-fixtures output missing ok line for %q:\n%s", c.Name, stdout.String())
+		}
+	}
+	if strings.Contains(stdout.String(), "FAIL") {
+		t.Errorf("-fixtures reported a failure:\n%s", stdout.String())
+	}
+}

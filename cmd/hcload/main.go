@@ -68,13 +68,13 @@ type loadConfig struct {
 
 // report is what one driven session came back with.
 type report struct {
-	id       string
-	answers  int64
-	rounds   int
-	frags    int
-	labels   int
-	quality  float64
-	elapsed  time.Duration
+	id      string
+	answers int64
+	rounds  int
+	frags   int
+	labels  int
+	quality float64
+	elapsed time.Duration
 }
 
 func run(ctx context.Context, args []string, stdout io.Writer) error {

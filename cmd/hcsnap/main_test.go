@@ -120,8 +120,8 @@ func TestCompare(t *testing.T) {
 	for _, want := range []string{
 		"BenchmarkA/x",
 		"1000 -> 400  0.40x (-60.0%)",
-		"(new) 796",             // metric only in the new snapshot
-		"40 -> 40  1.00x",       // unchanged metric still reported
+		"(new) 796",       // metric only in the new snapshot
+		"40 -> 40  1.00x", // unchanged metric still reported
 		"(dropped in new snapshot)",
 		"BenchmarkFresh",
 	} {

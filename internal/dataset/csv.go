@@ -29,11 +29,16 @@ func (m *Matrix) WriteAnswersCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// maxCSVFacts bounds the fact space inferred from a CSV. The matrix
+// allocation is O(facts), so a single absurd index in an untrusted file
+// must error out instead of sizing terabytes.
+const maxCSVFacts = 1 << 24
+
 // ReadAnswersCSV parses `fact,worker,value` rows (header optional) into a
 // matrix. Worker IDs are collected from the file in first-appearance
 // order; the fact space is sized by the largest index seen (or numFacts
-// if larger, pass 0 to infer). Accepted value spellings: true/false,
-// yes/no, 1/0 (case-insensitive).
+// if larger, pass 0 to infer), capped at maxCSVFacts. Accepted value
+// spellings: true/false, yes/no, 1/0 (case-insensitive).
 func ReadAnswersCSV(r io.Reader, numFacts int) (*Matrix, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 3
@@ -68,6 +73,9 @@ func ReadAnswersCSV(r io.Reader, numFacts int) (*Matrix, error) {
 		}
 		if f < 0 {
 			return nil, fmt.Errorf("dataset: csv fact %d negative", f)
+		}
+		if f >= maxCSVFacts {
+			return nil, fmt.Errorf("dataset: csv fact %d exceeds the %d-fact limit", f, maxCSVFacts)
 		}
 		v, err := parseAnswer(rec[2])
 		if err != nil {

@@ -92,6 +92,7 @@ func TestReadAnswersCSVErrors(t *testing.T) {
 		"0,w,maybe\n",               // bad value
 		"0,w,true\n0,w,false\n",     // duplicate answer
 		"0,w,true,extra,cols,bad\n", // wrong arity
+		"66669999999,w,true\n",      // fact index beyond the allocation cap (fuzz find)
 	}
 	for _, in := range cases {
 		if _, err := ReadAnswersCSV(strings.NewReader(in), 0); err == nil {

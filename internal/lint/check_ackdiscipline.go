@@ -1,0 +1,400 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AckDiscipline enforces the journal's fsync-before-ack rule in
+// internal/server: any path that appends a synced-class record
+// (created/answer/roundSeal/taskAdmit — the classes whose loss after an
+// acknowledged request would fork recovery from the client's view) and
+// then reaches a success HTTP response (a 2xx writeJSON or WriteHeader)
+// must have a journal.Writer.Sync between the append and the ack.
+//
+// The analysis is a linear, source-order event trace per function with
+// one-level call propagation: same-package callees are summarized
+// (memoized) for the appends they perform, whether they sync, and —
+// for helpers like appendLocked(typ, v, commit) — which parameter
+// carries the record type and which bool parameter gates the sync.
+// A call site resolves those parameters: a constant record class, a
+// literal true/false commit, or a dynamic commit (treated as syncing —
+// the batch `last` idiom). Two rules fire:
+//
+//  1. a synced-class append with no Sync reachable before return is
+//     reported at the append site;
+//  2. a success ack with a synced-class append still undurable is
+//     reported at the ack site.
+//
+// Record classes are matched by constant name (recCreated, recAnswer,
+// recRoundSeal, recTaskAdmit) so fixtures and the real journal share
+// one rule table; the Writer type is recognized in internal/journal or
+// in the package under analysis.
+var AckDiscipline = Check{
+	Name: "ack-discipline",
+	Doc:  "synced-class journal appends must reach a Sync before any success HTTP ack",
+	AppliesTo: func(path string) bool {
+		return pathIs(path, "internal/server")
+	},
+	Run: runAckDiscipline,
+}
+
+// ackSyncedClasses are the record classes the durability contract
+// covers, by declared constant name. recRoundOpen is deliberately
+// absent: round-open records are rebuilt from replay and are flushed
+// lazily by the next synced append.
+var ackSyncedClasses = map[string]bool{
+	"recCreated":   true,
+	"recAnswer":    true,
+	"recRoundSeal": true,
+	"recTaskAdmit": true,
+}
+
+func runAckDiscipline(pass *Pass) {
+	ac := &ackChecker{
+		pass:  pass,
+		memo:  make(map[*types.Func]*ackSummary),
+		busy:  make(map[*types.Func]bool),
+		index: indexFuncs(pass.Pkg),
+	}
+	for _, f := range pass.Pkg.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ac.summarizeDecl(fd)
+		}
+	}
+	// Function literals (HTTP handler closures and friends) are
+	// independent trace units: their bodies run on their own request
+	// path, not inline in the enclosing function.
+	for len(ac.lits) > 0 {
+		lit := ac.lits[0]
+		ac.lits = ac.lits[1:]
+		ac.trace(nil, lit.Body)
+	}
+}
+
+// ackSummary is what one-level call propagation carries to call sites.
+type ackSummary struct {
+	// appendsParam is the index of the parameter supplying the record
+	// type byte of a Writer.Append (appendLocked's typ), or -1.
+	appendsParam int
+	// gate is the index of a bool parameter gating the post-append
+	// Sync (appendLocked's commit), or -1.
+	gate int
+	// gated are fixed synced classes appended and then synced iff the
+	// gate parameter is true (taskAdmitted forwarding its commit).
+	gated []string
+	// syncs reports an ungated Sync on the linear trace: callers'
+	// earlier appends become durable at this call.
+	syncs bool
+	// pending are synced classes the function can leave undurable at
+	// return (already reported at their own append sites; callers only
+	// use them for the ack rule).
+	pending []string
+}
+
+type ackChecker struct {
+	pass  *Pass
+	memo  map[*types.Func]*ackSummary
+	busy  map[*types.Func]bool
+	index *funcIndex
+	lits  []*ast.FuncLit
+}
+
+func (ac *ackChecker) summarizeDecl(fd *ast.FuncDecl) *ackSummary {
+	fn, _ := ac.pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return ac.trace(fd, fd.Body)
+	}
+	if s, ok := ac.memo[fn]; ok {
+		return s
+	}
+	if ac.busy[fn] {
+		// Recursion: an empty summary is the safe fixed point.
+		return &ackSummary{appendsParam: -1, gate: -1}
+	}
+	ac.busy[fn] = true
+	s := ac.trace(fd, fd.Body)
+	delete(ac.busy, fn)
+	ac.memo[fn] = s
+	return s
+}
+
+// pendEntry is one undurable synced-class append on the current trace.
+type pendEntry struct {
+	class  string
+	pos    token.Pos
+	direct bool // appended in this function (report rule 1 here)
+}
+
+// trace walks one function body in source order, building its summary
+// and reporting violations. fd is nil for function literals.
+func (ac *ackChecker) trace(fd *ast.FuncDecl, body *ast.BlockStmt) *ackSummary {
+	sum := &ackSummary{appendsParam: -1, gate: -1}
+	var pend []pendEntry
+	info := ac.pass.Pkg.Info
+
+	sync := func() {
+		pend = pend[:0]
+		sum.syncs = true
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ac.lits = append(ac.lits, n)
+			return false
+		case *ast.IfStmt:
+			// `if commit { ... Sync() ... }` — a param-gated sync.
+			// Record the gate and skip the subtree so the Sync inside
+			// is not taken as unconditional.
+			if fd != nil {
+				if id, ok := ast.Unparen(n.Cond).(*ast.Ident); ok && ac.isBoolParam(fd, id) && ac.containsSync(n.Body) {
+					if idx := paramIndexOf(info, fd, id); idx >= 0 && sum.gate < 0 {
+						sum.gate = idx
+					}
+					return false
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			ac.call(fd, n, sum, &pend, sync)
+			return true
+		}
+		return true
+	})
+
+	for _, p := range pend {
+		sum.pending = append(sum.pending, p.class)
+		if p.direct {
+			ac.pass.Reportf(p.pos, "synced-class journal record %s is appended with no Sync before return; fsync before any path can acknowledge it", p.class)
+		}
+	}
+	return sum
+}
+
+// call classifies one call expression and applies its events to the
+// trace: journal Append/Sync, a same-package callee's summary, or a
+// success ack.
+func (ac *ackChecker) call(fd *ast.FuncDecl, call *ast.CallExpr, sum *ackSummary, pend *[]pendEntry, sync func()) {
+	info := ac.pass.Pkg.Info
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+
+	if ac.isWriterMethod(fn) {
+		switch fn.Name() {
+		case "Sync":
+			sync()
+		case "Append":
+			if len(call.Args) == 0 {
+				return
+			}
+			typeExpr := recordTypeExpr(call.Args[0])
+			if typeExpr == nil {
+				return
+			}
+			if class := constNameOf(info, typeExpr); class != "" {
+				if ackSyncedClasses[class] {
+					*pend = append(*pend, pendEntry{class: class, pos: call.Pos(), direct: true})
+				}
+				return
+			}
+			if fd != nil {
+				if id, ok := ast.Unparen(typeExpr).(*ast.Ident); ok {
+					if idx := paramIndexOf(info, fd, id); idx >= 0 && sum.appendsParam < 0 {
+						sum.appendsParam = idx
+					}
+				}
+			}
+		}
+		return
+	}
+
+	// Success acks.
+	if code, ok := ackStatusArg(ac.pass, fn, call); ok {
+		if code >= 200 && code < 300 && len(*pend) > 0 {
+			classes := make([]string, 0, len(*pend))
+			for _, p := range *pend {
+				classes = append(classes, p.class)
+			}
+			ac.pass.Reportf(call.Pos(), "success response (%d) acknowledges journal record(s) %s that have not been synced; Sync before the ack",
+				code, strings.Join(classes, ", "))
+			*pend = (*pend)[:0] // reported once; don't cascade to rule 1
+		}
+		return
+	}
+
+	// One-level propagation through same-package callees.
+	if fn.Pkg() == nil || ac.pass.Pkg.Types == nil || fn.Pkg() != ac.pass.Pkg.Types {
+		return
+	}
+	decl, ok := ac.index.decls[fn]
+	if !ok || decl.Body == nil {
+		return
+	}
+	cs := ac.summarizeDecl(decl)
+
+	var classesHere []string
+	classesHere = append(classesHere, cs.gated...)
+	if cs.appendsParam >= 0 && cs.appendsParam < len(call.Args) {
+		if class := constNameOf(info, call.Args[cs.appendsParam]); ackSyncedClasses[class] {
+			classesHere = append(classesHere, class)
+		}
+	}
+
+	switch {
+	case cs.syncs:
+		// The callee fsyncs after its appends: everything earlier on
+		// this trace (and the callee's own appends) is durable.
+		sync()
+	case cs.gate >= 0 && cs.gate < len(call.Args):
+		arg := call.Args[cs.gate]
+		if val, isConst := constBoolArg(info, arg); isConst {
+			if val {
+				sync()
+			} else {
+				for _, class := range classesHere {
+					*pend = append(*pend, pendEntry{class: class, pos: call.Pos(), direct: true})
+				}
+			}
+		} else if fd != nil {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && ac.isBoolParam(fd, id) {
+				// Forwarding the gate one level up (taskAdmitted
+				// passing its own commit into appendLocked): the
+				// enclosing function inherits the gating.
+				if idx := paramIndexOf(info, fd, id); idx >= 0 {
+					if sum.gate < 0 {
+						sum.gate = idx
+					}
+					sum.gated = append(sum.gated, classesHere...)
+					break
+				}
+				ac.dynamicCommit(pend, sync)
+			} else {
+				ac.dynamicCommit(pend, sync)
+			}
+		} else {
+			ac.dynamicCommit(pend, sync)
+		}
+	default:
+		for _, class := range classesHere {
+			*pend = append(*pend, pendEntry{class: class, pos: call.Pos(), direct: true})
+		}
+	}
+
+	for _, class := range cs.pending {
+		*pend = append(*pend, pendEntry{class: class, pos: call.Pos(), direct: false})
+	}
+}
+
+// dynamicCommit treats a non-constant commit argument optimistically:
+// the streaming batch idiom commits on the final fragment, so a
+// dynamic gate counts as a sync on the linear trace.
+func (ac *ackChecker) dynamicCommit(pend *[]pendEntry, sync func()) {
+	sync()
+}
+
+// isWriterMethod reports whether fn is a method on the journal Writer
+// type — either the real internal/journal.Writer or a Writer declared
+// in the package under analysis (fixture packages cannot import the
+// module).
+func (ac *ackChecker) isWriterMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := namedOf(sig.Recv().Type())
+	if n == nil || n.Obj().Name() != "Writer" || n.Obj().Pkg() == nil {
+		return false
+	}
+	if pathIs(n.Obj().Pkg().Path(), "internal/journal") {
+		return true
+	}
+	return ac.pass.Pkg.Types != nil && n.Obj().Pkg() == ac.pass.Pkg.Types
+}
+
+// containsSync reports whether a subtree contains a Writer.Sync call.
+func (ac *ackChecker) containsSync(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(ac.pass.Pkg.Info, call); fn != nil && fn.Name() == "Sync" && ac.isWriterMethod(fn) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isBoolParam reports whether id resolves to a bool parameter of fd.
+func (ac *ackChecker) isBoolParam(fd *ast.FuncDecl, id *ast.Ident) bool {
+	obj := ac.pass.Pkg.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	b, ok := obj.Type().Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Bool {
+		return false
+	}
+	return paramIndexOf(ac.pass.Pkg.Info, fd, id) >= 0
+}
+
+// recordTypeExpr extracts the record-type expression from a
+// Record{...} composite literal argument (keyed or positional).
+func recordTypeExpr(arg ast.Expr) ast.Expr {
+	lit, ok := ast.Unparen(arg).(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Type" {
+				return kv.Value
+			}
+			continue
+		}
+		if i == 0 {
+			return elt
+		}
+	}
+	return nil
+}
+
+// ackStatusArg recognizes success-ack calls: a same-package writeJSON
+// helper (status is the second argument) or net/http's
+// ResponseWriter.WriteHeader (first argument). It returns the constant
+// status code.
+func ackStatusArg(pass *Pass, fn *types.Func, call *ast.CallExpr) (int64, bool) {
+	switch {
+	case fn.Name() == "writeJSON" && fn.Pkg() != nil && pass.Pkg.Types != nil && fn.Pkg() == pass.Pkg.Types:
+		if len(call.Args) >= 2 {
+			if code, ok := constIntArg(pass.Pkg.Info, call.Args[1]); ok {
+				return code, true
+			}
+		}
+	case fn.Name() == "WriteHeader" && fn.Pkg() != nil && fn.Pkg().Path() == "net/http":
+		if len(call.Args) >= 1 {
+			if code, ok := constIntArg(pass.Pkg.Info, call.Args[0]); ok {
+				return code, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// AtomicMix flags variables that are updated through sync/atomic in
+// one place and loaded or stored plainly in another. Mixing the two is
+// a data race even when every *write* is atomic — a plain read can
+// observe a torn or stale value, and the race detector only notices
+// when the schedule cooperates. The check runs in two passes over the
+// package: first it collects every field or package-level variable
+// whose address is passed to a sync/atomic function (atomic.AddInt64,
+// LoadUint64, StorePointer, CompareAndSwap...), then it reports every
+// plain access to those variables outside the atomic call sites.
+// Typed atomics (atomic.Int64 and friends) make this check moot — the
+// type system already forbids plain access — which is why the real
+// tree uses them; the check guards the boundary.
+var AtomicMix = Check{
+	Name: "atomic-mix",
+	Doc:  "variables accessed both via sync/atomic and via plain loads/stores",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Pass 1: variables used atomically, and the exact &x expressions
+	// inside atomic calls (exempt in pass 2).
+	atomicVars := make(map[*types.Var]token.Pos)
+	inAtomicCall := make(map[ast.Expr]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				target := ast.Unparen(un.X)
+				v := sharedVarOf(info, target)
+				if v == nil {
+					continue
+				}
+				inAtomicCall[target] = true
+				if _, seen := atomicVars[v]; !seen {
+					atomicVars[v] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	// Pass 2: plain accesses to the same variables.
+	for _, f := range pass.Pkg.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if inAtomicCall[e] {
+				return false
+			}
+			v := sharedVarOf(info, e)
+			if v == nil {
+				return true
+			}
+			atomicPos, ok := atomicVars[v]
+			if !ok {
+				return true
+			}
+			p := pass.Pkg.Fset.Position(atomicPos)
+			pass.Reportf(e.Pos(), "%s is accessed with sync/atomic (%s:%d) but plainly here; mixed atomic and plain access races",
+				v.Name(), filepath.Base(p.Filename), p.Line)
+			return false
+		})
+	}
+}
+
+// sharedVarOf resolves an expression to a shareable variable — a
+// struct field (via selector) or a package-level variable. Locals are
+// excluded: taking a local's address for an atomic op before it
+// escapes is initialization, not sharing.
+func sharedVarOf(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		sel := info.Selections[e]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return nil
+		}
+		v, _ := sel.Obj().(*types.Var)
+		return v
+	case *ast.Ident:
+		v, ok := info.Uses[e].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return nil
+		}
+		// Package-level variables only.
+		if v.Parent() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineHygiene requires every `go` statement in non-test server and
+// pipeline code to be tied to a shutdown mechanism, so drain paths can
+// actually drain: the spawned body (a function literal, or a
+// same-package function resolved one level through the summary index)
+// must reference a context.Context, operate on a channel (send,
+// receive, close, range, or select), or call sync.WaitGroup.Done —
+// or the go statement must pass a context or channel to it. Anything
+// else is an unbounded goroutine and needs a reasoned
+// //hclint:ignore goroutine-hygiene suppression.
+var GoroutineHygiene = Check{
+	Name: "goroutine-hygiene",
+	Doc:  "go statements in server/pipeline must be tied to a context, channel, or WaitGroup",
+	AppliesTo: func(path string) bool {
+		return pathIs(path, "internal/server") || pathIs(path, "internal/pipeline")
+	},
+	Run: runGoroutineHygiene,
+}
+
+func runGoroutineHygiene(pass *Pass) {
+	index := indexFuncs(pass.Pkg)
+	for _, f := range pass.Pkg.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goStmtIsBounded(pass, index, g) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "goroutine has no shutdown mechanism (no context, channel operation, or WaitGroup.Done in its body or arguments)")
+			return true
+		})
+	}
+}
+
+// goStmtIsBounded reports whether the go statement's target or its
+// arguments show a lifecycle tie.
+func goStmtIsBounded(pass *Pass, index *funcIndex, g *ast.GoStmt) bool {
+	// A context- or channel-typed argument at the spawn site counts:
+	// the body receives the shutdown signal explicitly.
+	for _, arg := range g.Call.Args {
+		if isLifecycleTyped(pass, arg) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyHasLifecycle(pass, fun.Body)
+	default:
+		if fn := calleeFunc(pass.Pkg.Info, g.Call); fn != nil {
+			if decl, ok := index.decls[fn]; ok && decl.Body != nil {
+				return bodyHasLifecycle(pass, decl.Body)
+			}
+		}
+	}
+	return false
+}
+
+// isLifecycleTyped reports whether an expression is a context.Context
+// or a channel.
+func isLifecycleTyped(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if isNamedType(tv.Type, "context", "Context") {
+		return true
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// bodyHasLifecycle scans a body (including nested literals) for any
+// shutdown tie: a context-typed expression, a channel operation, or a
+// WaitGroup.Done call.
+func bodyHasLifecycle(pass *Pass, body *ast.BlockStmt) bool {
+	info := pass.Pkg.Info
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" && info.Uses[fun] == types.Universe.Lookup("close") {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Name() == "Done" {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && isNamedType(sig.Recv().Type(), "sync", "WaitGroup") {
+						found = true
+					}
+				}
+			}
+		case ast.Expr:
+			if isLifecycleTyped(pass, n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline enforces //hclint:guardedby annotations: every read or
+// write of an annotated struct field must happen with the named sibling
+// mutex held, as determined by the flow-sensitive lock simulation in
+// summary.go (Lock/RLock/Unlock and defer Unlock, early returns, branch
+// merging). Two conventions participate:
+//
+//   - Methods whose name ends in "Locked" are assumed to be called with
+//     their receiver's guard(s) held — and, symmetrically, calling such
+//     a method on a guarded type without holding its guard is itself a
+//     violation.
+//   - A local freshly built from a composite literal is exempt until it
+//     can have escaped to another goroutine; function literals are
+//     analyzed as separate scopes with an empty held-set, so closures
+//     that capture shared state still need the lock.
+//
+// The check runs on every package but only fires where annotations
+// exist. Test files are exempt (white-box tests routinely poke at
+// internals single-threadedly).
+var LockDiscipline = Check{
+	Name: "lock-discipline",
+	Doc:  "guardedby-annotated fields accessed without the guarding mutex held",
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) {
+	gs := collectGuards(pass)
+	if len(gs.fields) == 0 {
+		return
+	}
+	lc := &lockChecker{pass: pass, gs: gs, reported: make(map[token.Pos]bool)}
+	for _, f := range pass.Pkg.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lc.checkFunc(fd)
+		}
+	}
+}
+
+type lockChecker struct {
+	pass     *Pass
+	gs       *guardSet
+	reported map[token.Pos]bool
+}
+
+// checkFunc simulates one function declaration, then every function
+// literal discovered inside it (each with a fresh, empty held-set —
+// a closure runs on its own goroutine's schedule).
+func (lc *lockChecker) checkFunc(fd *ast.FuncDecl) {
+	st := lockState{}
+	if recv := receiverIdent(fd); recv != nil && strings.HasSuffix(fd.Name.Name, "Locked") {
+		// The *Locked suffix is the package convention for "caller
+		// holds the lock": seed the held-set with the receiver's
+		// guards.
+		if obj := lc.pass.Pkg.Info.Defs[recv]; obj != nil {
+			for mu := range lc.gs.guardsOf(obj.Type()) {
+				st[recv.Name+"."+mu] = lockWrite
+			}
+		}
+	}
+	queue := lc.simulate(fd.Body.List, st)
+	for len(queue) > 0 {
+		lit := queue[0]
+		queue = queue[1:]
+		queue = append(queue, lc.simulate(lit.Body.List, lockState{})...)
+	}
+}
+
+func (lc *lockChecker) simulate(body []ast.Stmt, st lockState) []*ast.FuncLit {
+	sim := &lockSim{
+		info:  lc.pass.Pkg.Info,
+		fresh: make(map[types.Object]bool),
+	}
+	sim.onAccess = func(sel *ast.SelectorExpr, write bool, st lockState) {
+		lc.access(sim, sel, write, st)
+	}
+	sim.onCall = func(call *ast.CallExpr, st lockState) {
+		lc.lockedHelperCall(sim, call, st)
+	}
+	sim.run(body, st)
+	return sim.lits
+}
+
+// access checks one guarded-field selector against the current state.
+func (lc *lockChecker) access(sim *lockSim, sel *ast.SelectorExpr, write bool, st lockState) {
+	info := lc.pass.Pkg.Info
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	fv, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	mu, guarded := lc.gs.fields[fv]
+	if !guarded {
+		return
+	}
+	base := types.ExprString(sel.X)
+	key := base + "." + mu
+	held := st[key]
+	if held == lockWrite || (held == lockRead && !write) {
+		return
+	}
+	if lc.isFreshBase(sim, sel.X) {
+		return
+	}
+	if lc.reported[sel.Pos()] {
+		return
+	}
+	lc.reported[sel.Pos()] = true
+	verb := "read of"
+	if write {
+		verb = "write to"
+	}
+	if held == lockRead {
+		lc.pass.Reportf(sel.Pos(), "%s %s.%s while holding only %s.RLock (guarded by %q)",
+			verb, base, fv.Name(), key, mu)
+		return
+	}
+	lc.pass.Reportf(sel.Pos(), "%s %s.%s without holding %s (field is //hclint:guardedby %s)",
+		verb, base, fv.Name(), key, mu)
+}
+
+// lockedHelperCall enforces the converse of the *Locked seeding: a call
+// to a same-package *Locked method on a type with guarded fields
+// requires the caller to hold the guard(s).
+func (lc *lockChecker) lockedHelperCall(sim *lockSim, call *ast.CallExpr, st lockState) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := lc.pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || !strings.HasSuffix(fn.Name(), "Locked") {
+		return
+	}
+	if fn.Pkg() == nil || lc.pass.Pkg.Types == nil || fn.Pkg() != lc.pass.Pkg.Types {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	guards := lc.gs.guardsOf(sig.Recv().Type())
+	if len(guards) == 0 {
+		return
+	}
+	if lc.isFreshBase(sim, sel.X) {
+		return
+	}
+	base := types.ExprString(sel.X)
+	for _, mu := range sortedKeys(guards) {
+		key := base + "." + mu
+		if st[key] != lockNone {
+			continue
+		}
+		if lc.reported[call.Pos()] {
+			return
+		}
+		lc.reported[call.Pos()] = true
+		lc.pass.Reportf(call.Pos(), "call to %s.%s without holding %s (*Locked methods require the caller to hold the lock)",
+			base, fn.Name(), key)
+		return
+	}
+}
+
+// isFreshBase reports whether the root of a selector chain is a local
+// built from a composite literal in this scope.
+func (lc *lockChecker) isFreshBase(sim *lockSim, base ast.Expr) bool {
+	id, ok := ast.Unparen(base).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := lc.pass.Pkg.Info.Uses[id]
+	return obj != nil && sim.fresh[obj]
+}
+
+// receiverIdent returns the receiver's name identifier, or nil for
+// functions and anonymous receivers.
+func receiverIdent(fd *ast.FuncDecl) *ast.Ident {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	id := fd.Recv.List[0].Names[0]
+	if id.Name == "_" {
+		return nil
+	}
+	return id
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MutexCopy flags copies of values that transitively contain a
+// sync.Mutex, sync.RWMutex, sync.WaitGroup, or sync.Once: value
+// receivers, by-value parameters and results, assignments and
+// declarations copying an existing value, range values over containers
+// of such types, and by-value call arguments. A copied lock guards
+// nothing — the copy and the original serialize independently, which
+// is exactly the kind of silent invariant break the -race suite only
+// catches when the interleaving cooperates.
+//
+// Constructive expressions (composite literals, function calls) are
+// not copies of shared state and are exempt; test files are exempt.
+var MutexCopy = Check{
+	Name: "mutex-copy",
+	Doc:  "by-value copies of types containing sync.Mutex/WaitGroup/Once",
+	Run:  runMutexCopy,
+}
+
+func runMutexCopy(pass *Pass) {
+	mc := &mutexCopyChecker{pass: pass, memo: make(map[types.Type]string)}
+	for _, f := range pass.Pkg.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil && len(n.Recv.List) > 0 {
+					mc.checkFieldList(n.Recv, "value receiver of method "+n.Name.Name)
+				}
+				mc.checkSignature(n.Type)
+			case *ast.FuncLit:
+				mc.checkSignature(n.Type)
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, rhs := range n.Rhs {
+						// Assigning to blank discards; nothing is
+						// copied into shared state.
+						if !isBlank(n.Lhs[i]) {
+							mc.checkCopySource(rhs, "assignment copies")
+						}
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != len(vs.Values) {
+						continue
+					}
+					for i, v := range vs.Values {
+						if vs.Names[i].Name != "_" {
+							mc.checkCopySource(v, "declaration copies")
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil && !isBlank(n.Value) {
+					// With := the range variable is a definition, so
+					// its type comes from Defs, not Types.
+					t := mc.typeOf(n.Value)
+					if t == nil {
+						if id, ok := n.Value.(*ast.Ident); ok {
+							if obj := mc.pass.Pkg.Info.Defs[id]; obj != nil {
+								t = obj.Type()
+							}
+						}
+					}
+					if name := mc.lockIn(t); name != "" {
+						mc.report(n.Value.Pos(), "range value copies %s, which contains %s",
+							mc.typeString(t), name)
+					}
+				}
+			case *ast.CallExpr:
+				if calleeIsBuiltin(pass.Pkg.Info, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					mc.checkCopySource(arg, "call passes")
+				}
+			}
+			return true
+		})
+	}
+}
+
+type mutexCopyChecker struct {
+	pass *Pass
+	memo map[types.Type]string
+}
+
+func (mc *mutexCopyChecker) report(pos token.Pos, format string, args ...any) {
+	mc.pass.Reportf(pos, format, args...)
+}
+
+// checkSignature flags by-value lock-containing parameters and results.
+func (mc *mutexCopyChecker) checkSignature(ft *ast.FuncType) {
+	if ft.Params != nil {
+		mc.checkFieldList(ft.Params, "parameter copies")
+	}
+	if ft.Results != nil {
+		mc.checkFieldList(ft.Results, "result copies")
+	}
+}
+
+func (mc *mutexCopyChecker) checkFieldList(fl *ast.FieldList, label string) {
+	for _, field := range fl.List {
+		tv, ok := mc.pass.Pkg.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if name := mc.lockIn(tv.Type); name != "" {
+			mc.report(field.Type.Pos(), "%s %s, which contains %s", label, mc.typeString(tv.Type), name)
+		}
+	}
+}
+
+// checkCopySource flags an expression that reads an existing value of
+// a lock-containing type: identifiers, selectors, derefs, and index
+// expressions copy shared state; composite literals and calls build
+// fresh values.
+func (mc *mutexCopyChecker) checkCopySource(e ast.Expr, label string) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := mc.typeOf(e)
+	if name := mc.lockIn(t); name != "" {
+		mc.report(e.Pos(), "%s %s by value, which contains %s", label, mc.typeString(t), name)
+	}
+}
+
+func (mc *mutexCopyChecker) typeOf(e ast.Expr) types.Type {
+	tv, ok := mc.pass.Pkg.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+func (mc *mutexCopyChecker) typeString(t types.Type) string {
+	if t == nil {
+		return "<unknown>"
+	}
+	return types.TypeString(t, types.RelativeTo(mc.pass.Pkg.Types))
+}
+
+// lockIn returns the name of the sync primitive a by-value copy of t
+// would duplicate ("sync.Mutex", ...), or "" if t is copy-safe.
+// Pointers, slices, maps, channels, and interfaces share rather than
+// copy their referent, so recursion stops there.
+func (mc *mutexCopyChecker) lockIn(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if name, ok := mc.memo[t]; ok {
+		return name
+	}
+	mc.memo[t] = "" // cycle guard: assume safe while computing
+	name := mc.lockInUncached(t)
+	mc.memo[t] = name
+	return name
+}
+
+func (mc *mutexCopyChecker) lockInUncached(t types.Type) string {
+	t = types.Unalias(t)
+	if n, ok := t.(*types.Named); ok {
+		if pkg := n.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" {
+			switch n.Obj().Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once":
+				return "sync." + n.Obj().Name()
+			}
+		}
+		return mc.lockIn(n.Underlying())
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if name := mc.lockIn(t.Field(i).Type()); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return mc.lockIn(t.Elem())
+	}
+	return ""
+}
+
+// calleeIsBuiltin reports whether the call invokes a builtin (len,
+// append, ...) or is a type conversion — neither is a function-call
+// copy in the sense this check cares about.
+func calleeIsBuiltin(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch info.Uses[fun].(type) {
+		case *types.Builtin, *types.TypeName:
+			return true
+		}
+	case *ast.SelectorExpr:
+		if _, ok := info.Uses[fun.Sel].(*types.TypeName); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -9,6 +9,9 @@
 // but suppression directives honored, and then requires an exact match:
 // every diagnostic must satisfy a want on its line, and every want must
 // be satisfied — so both false negatives and false positives fail.
+//
+// The core, Verify, has no testing.T dependency so `hclint -fixtures`
+// can run the same comparison as a self-test from the command line.
 package linttest
 
 import (
@@ -30,25 +33,28 @@ type expectation struct {
 	matched bool
 }
 
-// Run executes the check against testdata/src/<check.Name> (relative
-// to the calling test's directory) and compares diagnostics against
-// the fixture's want comments. Directive syntax errors surface as
-// diagnostics of the pseudo-check "directive", so fixtures can pin the
-// suppression machinery too.
-func Run(t *testing.T, check lint.Check) {
-	t.Helper()
-	dir := filepath.Join("testdata", "src", check.Name)
+// Verify runs the check against the fixture tree rooted at dir and
+// returns one human-readable line per mismatch: an unexpected
+// diagnostic (no want on its line matches) or a missing one (a want
+// nothing satisfied). An empty slice means the fixture is golden. The
+// error covers harness failures — an unloadable fixture or a malformed
+// want comment — not check findings.
+func Verify(check lint.Check, dir string) ([]string, error) {
 	loader := lint.NewLoader()
 	pkgs, err := loader.LoadDir(dir, "lintfixture/"+check.Name, true)
 	if err != nil {
-		t.Fatalf("loading fixture %s: %v", dir, err)
+		return nil, fmt.Errorf("loading fixture %s: %w", dir, err)
 	}
 	if len(pkgs) == 0 {
-		t.Fatalf("fixture %s has no packages", dir)
+		return nil, fmt.Errorf("fixture %s has no packages", dir)
 	}
+	var mismatches []string
 	for _, pkg := range pkgs {
 		diags := lint.RunCheck(pkg, check)
-		wants := collectWants(t, pkg)
+		wants, err := collectWants(pkg)
+		if err != nil {
+			return nil, err
+		}
 		for _, d := range diags {
 			key := fmt.Sprintf("%s:%d", d.File, d.Line)
 			exps := wants[key]
@@ -61,23 +67,42 @@ func Run(t *testing.T, check lint.Check) {
 				}
 			}
 			if !ok {
-				t.Errorf("unexpected diagnostic at %s: [%s] %s", key, d.Check, d.Message)
+				mismatches = append(mismatches,
+					fmt.Sprintf("unexpected diagnostic at %s: [%s] %s", key, d.Check, d.Message))
 			}
 		}
 		for key, exps := range wants {
 			for _, e := range exps {
 				if !e.matched {
-					t.Errorf("missing diagnostic at %s: want match for %q", key, e.re)
+					mismatches = append(mismatches,
+						fmt.Sprintf("missing diagnostic at %s: want match for %q", key, e.re))
 				}
 			}
 		}
+	}
+	return mismatches, nil
+}
+
+// Run executes the check against testdata/src/<check.Name> (relative
+// to the calling test's directory) and compares diagnostics against
+// the fixture's want comments. Directive syntax errors surface as
+// diagnostics of the pseudo-check "directive", so fixtures can pin the
+// suppression machinery too.
+func Run(t *testing.T, check lint.Check) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", check.Name)
+	mismatches, err := Verify(check, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mismatches {
+		t.Error(m)
 	}
 }
 
 // collectWants scans the fixture's comments for want expectations,
 // keyed by file:line.
-func collectWants(t *testing.T, pkg *lint.Package) map[string][]*expectation {
-	t.Helper()
+func collectWants(pkg *lint.Package) (map[string][]*expectation, error) {
 	wants := make(map[string][]*expectation)
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -93,16 +118,16 @@ func collectWants(t *testing.T, pkg *lint.Package) map[string][]*expectation {
 				pos := pkg.Fset.Position(c.Pos())
 				quoted := wantRe.FindAllString(body, -1)
 				if len(quoted) == 0 {
-					t.Fatalf("%s:%d: want comment with no quoted regexp", pos.Filename, pos.Line)
+					return nil, fmt.Errorf("%s:%d: want comment with no quoted regexp", pos.Filename, pos.Line)
 				}
 				for _, q := range quoted {
 					pat, err := strconv.Unquote(q)
 					if err != nil {
-						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						return nil, fmt.Errorf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
 					}
 					re, err := regexp.Compile(pat)
 					if err != nil {
-						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
 					}
 					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 					wants[key] = append(wants[key], &expectation{re: re})
@@ -110,5 +135,5 @@ func collectWants(t *testing.T, pkg *lint.Package) map[string][]*expectation {
 			}
 		}
 	}
-	return wants
+	return wants, nil
 }

@@ -5,9 +5,14 @@ import "fmt"
 // Checks returns every registered check, in stable order.
 func Checks() []Check {
 	return []Check{
+		AckDiscipline,
+		AtomicMix,
 		ErrCheckLite,
 		FloatEq,
+		GoroutineHygiene,
+		LockDiscipline,
 		MapOrder,
+		MutexCopy,
 		RandHygiene,
 		TimeHygiene,
 	}

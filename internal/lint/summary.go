@@ -1,0 +1,670 @@
+// Function-summary layer: the shared infrastructure under the
+// concurrency checks (lock-discipline, ack-discipline,
+// goroutine-hygiene). It stays deliberately lightweight — go/ast +
+// go/types only, no SSA: per-package indexes from *types.Func to
+// declaration, //hclint:guardedby annotation collection, a
+// flow-sensitive lock simulator with branch merging, and linear
+// append/sync summaries with one-level call propagation.
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ---------------------------------------------------------------------
+// //hclint:guardedby annotations
+// ---------------------------------------------------------------------
+
+// GuardedByPrefix introduces a lock annotation on a struct field:
+//
+//	mu      sync.Mutex
+//	count   int //hclint:guardedby mu
+//
+// The single argument names a sibling field of type sync.Mutex or
+// sync.RWMutex. lock-discipline then requires that lock held (by a
+// flow-sensitive simulation of Lock/RLock/Unlock/defer Unlock) at
+// every read or write of the annotated field.
+const GuardedByPrefix = "//hclint:guardedby"
+
+// guardSet is the package's annotation index.
+type guardSet struct {
+	// fields maps each annotated field object to the name of its
+	// guarding sibling mutex field.
+	fields map[*types.Var]string
+	// byType maps a named struct type to the set of mutex field names
+	// that guard at least one of its fields. Used for the *Locked
+	// helper-call rule and for seeding the held-set of *Locked methods.
+	byType map[*types.Named]map[string]bool
+}
+
+func (gs *guardSet) guardsOf(t types.Type) map[string]bool {
+	n := namedOf(t)
+	if n == nil {
+		return nil
+	}
+	return gs.byType[n]
+}
+
+// collectGuards scans the package's struct declarations for guardedby
+// annotations, validating each against its siblings. Malformed
+// annotations are reported through the pass (they can never silently
+// disable a check).
+func collectGuards(pass *Pass) *guardSet {
+	gs := &guardSet{
+		fields: make(map[*types.Var]string),
+		byType: make(map[*types.Named]map[string]bool),
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// Index the sibling fields by name so the mutex argument
+			// can be validated.
+			siblings := make(map[string]types.Type)
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						siblings[name.Name] = obj.Type()
+					}
+				}
+			}
+			var named *types.Named
+			if def := info.Defs[ts.Name]; def != nil {
+				named = namedOf(def.Type())
+			}
+			for _, field := range st.Fields.List {
+				mu, ok := guardAnnotation(field)
+				if !ok {
+					continue
+				}
+				// Malformed annotations are reported at the field so
+				// the diagnostic lands on the declaration whether the
+				// annotation is a doc or a trailing comment.
+				if mu == "" {
+					pass.Reportf(field.Pos(), "%s needs exactly one argument: the sibling mutex field name", GuardedByPrefix)
+					continue
+				}
+				mt, declared := siblings[mu]
+				if !declared {
+					pass.Reportf(field.Pos(), "%s names %q, which is not a field of this struct", GuardedByPrefix, mu)
+					continue
+				}
+				if !isSyncLockType(mt) {
+					pass.Reportf(field.Pos(), "%s names %q, which is not a sync.Mutex or sync.RWMutex", GuardedByPrefix, mu)
+					continue
+				}
+				for _, name := range field.Names {
+					v, ok := info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					gs.fields[v] = mu
+					if named != nil {
+						set := gs.byType[named]
+						if set == nil {
+							set = make(map[string]bool)
+							gs.byType[named] = set
+						}
+						set[mu] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return gs
+}
+
+// guardAnnotation extracts the guardedby argument from a field's doc or
+// trailing comment. ok reports whether an annotation is present at all;
+// mu is empty when the annotation is malformed (no or too many args).
+func guardAnnotation(field *ast.Field) (mu string, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, found := strings.CutPrefix(c.Text, GuardedByPrefix)
+			if !found {
+				continue
+			}
+			args := strings.Fields(rest)
+			if len(args) != 1 {
+				return "", true
+			}
+			return args[0], true
+		}
+	}
+	return "", false
+}
+
+// ---------------------------------------------------------------------
+// type helpers
+// ---------------------------------------------------------------------
+
+// namedOf unwraps pointers and aliases down to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamedType reports whether t (after deref) is the named type
+// pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// isSyncLockType reports whether t is sync.Mutex or sync.RWMutex
+// (value or pointer).
+func isSyncLockType(t types.Type) bool {
+	return isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")
+}
+
+// ---------------------------------------------------------------------
+// function index & call resolution
+// ---------------------------------------------------------------------
+
+// funcIndex maps a package's function and method objects to their
+// declarations, enabling one-level call propagation: a call site
+// resolves to its callee's summary without any global call graph.
+type funcIndex struct {
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+func indexFuncs(pkg *Package) *funcIndex {
+	idx := &funcIndex{decls: make(map[*types.Func]*ast.FuncDecl)}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				idx.decls[fn] = fd
+			}
+		}
+	}
+	return idx
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// or nil for builtins, conversions, and indirect calls through
+// function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// constIntArg returns the constant integer value of a call argument,
+// if it has one.
+func constIntArg(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// constBoolArg classifies a bool argument as literal true, literal
+// false, or dynamic.
+func constBoolArg(info *types.Info, e ast.Expr) (val, isConst bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Bool {
+		return false, false
+	}
+	return constant.BoolVal(tv.Value), true
+}
+
+// constNameOf returns the name of the declared constant an expression
+// refers to ("recAnswer"), or "" for anything else. Record classes are
+// matched by constant name, not value, so fixtures and the real journal
+// package share one rule table.
+func constNameOf(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if c, ok := info.Uses[e].(*types.Const); ok {
+			return c.Name()
+		}
+	case *ast.SelectorExpr:
+		if c, ok := info.Uses[e.Sel].(*types.Const); ok {
+			return c.Name()
+		}
+	}
+	return ""
+}
+
+// paramIndexOf returns the position of ident within the function's
+// (non-receiver) parameters, or -1.
+func paramIndexOf(info *types.Info, fd *ast.FuncDecl, id *ast.Ident) int {
+	obj := info.Uses[id]
+	if obj == nil {
+		return -1
+	}
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if info.Defs[name] == obj {
+				return i
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	return -1
+}
+
+// ---------------------------------------------------------------------
+// lock-flow simulation
+// ---------------------------------------------------------------------
+
+// lockKind is how a lock is held at a program point.
+type lockKind uint8
+
+const (
+	lockNone  lockKind = iota
+	lockRead           // via RLock
+	lockWrite          // via Lock
+)
+
+// lockState maps a rendered lock expression ("s.mu", "ms.s.mu") to how
+// it is held. States are merged at control-flow joins by intersection:
+// a lock is held after an if/else only if every normally-completing
+// branch holds it.
+type lockState map[string]lockKind
+
+func (st lockState) clone() lockState {
+	out := make(lockState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeInto replaces st's contents with the intersection of the given
+// states (weakest hold wins: write ∩ read = read).
+func (st lockState) mergeInto(states []lockState) {
+	for k := range st {
+		delete(st, k)
+	}
+	if len(states) == 0 {
+		return
+	}
+	for k, v := range states[0] {
+		min := v
+		ok := true
+		for _, other := range states[1:] {
+			ov, held := other[k]
+			if !held {
+				ok = false
+				break
+			}
+			if ov < min {
+				min = ov
+			}
+		}
+		if ok {
+			st[k] = min
+		}
+	}
+}
+
+// lockOpKind classifies a mutex method call.
+type lockOpKind uint8
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+// lockOp recognizes calls to sync.Mutex/sync.RWMutex lock methods and
+// returns the operation plus the rendered receiver expression
+// ("s.mu"). Anything else is opNone.
+func lockOp(info *types.Info, call *ast.CallExpr) (lockOpKind, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return opNone, ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return opNone, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isSyncLockType(sig.Recv().Type()) {
+		return opNone, ""
+	}
+	var op lockOpKind
+	switch fn.Name() {
+	case "Lock":
+		op = opLock
+	case "RLock":
+		op = opRLock
+	case "Unlock":
+		op = opUnlock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return opNone, ""
+	}
+	return op, types.ExprString(sel.X)
+}
+
+// lockSim walks one function body tracking which rendered lock
+// expressions are held at each statement, with branch-sensitive
+// merging, early-return awareness, and `defer mu.Unlock()` treated as
+// held-through-exit. It calls onAccess for every guarded-field read or
+// write and onCall for every call expression (with the state at the
+// call), and collects nested function literals for the caller to
+// simulate as independent scopes.
+type lockSim struct {
+	info *types.Info
+	// fresh holds locals assigned from composite literals in this
+	// scope: a value not yet shared with any other goroutine needs no
+	// lock.
+	fresh map[types.Object]bool
+	// lits are nested function literals encountered during the walk,
+	// to be analyzed as separate scopes with an empty held-set.
+	lits []*ast.FuncLit
+
+	onAccess func(sel *ast.SelectorExpr, write bool, st lockState)
+	onCall   func(call *ast.CallExpr, st lockState)
+}
+
+// run simulates the statement list from the given entry state.
+func (sim *lockSim) run(list []ast.Stmt, st lockState) {
+	sim.stmts(list, st)
+}
+
+// stmts simulates a statement list in order, mutating st. It reports
+// whether control definitely does not flow past the end of the list
+// (return / panic-free approximation: return and branch statements
+// terminate).
+func (sim *lockSim) stmts(list []ast.Stmt, st lockState) bool {
+	for _, s := range list {
+		if sim.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (sim *lockSim) stmt(s ast.Stmt, st lockState) bool {
+	switch s := unlabel(s).(type) {
+	case nil:
+		return false
+	case *ast.ExprStmt:
+		sim.scan(s.X, st)
+	case *ast.SendStmt:
+		sim.scan(s.Chan, st)
+		sim.scan(s.Value, st)
+	case *ast.IncDecStmt:
+		sim.assignTarget(s.X, st)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			sim.scan(rhs, st)
+		}
+		if s.Tok == token.DEFINE && len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && isFreshValue(s.Rhs[i]) {
+					if obj := sim.info.Defs[id]; obj != nil {
+						sim.fresh[obj] = true
+					}
+				}
+			}
+		}
+		for _, lhs := range s.Lhs {
+			sim.assignTarget(lhs, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, v := range vs.Values {
+					sim.scan(v, st)
+					if i < len(vs.Names) && isFreshValue(v) {
+						if obj := sim.info.Defs[vs.Names[i]]; obj != nil {
+							sim.fresh[obj] = true
+						}
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the lock held through every exit
+		// of the enclosing scope, so it does not change the forward
+		// state. Other deferred calls are scanned for accesses in
+		// their arguments (evaluated now); the deferred body's own
+		// effects are out of the linear model.
+		if op, _ := lockOp(sim.info, s.Call); op == opNone {
+			sim.scan(s.Call, st)
+		}
+	case *ast.GoStmt:
+		sim.scan(s.Call, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			sim.scan(r, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the enclosing list; for merge
+		// purposes the branch does not fall through.
+		return true
+	case *ast.BlockStmt:
+		return sim.stmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			sim.stmt(s.Init, st)
+		}
+		sim.scan(s.Cond, st)
+		var normals []lockState
+		thenSt := st.clone()
+		if !sim.stmts(s.Body.List, thenSt) {
+			normals = append(normals, thenSt)
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			normals = append(normals, st.clone())
+		default:
+			elseSt := st.clone()
+			if !sim.stmt(e, elseSt) {
+				normals = append(normals, elseSt)
+			}
+		}
+		if len(normals) == 0 {
+			return true
+		}
+		st.mergeInto(normals)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			sim.stmt(s.Init, st)
+		}
+		sim.scan(s.Cond, st)
+		// The body is simulated once from the loop-entry state; the
+		// state after the loop is the entry state (zero iterations are
+		// possible, and a `for {}` that re-establishes its entry
+		// invariant at the bottom matches this too).
+		body := st.clone()
+		sim.stmts(s.Body.List, body)
+		if s.Post != nil {
+			sim.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		sim.scan(s.X, st)
+		if s.Key != nil {
+			sim.assignTarget(s.Key, st)
+		}
+		if s.Value != nil {
+			sim.assignTarget(s.Value, st)
+		}
+		body := st.clone()
+		sim.stmts(s.Body.List, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			sim.stmt(s.Init, st)
+		}
+		sim.scan(s.Tag, st)
+		return sim.clauses(s.Body, st, true)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			sim.stmt(s.Init, st)
+		}
+		sim.stmt(s.Assign, st)
+		return sim.clauses(s.Body, st, true)
+	case *ast.SelectStmt:
+		return sim.clauses(s.Body, st, false)
+	}
+	return false
+}
+
+// clauses simulates switch/select clause bodies as parallel branches.
+// needDefault is true for switches, where a missing default means the
+// entry state can flow through untouched.
+func (sim *lockSim) clauses(body *ast.BlockStmt, st lockState, needDefault bool) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	var normals []lockState
+	hasDefault := false
+	for _, clause := range body.List {
+		cl := st.clone()
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				sim.scan(e, cl)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				sim.stmt(c.Comm, cl)
+			}
+			stmts = c.Body
+		}
+		if !sim.stmts(stmts, cl) {
+			normals = append(normals, cl)
+		}
+	}
+	if needDefault && !hasDefault {
+		normals = append(normals, st.clone())
+	}
+	if len(normals) == 0 {
+		return true
+	}
+	st.mergeInto(normals)
+	return false
+}
+
+// assignTarget handles the left side of an assignment: a selector
+// target is a write access; everything inside it is reads.
+func (sim *lockSim) assignTarget(e ast.Expr, st lockState) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sim.onAccess != nil {
+			sim.onAccess(e, true, st)
+		}
+		sim.scan(e.X, st)
+	case *ast.IndexExpr:
+		// m[k] = v mutates the container, not the field header; the
+		// container read below is what needs the lock.
+		sim.scan(e.X, st)
+		sim.scan(e.Index, st)
+	case *ast.StarExpr:
+		sim.scan(e.X, st)
+	default:
+		sim.scan(e, st)
+	}
+}
+
+// scan walks an expression in read context, applying lock operations,
+// invoking the callbacks, and collecting nested function literals.
+func (sim *lockSim) scan(e ast.Expr, st lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			sim.lits = append(sim.lits, n)
+			return false
+		case *ast.CallExpr:
+			if op, target := lockOp(sim.info, n); op != opNone {
+				switch op {
+				case opLock:
+					st[target] = lockWrite
+				case opRLock:
+					st[target] = lockRead
+				case opUnlock, opRUnlock:
+					delete(st, target)
+				}
+				return false
+			}
+			if sim.onCall != nil {
+				sim.onCall(n, st)
+			}
+			return true
+		case *ast.SelectorExpr:
+			if sim.onAccess != nil {
+				sim.onAccess(n, false, st)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// isFreshValue reports whether an initializer produces a value that
+// cannot yet be shared: a composite literal, its address, or a new().
+func isFreshValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}

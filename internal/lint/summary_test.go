@@ -1,0 +1,259 @@
+package lint
+
+// White-box tests for the function-summary layer behind lock-discipline
+// and ack-discipline: the guardedby annotation index, the lock-flow
+// simulation (defer, early return, branch merge), and one-level
+// summary propagation through helpers. The golden fixtures cover the
+// same machinery end to end; these pin the layer's contracts directly
+// on small synthesized packages so a regression points at the layer,
+// not at a fixture diff.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSrc type-checks a single synthesized file as its own package.
+func loadSrc(t *testing.T, importPath, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "src.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader().LoadDir(dir, importPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// messages flattens diagnostics for contains-style assertions.
+func messages(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Message)
+	}
+	return out
+}
+
+func assertDiags(t *testing.T, diags []Diagnostic, wants ...string) {
+	t.Helper()
+	if len(diags) != len(wants) {
+		t.Fatalf("diagnostics = %v, want %d of them", messages(diags), len(wants))
+	}
+	for i, want := range wants {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, diags[i].Message, want)
+		}
+	}
+}
+
+// TestCollectGuards pins the annotation index: annotated fields map to
+// their guard by name, unannotated siblings stay out, and byType
+// aggregates the guard names per struct.
+func TestCollectGuards(t *testing.T) {
+	pkg := loadSrc(t, "x/guards", `package guards
+
+import "sync"
+
+type S struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	a    int //hclint:guardedby mu
+	b    int //hclint:guardedby rw
+	free int
+}
+`)
+	var diags []Diagnostic
+	pass := &Pass{Pkg: pkg, check: "lock-discipline", diags: &diags}
+	gs := collectGuards(pass)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", messages(diags))
+	}
+	byGuard := make(map[string]int)
+	for _, mu := range gs.fields {
+		byGuard[mu]++
+	}
+	if byGuard["mu"] != 1 || byGuard["rw"] != 1 || len(gs.fields) != 2 {
+		t.Errorf("fields index = %v, want one field per guard and no entry for free", byGuard)
+	}
+	found := false
+	for named, guards := range gs.byType {
+		if named.Obj().Name() != "S" {
+			continue
+		}
+		found = true
+		if !guards["mu"] || !guards["rw"] || len(guards) != 2 {
+			t.Errorf("guardsOf(S) = %v, want {mu, rw}", guards)
+		}
+	}
+	if !found {
+		t.Error("byType has no entry for S")
+	}
+}
+
+// TestCollectGuardsMalformed pins validation: a guard that is not a
+// sibling, not a mutex, or an annotation with the wrong arity is
+// reported rather than silently dropped.
+func TestCollectGuardsMalformed(t *testing.T) {
+	pkg := loadSrc(t, "x/guardsbad", `package guardsbad
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+	//hclint:guardedby nosuch
+	a int
+	//hclint:guardedby n
+	b int
+	//hclint:guardedby mu extra
+	c int
+}
+`)
+	var diags []Diagnostic
+	pass := &Pass{Pkg: pkg, check: "lock-discipline", diags: &diags}
+	collectGuards(pass)
+	assertDiags(t, diags,
+		"not a field of this struct",
+		"not a sync.Mutex or sync.RWMutex",
+		"needs exactly one argument",
+	)
+}
+
+const lockFlowPrelude = `package flow
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int //hclint:guardedby mu
+}
+`
+
+// TestLockFlowDefer: a deferred Unlock keeps the lock held through
+// every exit, including an early return.
+func TestLockFlowDefer(t *testing.T) {
+	pkg := loadSrc(t, "x/flow", lockFlowPrelude+`
+func (s *S) deferred(early bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if early {
+		return s.n
+	}
+	s.n++
+	return s.n
+}
+`)
+	assertDiags(t, RunCheck(pkg, LockDiscipline))
+}
+
+// TestLockFlowEarlyRelease: after an explicit Unlock the guard is gone,
+// so the access on the way out is flagged.
+func TestLockFlowEarlyRelease(t *testing.T) {
+	pkg := loadSrc(t, "x/flow", lockFlowPrelude+`
+func (s *S) released() int {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	return s.n
+}
+`)
+	assertDiags(t, RunCheck(pkg, LockDiscipline), "read of s.n without holding s.mu")
+}
+
+// TestLockFlowBranchMerge: states merge by intersection, so a lock
+// taken on only one branch does not survive the join — but a branch
+// that returns while holding is excluded from the merge.
+func TestLockFlowBranchMerge(t *testing.T) {
+	pkg := loadSrc(t, "x/flow", lockFlowPrelude+`
+func (s *S) oneArm(b bool) int {
+	if b {
+		s.mu.Lock()
+	}
+	n := s.n
+	if b {
+		s.mu.Unlock()
+	}
+	return n
+}
+
+func (s *S) terminatingArm(b bool) int {
+	s.mu.Lock()
+	if b {
+		n := s.n
+		s.mu.Unlock()
+		return n
+	}
+	defer s.mu.Unlock()
+	return s.n
+}
+`)
+	assertDiags(t, RunCheck(pkg, LockDiscipline), "read of s.n without holding s.mu")
+}
+
+// TestLockFlowHelperPropagation: a *Locked method's body is checked
+// with the receiver's guards seeded as held, and calling it without
+// the lock is itself a violation — the one-level summary propagation.
+func TestLockFlowHelperPropagation(t *testing.T) {
+	pkg := loadSrc(t, "x/flow", lockFlowPrelude+`
+func (s *S) bumpLocked() { s.n++ }
+
+func (s *S) good() {
+	s.mu.Lock()
+	s.bumpLocked()
+	s.mu.Unlock()
+}
+
+func (s *S) bad() {
+	s.bumpLocked()
+}
+`)
+	assertDiags(t, RunCheck(pkg, LockDiscipline),
+		"call to s.bumpLocked without holding s.mu")
+}
+
+// TestAckGatePropagation pins the ack-summary layer's per-call-site
+// resolution: a bool parameter gating Writer.Sync is inherited one
+// level through a forwarding helper, so a literal false at the outer
+// call surfaces at that call while a literal true stays clean.
+func TestAckGatePropagation(t *testing.T) {
+	pkg := loadSrc(t, "x/internal/server", `package server
+
+type Record struct{ Type byte }
+
+type Writer struct{}
+
+func (w *Writer) Append(r Record) error { return nil }
+func (w *Writer) Sync() error           { return nil }
+
+const recAnswer byte = 3
+
+type journal struct{ w *Writer }
+
+func (j *journal) appendLocked(typ byte, commit bool) error {
+	if err := j.w.Append(Record{Type: typ}); err != nil {
+		return err
+	}
+	if commit {
+		return j.w.Sync()
+	}
+	return nil
+}
+
+func (j *journal) forward(commit bool) error {
+	return j.appendLocked(recAnswer, commit)
+}
+
+func (j *journal) durable() error { return j.forward(true) }
+
+func (j *journal) dropped() error { return j.forward(false) }
+`)
+	assertDiags(t, RunCheck(pkg, AckDiscipline),
+		"recAnswer is appended with no Sync before return")
+}

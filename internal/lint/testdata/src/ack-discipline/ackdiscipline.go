@@ -1,0 +1,179 @@
+// Fixture for ack-discipline: synced-class journal records
+// (recCreated/recAnswer/recRoundSeal/recTaskAdmit, matched by constant
+// name) must reach a Writer.Sync before the function returns or a
+// success HTTP response is written. The mini journal mirrors the real
+// one's shape: a param-gated appendLocked(typ, payload, commit) helper
+// under typed wrappers, resolved per call site through the
+// function-summary layer.
+package ackdiscipline
+
+import "net/http"
+
+type Record struct {
+	Type    byte
+	Payload []byte
+}
+
+type Writer struct{}
+
+func (w *Writer) Append(r Record) error { return nil }
+func (w *Writer) Sync() error           { return nil }
+
+const (
+	recCreated   byte = 1
+	recRoundOpen byte = 2
+	recAnswer    byte = 3
+	recRoundSeal byte = 4
+	recTaskAdmit byte = 6
+)
+
+type journal struct {
+	w *Writer
+}
+
+// appendLocked is the param-gated helper: the summary layer learns
+// that parameter 0 carries the record type and parameter 2 gates the
+// Sync.
+func (j *journal) appendLocked(typ byte, payload []byte, commit bool) error {
+	if err := j.w.Append(Record{Type: typ, Payload: payload}); err != nil {
+		return err
+	}
+	if commit {
+		return j.w.Sync()
+	}
+	return nil
+}
+
+// literal true commits are durable.
+func (j *journal) answerAccepted(p []byte) error {
+	return j.appendLocked(recAnswer, p, true)
+}
+
+// a literal false commit of a synced class is the bug the check
+// exists for.
+func (j *journal) answerDropped(p []byte) error {
+	return j.appendLocked(recAnswer, p, false) // want "recAnswer is appended with no Sync before return"
+}
+
+// recRoundOpen is not a synced class: lazy flushing is by design.
+func (j *journal) roundOpened(p []byte) error {
+	return j.appendLocked(recRoundOpen, p, false)
+}
+
+// forwarding the commit gate one level (the real taskAdmitted) keeps
+// the gating: callers decide per fragment.
+func (j *journal) taskAdmitted(p []byte, commit bool) error {
+	return j.appendLocked(recTaskAdmit, p, commit)
+}
+
+func (j *journal) admitFinal(p []byte) error {
+	return j.taskAdmitted(p, true)
+}
+
+func (j *journal) admitDropped(p []byte) error {
+	return j.taskAdmitted(p, false) // want "recTaskAdmit is appended with no Sync before return"
+}
+
+// a dynamic commit is the batch idiom — the final fragment commits —
+// and is trusted on the linear trace.
+func (j *journal) admitBatch(ps [][]byte) error {
+	for i, p := range ps {
+		last := i == len(ps)-1
+		if err := j.taskAdmitted(p, last); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// a raw Append of a synced class with no Sync anywhere.
+func (j *journal) rawSealDropped(p []byte) error {
+	return j.w.Append(Record{Type: recRoundSeal, Payload: p}) // want "recRoundSeal is appended with no Sync before return"
+}
+
+// ...and the fixed version: append, then sync.
+func (j *journal) rawSealSynced(p []byte) error {
+	if err := j.w.Append(Record{Type: recRoundSeal, Payload: p}); err != nil {
+		return err
+	}
+	return j.w.Sync()
+}
+
+type session struct {
+	j *journal
+}
+
+func (s *session) accept(p []byte) error { return s.j.answerAccepted(p) }
+
+// leaves recAnswer undurable; reported once, at the append site inside
+// answerDropped, not again here.
+func (s *session) acceptStale(p []byte) error { return s.j.answerDropped(p) }
+
+type router struct{}
+
+func (rt *router) writeJSON(w http.ResponseWriter, code int, v any) {}
+
+// synced append, then ack: clean.
+func handleAnswer(rt *router, s *session, w http.ResponseWriter, p []byte) {
+	if err := s.accept(p); err != nil {
+		return
+	}
+	rt.writeJSON(w, http.StatusAccepted, nil)
+}
+
+// the ack rule: a 2xx response while a synced-class append from a
+// spliced callee is still undurable.
+func handleStale(rt *router, s *session, w http.ResponseWriter, p []byte) {
+	if err := s.acceptStale(p); err != nil {
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, nil) // want "success response \\(200\\) acknowledges journal record\\(s\\) recAnswer"
+}
+
+// WriteHeader acks count too.
+func handleStaleHeader(rt *router, s *session, w http.ResponseWriter, p []byte) {
+	if err := s.acceptStale(p); err != nil {
+		return
+	}
+	w.WriteHeader(http.StatusAccepted) // want "success response \\(202\\) acknowledges journal record\\(s\\) recAnswer"
+}
+
+// non-2xx responses are not acks.
+func handleError(rt *router, s *session, w http.ResponseWriter, p []byte) {
+	_ = s.acceptStale(p)
+	rt.writeJSON(w, http.StatusInternalServerError, nil)
+}
+
+// a Sync between the stale append and the ack repairs the trace.
+func handleRepaired(rt *router, s *session, w http.ResponseWriter, p []byte) {
+	if err := s.acceptStale(p); err != nil {
+		return
+	}
+	if err := s.j.w.Sync(); err != nil {
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, nil)
+}
+
+// handler closures are independent trace units.
+func register(rt *router, s *session, mux *http.ServeMux) {
+	mux.HandleFunc("/stale", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.acceptStale(nil); err != nil {
+			return
+		}
+		rt.writeJSON(w, http.StatusOK, nil) // want "success response \\(200\\) acknowledges journal record\\(s\\) recAnswer"
+	})
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.accept(nil); err != nil {
+			return
+		}
+		rt.writeJSON(w, http.StatusOK, nil)
+	})
+}
+
+// a reasoned suppression is the escape hatch for intentional patterns.
+func handleSuppressed(rt *router, s *session, w http.ResponseWriter, p []byte) {
+	_ = s.acceptStale(p)
+	//hclint:ignore ack-discipline fixture: response is advisory, replay rebuilds the record
+	rt.writeJSON(w, http.StatusOK, nil)
+}

@@ -1,0 +1,65 @@
+// Fixture for atomic-mix: a field or package-level variable whose
+// address reaches a sync/atomic function must never be loaded or
+// stored plainly — even atomic-writes-plus-plain-reads race.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	evals int64
+	calls int64
+	plain int64
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.evals, 1)
+	atomic.AddInt64(&s.calls, 1)
+}
+
+// atomic access everywhere is fine.
+func (s *stats) snapshot() int64 {
+	return atomic.LoadInt64(&s.evals)
+}
+
+// a plain read of an atomically-updated field races.
+func (s *stats) mixedRead() int64 {
+	return s.evals // want "evals is accessed with sync/atomic"
+}
+
+// ...and so does a plain store.
+func (s *stats) mixedWrite() {
+	s.calls = 0 // want "calls is accessed with sync/atomic"
+}
+
+// fields never touched by sync/atomic are unrestricted.
+func (s *stats) untouched() int64 {
+	s.plain++
+	return s.plain
+}
+
+// package-level variables participate too.
+var hits int64
+
+func record() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func report() int64 {
+	return hits // want "hits is accessed with sync/atomic"
+}
+
+// typed atomics are immune by construction: no plain access compiles.
+type typedStats struct {
+	evals atomic.Int64
+}
+
+func (t *typedStats) bump() int64 {
+	t.evals.Add(1)
+	return t.evals.Load()
+}
+
+// suppression with a reason.
+func (s *stats) suppressedInit() {
+	//hclint:ignore atomic-mix fixture: constructor runs before any goroutine exists
+	s.evals = 0
+}

@@ -1,0 +1,107 @@
+// Fixture for goroutine-hygiene: every go statement must show a
+// lifecycle tie — a context, a channel operation, or a WaitGroup.Done
+// — in its body, its one-level-resolved callee, or its arguments.
+package goroutinehygiene
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// a context parameter in the body bounds the goroutine.
+func (w *worker) withContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// closing a channel on exit is a completion signal.
+func (w *worker) withClose() {
+	go func() {
+		defer close(w.done)
+	}()
+}
+
+// receiving from a channel ties the goroutine to its producer.
+func (w *worker) withReceive() {
+	go func() {
+		<-w.done
+	}()
+}
+
+// select over channels counts.
+func (w *worker) withSelect(in chan int) {
+	go func() {
+		select {
+		case <-in:
+		case <-w.done:
+		}
+	}()
+}
+
+// WaitGroup.Done ties the goroutine to a Wait.
+func (w *worker) withWaitGroup() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+	}()
+}
+
+// ranging over a channel drains until close.
+func (w *worker) withChanRange(in chan int) {
+	go func() {
+		for range in {
+		}
+	}()
+}
+
+func (w *worker) spin() {
+	for {
+	}
+}
+
+// a named callee is resolved one level: spin has no lifecycle tie.
+func (w *worker) unboundedCallee() {
+	go w.spin() // want "goroutine has no shutdown mechanism"
+}
+
+// watch receives from a channel, so spawning it is fine.
+func (w *worker) watch() {
+	<-w.done
+}
+
+func (w *worker) boundedCallee() {
+	go w.watch()
+}
+
+// a context or channel argument at the spawn site counts even when
+// the callee cannot be resolved.
+func spawnWith(ctx context.Context, f func(context.Context)) {
+	go f(ctx)
+}
+
+// a bare literal that just computes forever is unbounded.
+func leak(xs []int) {
+	go func() { // want "goroutine has no shutdown mechanism"
+		total := 0
+		for _, x := range xs {
+			total += x
+		}
+		_ = total
+	}()
+}
+
+// suppression with a reason is the escape hatch for process-lifetime
+// goroutines.
+func daemon() {
+	//hclint:ignore goroutine-hygiene fixture: process-lifetime metrics pump
+	go func() {
+		for {
+		}
+	}()
+}

@@ -1,0 +1,190 @@
+// Fixture for lock-discipline: //hclint:guardedby fields must be
+// accessed with the named sibling mutex held, across Lock/Unlock,
+// defer Unlock, early returns, branch merges, *Locked helpers, RWMutex
+// read/write modes, fresh locals, and closures.
+package lockdiscipline
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int //hclint:guardedby mu
+	name string
+}
+
+// plain lock/unlock bracketing is clean.
+func (c *counter) locked() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// defer Unlock keeps the lock held through every exit, including the
+// early return.
+func (c *counter) deferred(flag bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if flag {
+		return c.n
+	}
+	c.n = 0
+	return c.n
+}
+
+// unguarded sibling fields never need the lock.
+func (c *counter) unguarded() string {
+	return c.name
+}
+
+func (c *counter) bare() {
+	c.n++ // want "write to c.n without holding c.mu"
+}
+
+func (c *counter) bareRead() int {
+	return c.n // want "read of c.n without holding c.mu"
+}
+
+// the early-return path releases before returning; the fallthrough
+// path is still covered.
+func (c *counter) earlyReturn(flag bool) {
+	c.mu.Lock()
+	if flag {
+		c.mu.Unlock()
+		return
+	}
+	c.n = 2
+	c.mu.Unlock()
+}
+
+// after the unlock the lock is gone.
+func (c *counter) afterUnlock() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.n = 2 // want "write to c.n without holding c.mu"
+}
+
+// one branch releases, so the merge point no longer holds the lock.
+func (c *counter) branchLeak(flag bool) {
+	c.mu.Lock()
+	if flag {
+		c.mu.Unlock()
+		return
+	}
+	if flag {
+		c.mu.Unlock()
+	}
+	c.n++ // want "write to c.n without holding c.mu"
+}
+
+// *Locked helpers assume the caller holds the receiver's guard...
+func (c *counter) bumpLocked() { c.n++ }
+
+func (c *counter) viaHelper() {
+	c.mu.Lock()
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+// ...so calling one without the lock is itself a violation.
+func (c *counter) helperBare() {
+	c.bumpLocked() // want "call to c.bumpLocked without holding c.mu"
+}
+
+// a fresh composite-literal local cannot be shared yet.
+func fresh() *counter {
+	c := &counter{}
+	c.n = 1
+	c.bumpLocked()
+	return c
+}
+
+// closures are separate scopes: the enclosing Lock does not cover a
+// body that runs on its own goroutine.
+func (c *counter) closure() {
+	c.mu.Lock()
+	go func() {
+		c.n++ // want "write to c.n without holding c.mu"
+	}()
+	c.n++
+	c.mu.Unlock()
+}
+
+// multi-level bases render structurally: ms.c.mu guards ms.c.n.
+type wrapper struct {
+	c *counter
+}
+
+func (w *wrapper) deep() {
+	w.c.mu.Lock()
+	w.c.n++
+	w.c.mu.Unlock()
+	w.c.n++ // want "write to w.c.n without holding w.c.mu"
+}
+
+// RWMutex: RLock admits reads but not writes.
+type gauge struct {
+	mu sync.RWMutex
+	v  int //hclint:guardedby mu
+}
+
+func (g *gauge) read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+func (g *gauge) badWrite() {
+	g.mu.RLock()
+	g.v = 1 // want "write to g.v while holding only g.mu.RLock"
+	g.mu.RUnlock()
+}
+
+func (g *gauge) write() {
+	g.mu.Lock()
+	g.v = 1
+	g.mu.Unlock()
+}
+
+// loops: the body is simulated from the loop-entry state, so a
+// re-established invariant at the bottom carries over.
+func (c *counter) loop(xs []int) {
+	c.mu.Lock()
+	for range xs {
+		c.n++
+		c.mu.Unlock()
+		c.mu.Lock()
+	}
+	c.mu.Unlock()
+}
+
+// select: every arm must hold the lock for the access after the merge.
+func (c *counter) selectMerge(ch chan int) {
+	select {
+	case <-ch:
+		c.mu.Lock()
+	default:
+		c.mu.Lock()
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// suppression with a reason silences a site.
+func (c *counter) suppressed() int {
+	//hclint:ignore lock-discipline fixture: single-threaded setup phase
+	return c.n
+}
+
+// malformed annotations are diagnostics, not silent no-ops.
+type badAnnotations struct {
+	mu sync.Mutex
+	//hclint:guardedby nosuch
+	a int // want "not a field of this struct"
+	//hclint:guardedby name
+	b int // want "not a sync.Mutex or sync.RWMutex"
+	//hclint:guardedby
+	c int // want "needs exactly one argument"
+
+	name string
+}

@@ -1,0 +1,105 @@
+// Fixture for mutex-copy: by-value copies of types that transitively
+// contain sync.Mutex/RWMutex/WaitGroup/Once — value receivers, params,
+// results, assignments, range values, call arguments — are flagged;
+// pointers and constructive expressions are not.
+package mutexcopy
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// nesting is transitive: box contains guarded contains sync.Mutex.
+type box struct {
+	g guarded
+}
+
+type onceBox struct {
+	once sync.Once
+}
+
+type arrayBox struct {
+	gs [2]guarded
+}
+
+// pointer fields share, not copy.
+type viaPointer struct {
+	g *guarded
+}
+
+func (g *guarded) ptrRecv() {}
+
+func (g guarded) valRecv() {} // want "value receiver of method valRecv guarded, which contains sync.Mutex"
+
+func (b box) nested() {} // want "value receiver of method nested box, which contains sync.Mutex"
+
+func takesValue(g guarded) {} // want "parameter copies guarded, which contains sync.Mutex"
+
+func takesPointer(g *guarded) {}
+
+func takesOnce(o onceBox) {} // want "parameter copies onceBox, which contains sync.Once"
+
+func takesArray(a arrayBox) {} // want "parameter copies arrayBox, which contains sync.Mutex"
+
+func takesShared(v viaPointer) {}
+
+func returnsValue() guarded { // want "result copies guarded, which contains sync.Mutex"
+	return guarded{}
+}
+
+func assigns(src *guarded) {
+	cp := *src // want "assignment copies guarded by value, which contains sync.Mutex"
+	_ = cp
+
+	var g guarded
+	g2 := g // want "assignment copies guarded by value, which contains sync.Mutex"
+	_ = g2
+
+	// composite literals build fresh values; no shared state copied.
+	fresh := guarded{}
+	_ = fresh
+
+	// pointers share.
+	p := src
+	_ = p
+}
+
+func declares(src *guarded) {
+	var cp = *src // want "declaration copies guarded by value, which contains sync.Mutex"
+	_ = cp
+}
+
+func ranges(gs []guarded, m map[string]guarded) {
+	for _, g := range gs { // want "range value copies guarded, which contains sync.Mutex"
+		_ = g
+	}
+	for i := range gs {
+		_ = gs[i].n
+	}
+	for _, g := range m { // want "range value copies guarded, which contains sync.Mutex"
+		_ = g
+	}
+}
+
+func calls(g guarded) { // want "parameter copies guarded, which contains sync.Mutex"
+	takesValue(g) // want "call passes guarded by value, which contains sync.Mutex"
+	takesPointer(&g)
+}
+
+type wg struct {
+	wg sync.WaitGroup
+}
+
+func waitgroups(w *wg) {
+	cp := w.wg // want "assignment copies sync.WaitGroup by value, which contains sync.WaitGroup"
+	_ = cp
+}
+
+// suppression with a reason.
+func suppressed(src *guarded) {
+	//hclint:ignore mutex-copy fixture: snapshot taken before the value is ever shared
+	cp := *src
+	_ = cp
+}

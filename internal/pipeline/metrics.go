@@ -66,7 +66,7 @@ type MetricsSink interface {
 // Safe for concurrent use.
 type MetricsRecorder struct {
 	mu     sync.Mutex
-	rounds []RoundMetrics
+	rounds []RoundMetrics //hclint:guardedby mu
 }
 
 // RecordRound implements MetricsSink.

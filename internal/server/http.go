@@ -335,11 +335,19 @@ func (h *httpHandler) labels(w http.ResponseWriter, r *http.Request) {
 		h.rt.httpError(w, http.StatusConflict, "labeling still in progress")
 		return
 	}
+	// Snapshot under the lock, encode after: writeJSON blocks on the
+	// client connection, and holding s.mu across a slow client would
+	// stall every other handler and the engine itself.
 	h.s.mu.Lock()
-	defer h.s.mu.Unlock()
-	if h.s.runErr != nil {
-		h.rt.httpError(w, http.StatusInternalServerError, h.s.runErr.Error())
+	runErr := h.s.runErr
+	var labels []bool
+	if h.s.result != nil {
+		labels = h.s.result.Labels
+	}
+	h.s.mu.Unlock()
+	if runErr != nil {
+		h.rt.httpError(w, http.StatusInternalServerError, runErr.Error())
 		return
 	}
-	h.rt.writeJSON(w, http.StatusOK, map[string]any{"labels": h.s.result.Labels})
+	h.rt.writeJSON(w, http.StatusOK, map[string]any{"labels": labels})
 }

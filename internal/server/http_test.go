@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -251,5 +252,75 @@ func TestMetricsEndpointEndToEnd(t *testing.T) {
 	}
 	if rs, ok := snap["pipeline_round_seconds"]; !ok || rs.Histogram == nil || rs.Histogram.Count <= 0 {
 		t.Errorf("pipeline_round_seconds missing observations: %+v", snap["pipeline_round_seconds"])
+	}
+}
+
+// stallingWriter blocks on the first body write until released — a client
+// draining its response very slowly.
+type stallingWriter struct {
+	header  http.Header
+	entered chan struct{} // closed when Write first blocks
+	release chan struct{}
+	once    sync.Once
+}
+
+func (w *stallingWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = make(http.Header)
+	}
+	return w.header
+}
+func (w *stallingWriter) WriteHeader(int) {}
+func (w *stallingWriter) Write(p []byte) (int, error) {
+	w.once.Do(func() {
+		close(w.entered)
+		<-w.release
+	})
+	return len(p), nil
+}
+
+// TestLabelsSlowClientDoesNotHoldSessionLock pins the lock-discipline fix
+// in the labels handler: the result snapshot is taken under s.mu but the
+// response is encoded after the unlock, so a client that stalls mid-body
+// cannot wedge the session lock (and with it every other handler and the
+// engine).
+func TestLabelsSlowClientDoesNotHoldSessionLock(t *testing.T) {
+	ds := testDataset(t)
+	s, err := NewSession(context.Background(), ds, pipeline.Config{K: 1, Budget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := answerAll(s, ds); err != nil {
+		t.Fatal(err)
+	}
+
+	w := &stallingWriter{
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		Handler(s).ServeHTTP(w, httptest.NewRequest("GET", "/labels", nil))
+	}()
+
+	select {
+	case <-w.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("labels handler never reached the body write")
+	}
+	// The handler is parked inside the client write. The session lock
+	// must be free — before the fix this TryLock failed.
+	if !s.mu.TryLock() {
+		t.Error("s.mu held across the response write to a stalled client")
+	} else {
+		s.mu.Unlock()
+	}
+	close(w.release)
+	select {
+	case <-served:
+	case <-time.After(5 * time.Second):
+		t.Fatal("labels handler did not finish after release")
 	}
 }

@@ -105,11 +105,11 @@ type sessionJournal struct {
 	// re-writes them all between the created record and the checkpoint:
 	// the checkpoint's beliefs cover the admitted tasks, but only the
 	// fragments themselves let recovery rebuild the grown dataset.
-	admits [][]byte
+	admits [][]byte //hclint:guardedby mu
 	// compactEvery folds the log into its latest checkpoint record after
 	// this many checkpoint commits; 0 never compacts.
 	compactEvery int
-	sinceCompact int
+	sinceCompact int //hclint:guardedby mu
 }
 
 func newSessionJournal(w *journal.Writer, created []byte, compactEvery int, ins *journalInstruments) *sessionJournal {

@@ -74,15 +74,15 @@ type Session struct {
 	experts crowd.Crowd
 
 	mu       sync.Mutex
-	pending  *pendingRound
-	nextID   int
-	result   *pipeline.Result
-	runErr   error
-	closed   bool
-	draining bool // graceful shutdown: reject new answers, stop advertising rounds
+	pending  *pendingRound    //hclint:guardedby mu
+	nextID   int              //hclint:guardedby mu
+	result   *pipeline.Result //hclint:guardedby mu
+	runErr   error            //hclint:guardedby mu
+	closed   bool             //hclint:guardedby mu
+	draining bool             //hclint:guardedby mu
 	// checkpoint is the latest warm checkpoint the loop emitted (one per
 	// completed round); nil until the first round finishes.
-	checkpoint *pipeline.Checkpoint
+	checkpoint *pipeline.Checkpoint //hclint:guardedby mu
 
 	// journal, when non-nil, makes the session durable: accepted answers
 	// and sealed rounds are fsynced before they are acknowledged, and
@@ -91,27 +91,31 @@ type Session struct {
 	// accepting answers and the engine aborts with it (a session that
 	// cannot persist its history must not keep collecting it).
 	journal *sessionJournal
-	jerr    error
+	jerr    error //hclint:guardedby mu
 	// replay is the journaled round suffix a recovered session still owes
 	// the engine: publish pops it, validates the engine re-planned the
 	// identical round, and injects the journaled answers before going
 	// live. costAware selects the cost-aware engine flavor.
-	replay    []*replayRound
+	replay    []*replayRound //hclint:guardedby mu
 	costAware bool
 
 	// Streaming admission (enabled when the config carries a budget
 	// window): AdmitTasks journals and queues fragments, the engine's
-	// admission source drains the queue at round boundaries. All guarded
-	// by mu except admitCh, which is replaced under mu and closed to wake
-	// a parked engine.
-	admitEnabled  bool
-	admitQueue    []stagedAdmit
-	admitSeq      int // last journaled admission sequence number
-	appliedSeq    int // highest sequence handed to the engine
-	admitFrags    int // fragments accepted (streaming Status)
-	admitFinal    bool
-	admitWaiting  bool // engine parked in Poll awaiting fragments
-	admitCh       chan struct{}
+	// admission source drains the queue at round boundaries. admitCh is
+	// replaced and closed under mu to wake a parked engine; waiters
+	// capture it under mu and block on the captured copy.
+	admitEnabled bool          //hclint:guardedby mu
+	admitQueue   []stagedAdmit //hclint:guardedby mu
+	// admitSeq is the last journaled admission sequence number,
+	// appliedSeq the highest sequence handed to the engine, admitFrags
+	// the count of fragments accepted (streaming Status), admitWaiting
+	// whether the engine is parked in Poll awaiting fragments.
+	admitSeq      int             //hclint:guardedby mu
+	appliedSeq    int             //hclint:guardedby mu
+	admitFrags    int             //hclint:guardedby mu
+	admitFinal    bool            //hclint:guardedby mu
+	admitWaiting  bool            //hclint:guardedby mu
+	admitCh       chan struct{}   //hclint:guardedby mu
 	prelimWorkers map[string]bool // accept-time validation snapshot; immutable after construction
 
 	finished chan struct{}

@@ -96,7 +96,7 @@ type assignTaskCache struct {
 	// guards it against the parallel refresh (duplicate computes are
 	// bitwise-identical, so last-write-wins is harmless).
 	projMu sync.Mutex
-	proj   map[string][]float64
+	proj   map[string][]float64 //hclint:guardedby projMu
 
 	// bestFact/bestWorker/... cache the first strict maximum of base by
 	// gain-per-cost, ignoring affordability (revalidated at use);
@@ -108,10 +108,10 @@ type assignTaskCache struct {
 	// of the next SelectAssign): units holds this round's purchases in
 	// this task in buy order, live the refreshed unit gains given units
 	// with NaN on dead (bought, frozen, or unaffordable-forever) units.
-	touched                               bool
-	units                                 []unitRef
-	live                                  [][]float64
-	liveBestFact, liveBestWorker          int
+	touched                                   bool
+	units                                     []unitRef
+	live                                      [][]float64
+	liveBestFact, liveBestWorker              int
 	liveBestGain, liveBestCost, liveBestRatio float64
 }
 
@@ -353,11 +353,17 @@ func (s *AssignState) rescan(ctx context.Context, p Problem, t int) error {
 	sc := getScratch()
 	defer putScratch(sc)
 	tc.entropy = d.Entropy()
+	// The re-scan partitions tasks per worker, so tc is effectively
+	// owned here — but the reset still takes projMu (uncontended, once
+	// per task per round) so the guardedby invariant holds on every
+	// path rather than by phase-ordering argument.
+	tc.projMu.Lock()
 	if tc.proj == nil {
 		tc.proj = make(map[string][]float64)
 	} else {
 		clear(tc.proj) // stale belief's projections; keep the buckets
 	}
+	tc.projMu.Unlock()
 	m, w := d.NumFacts(), len(s.ce)
 	tc.frozen = growBools(tc.frozen, m)
 	tc.anyFrozen = false

@@ -71,7 +71,7 @@ type SelectionState struct {
 	// tables[s] caches likelihoodTables(ce, s) per query-set size. The
 	// mutex makes get-or-create safe from the parallel re-scan.
 	tablesMu sync.Mutex
-	tables   map[int][][]float64
+	tables   map[int][][]float64 //hclint:guardedby tablesMu
 
 	tasks []*taskCache
 
@@ -240,7 +240,12 @@ func (s *SelectionState) sync(p Problem) {
 		} else {
 			s.hPerQuery = symAnswerEntropy(p.Experts)
 		}
+		// sync runs serially before any parallel scan, but the reset
+		// still takes tablesMu (uncontended) so the guardedby invariant
+		// holds on every path rather than by phase-ordering argument.
+		s.tablesMu.Lock()
 		s.tables = make(map[int][][]float64)
+		s.tablesMu.Unlock()
 		s.tasks = make([]*taskCache, len(p.Beliefs))
 		s.adoptPending(p)
 	}
