@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-fixtures fuzz-smoke race determinism bench bench-snapshot bench-compare snapshot-smoke metrics-smoke serve-smoke crash-smoke load-smoke verify
+.PHONY: build test vet lint lint-fixtures fuzz-smoke race determinism bench bench-snapshot bench-compare snapshot-smoke metrics-smoke serve-smoke crash-smoke load-smoke cluster-smoke verify
 
 build:
 	$(GO) build ./...
@@ -46,10 +46,13 @@ race:
 # Reproducibility regression tests, run twice in one process (-count=2)
 # to catch per-process state leaks on top of seed-determinism. The
 # server entries cover the multi-session service: concurrent sessions
-# must label byte-identically to same-seed single sessions, and a drain
-# must persist exactly the last emitted checkpoint.
+# must label byte-identically to same-seed single sessions, a drain
+# must persist exactly the last emitted checkpoint, and a session
+# handed between replicas (gracefully or by kill) must finish
+# byte-identically to one that never moved. The cluster entry pins the
+# consistent-hash ring: identical routing from any membership ordering.
 determinism:
-	$(GO) test -count=2 -run 'DeterministicGivenSeed' ./internal/pipeline/ ./internal/experiments/ ./internal/server/ ./internal/taskselect/ ./internal/admit/
+	$(GO) test -count=2 -run 'DeterministicGivenSeed' ./internal/pipeline/ ./internal/experiments/ ./internal/server/ ./internal/taskselect/ ./internal/admit/ ./internal/cluster/
 
 # One pass over every paper benchmark (including the incremental
 # selection engine's pick-identity + evals/round check).
@@ -102,7 +105,17 @@ crash-smoke:
 load-smoke:
 	$(GO) test -run 'RunLoadSmoke' -count=1 ./cmd/hcload/
 
+# End-to-end replica-mode smoke: boot two real hcserve replicas forming
+# a consistent-hash ring, spray hcload's streaming sessions across both
+# base URLs (misdirected requests 307 to their owner), then SIGKILL one
+# replica mid-session, hand its journal to the survivor via
+# POST /v1/cluster/accept, and assert the finished labels and final
+# checkpoint are byte-identical to an uninterrupted run — with
+# cluster_redirects_total > 0 on the survivor.
+cluster-smoke:
+	$(GO) test -run 'RunClusterSmoke' -count=1 ./cmd/hcload/
+
 # Gate order: cheap static analysis first (vet, then hclint and its
 # fixture self-test), then the fuzz smoke, then the race/determinism
 # suite and the e2e smokes.
-verify: build vet lint lint-fixtures fuzz-smoke race determinism snapshot-smoke metrics-smoke serve-smoke crash-smoke load-smoke
+verify: build vet lint lint-fixtures fuzz-smoke race determinism snapshot-smoke metrics-smoke serve-smoke crash-smoke load-smoke cluster-smoke

@@ -8,6 +8,10 @@
 //	hcserve -in dataset.json -addr :8080 &
 //	hcload -addr http://127.0.0.1:8080 -sessions 8 -tasks 60 -rate 20
 //
+// -addr also accepts a comma-separated replica list; sessions are
+// sprayed round-robin across it, and replica-mode 307s from non-owner
+// replicas are followed transparently by the client.
+//
 // Per session, hcload generates a seeded dataset (base tasks available
 // up front, the rest held back), creates a streaming session
 // (config.budget_window > 0), starts one AnswerLoop per expert with a
@@ -33,6 +37,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -80,7 +85,7 @@ type report struct {
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("hcload", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "", "base URL of a running hcserve, e.g. http://127.0.0.1:8080 (required)")
+		addr     = fs.String("addr", "", "base URL(s) of running hcserve replicas, comma-separated; sessions round-robin across them (required)")
 		sessions = fs.Int("sessions", 1, "concurrent streaming sessions to drive")
 		tasks    = fs.Int("tasks", 40, "total tasks per session (base + streamed)")
 		streamed = fs.Int("streamed", 0, "tasks held back and admitted over time (default: a third of -tasks)")
@@ -97,8 +102,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *addr == "" {
-		return fmt.Errorf("missing -addr (running hcserve base URL)")
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("missing -addr (running hcserve base URL, or a comma-separated replica list)")
 	}
 	if *sessions < 1 || *tasks < 2 {
 		return fmt.Errorf("need -sessions >= 1 and -tasks >= 2")
@@ -126,7 +137,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			reports[i], errs[i] = driveSession(runCtx, *addr, fmt.Sprintf("load-%d", i), *seed+int64(i), lc)
+			// Round-robin sessions across the replica list. Against a
+			// replica-mode cluster each misdirected create answers with a 307
+			// to the session's ring owner, which the client follows — so the
+			// spray both works and exercises the routing layer.
+			reports[i], errs[i] = driveSession(runCtx, addrs[i%len(addrs)], fmt.Sprintf("load-%d", i), *seed+int64(i), lc)
 		}(i)
 	}
 	wg.Wait()

@@ -52,6 +52,18 @@
 // set), and only then does the HTTP server shut down. Progress since
 // the last completed round before the signal is never lost.
 //
+// With -peers (and -self) the server runs in replica mode: the static
+// peer set forms a consistent-hash ring over session IDs, requests for
+// sessions owned elsewhere answer 307 to the owner (or are transparently
+// proxied with -cluster-proxy), GET /v1/cluster exposes the membership,
+// and POST /v1/cluster/handoff/{id} rebalances a session by quiescing
+// it and streaming its journal to the new owner — which is why replica
+// mode requires -journal-dir. Sessions present locally are always
+// served locally, so a journal accepted from a dead peer keeps working
+// even though the ring still names the old owner. -in is optional in
+// replica mode; when given, the "default" session is created only on
+// the replica the ring assigns it to.
+//
 // The http.Server carries ReadHeaderTimeout and IdleTimeout so a
 // slow-header (slowloris) client cannot pin connections open forever.
 //
@@ -71,6 +83,8 @@
 //	hcserve -in dataset.json -checkpoint-dir ./ckpts     # drain target
 //	hcserve -in dataset.json -journal-dir ./wal          # kill -9 safe
 //	hcserve -in dataset.json -pprof # also serve /debug/pprof/
+//	hcserve -addr :8081 -self 10.0.0.1:8081 \
+//	        -peers 10.0.0.1:8081,10.0.0.2:8081 -journal-dir ./wal  # replica
 package main
 
 import (
@@ -90,6 +104,7 @@ import (
 	"time"
 
 	"hcrowd"
+	"hcrowd/internal/cluster"
 	"hcrowd/internal/pipeline"
 	"hcrowd/internal/rngutil"
 	"hcrowd/internal/server"
@@ -127,64 +142,64 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		keep    = fs.Int("retention", 16, "finished sessions kept before eviction (0 = keep all)")
 		drainTO = fs.Duration("drain-timeout", 10*time.Second, "how long a drain waits for in-flight rounds")
 		pprofd  = fs.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/")
+		self    = fs.String("self", "", "replica mode: this replica's advertised address, exactly as listed in -peers")
+		peers   = fs.String("peers", "", "replica mode: comma-separated static membership (all replicas, self included)")
+		vnodes  = fs.Int("vnodes", 0, "replica mode: virtual nodes per ring member (0 = default)")
+		cproxy  = fs.Bool("cluster-proxy", false, "replica mode: reverse-proxy misrouted session requests instead of 307-redirecting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
-		return fmt.Errorf("missing -in (dataset file)")
+	clusterMode := *peers != ""
+	var ccfg cluster.Config
+	if clusterMode {
+		if *jDir == "" {
+			return fmt.Errorf("-peers requires -journal-dir (rebalancing streams session journals)")
+		}
+		if *sim {
+			return fmt.Errorf("-sim drives the default session locally and is incompatible with -peers")
+		}
+		var err error
+		if ccfg, err = cluster.ParseConfig(*self, *peers, *vnodes); err != nil {
+			return err
+		}
+	} else {
+		if *self != "" || *cproxy {
+			return fmt.Errorf("-self and -cluster-proxy require -peers")
+		}
+		if *in == "" {
+			return fmt.Errorf("missing -in (dataset file)")
+		}
 	}
 	if *compact != 0 && *jDir == "" {
 		return fmt.Errorf("-compact-every requires -journal-dir")
 	}
-	rawDS, err := os.ReadFile(*in)
-	if err != nil {
-		return err
-	}
-	ds, err := hcrowd.ReadDataset(bytes.NewReader(rawDS))
-	if err != nil {
-		return err
-	}
-	agg, err := hcrowd.AggregatorByName(*init, *seed)
-	if err != nil {
-		return err
-	}
-	couple, err := ds.EstimateCoupling()
-	if err != nil {
-		return err
-	}
-	cost, err := server.CostModelByName(*costMod)
-	if err != nil {
-		return err
-	}
-	cfg := pipeline.Config{
-		K:             *k,
-		Budget:        *budget,
-		BudgetWindow:  *bw,
-		Init:          agg,
-		PriorCoupling: couple,
-		Cost:          cost,
-	}
-	if *ckPath != "" {
-		cfg.OnCheckpoint = func(ck *pipeline.Checkpoint) {
-			if err := server.WriteCheckpointFile(*ckPath, ck); err != nil {
-				fmt.Fprintln(os.Stderr, "hcserve: checkpoint:", err)
-			}
+	var (
+		rawDS []byte
+		ds    *hcrowd.Dataset
+	)
+	if *in != "" {
+		var err error
+		if rawDS, err = os.ReadFile(*in); err != nil {
+			return err
+		}
+		if ds, err = hcrowd.ReadDataset(bytes.NewReader(rawDS)); err != nil {
+			return err
 		}
 	}
 	logger := log.New(os.Stderr, "hcserve: ", log.LstdFlags)
-	opts := server.SessionOptions{RoundTimeout: *rt, CostAware: *costAw}
-	var rawResume []byte
+	var (
+		rawResume []byte
+		resumeCk  *pipeline.Checkpoint
+	)
 	if *rsPath != "" {
-		rawResume, err = os.ReadFile(*rsPath)
-		if err != nil {
+		var err error
+		if rawResume, err = os.ReadFile(*rsPath); err != nil {
 			return err
 		}
-		ck, err := pipeline.ReadCheckpoint(bytes.NewReader(rawResume))
-		if err != nil {
+		if resumeCk, err = pipeline.ReadCheckpoint(bytes.NewReader(rawResume)); err != nil {
 			return fmt.Errorf("resume %s: %w", *rsPath, err)
 		}
-		opts.Checkpoint = ck
 	}
 
 	// Sessions run on the background context, not the signal context: a
@@ -198,6 +213,19 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		CompactEvery:  *compact,
 		Logger:        logger,
 	})
+	var clu *server.Cluster
+	if clusterMode {
+		var err error
+		if clu, err = server.NewCluster(mgr, server.ClusterOptions{
+			Self:   ccfg.Self,
+			Peers:  ccfg.Peers,
+			VNodes: ccfg.VNodes,
+			Proxy:  *cproxy,
+			Logger: logger,
+		}); err != nil {
+			return err
+		}
+	}
 	var sess *server.Session
 	if *jDir != "" {
 		// Durable mode: recover every journaled session first. A recovered
@@ -213,24 +241,32 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if s, ok := mgr.Get("default"); ok {
 			sess = s
 			logger.Printf("default session resumed from its journal; dataset/config flags ignored")
-		} else {
-			sc := server.SessionConfig{
-				K:            *k,
-				Budget:       *budget,
-				BudgetWindow: *bw,
-				Init:         *init,
-				Seed:         *seed,
-				CostAware:    *costAw,
-				CostModel:    *costMod,
-				Checkpoint:   rawResume,
-			}
-			if *rt > 0 {
-				sc.RoundTimeout = rt.String()
-			}
-			if _, sess, err = mgr.CreateFromRequest(server.CreateSessionRequest{
-				Name: "default", Dataset: rawDS, Config: sc,
-			}); err != nil {
-				return err
+		} else if *in != "" {
+			// In replica mode the "default" session belongs to exactly one
+			// ring member; the others ignore -in rather than all creating a
+			// divergent copy of the same job.
+			if clusterMode && clu.Ring().Owner("default") != ccfg.Self {
+				logger.Printf("replica %s does not own session %q (owner %s); -in ignored here",
+					ccfg.Self, "default", clu.Ring().Owner("default"))
+			} else {
+				sc := server.SessionConfig{
+					K:            *k,
+					Budget:       *budget,
+					BudgetWindow: *bw,
+					Init:         *init,
+					Seed:         *seed,
+					CostAware:    *costAw,
+					CostModel:    *costMod,
+					Checkpoint:   rawResume,
+				}
+				if *rt > 0 {
+					sc.RoundTimeout = rt.String()
+				}
+				if _, sess, err = mgr.CreateFromRequest(server.CreateSessionRequest{
+					Name: "default", Dataset: rawDS, Config: sc,
+				}); err != nil {
+					return err
+				}
 			}
 		}
 		if *ckPath != "" {
@@ -238,11 +274,41 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			// config; journaled sessions already persist every round.
 			logger.Printf("-checkpoint is superseded by -journal-dir; not writing %s", *ckPath)
 		}
-	} else if _, sess, err = mgr.Create("default", ds, cfg, opts); err != nil {
-		return err
+	} else {
+		agg, err := hcrowd.AggregatorByName(*init, *seed)
+		if err != nil {
+			return err
+		}
+		couple, err := ds.EstimateCoupling()
+		if err != nil {
+			return err
+		}
+		cost, err := server.CostModelByName(*costMod)
+		if err != nil {
+			return err
+		}
+		cfg := pipeline.Config{
+			K:             *k,
+			Budget:        *budget,
+			BudgetWindow:  *bw,
+			Init:          agg,
+			PriorCoupling: couple,
+			Cost:          cost,
+		}
+		if *ckPath != "" {
+			cfg.OnCheckpoint = func(ck *pipeline.Checkpoint) {
+				if err := server.WriteCheckpointFile(*ckPath, ck); err != nil {
+					fmt.Fprintln(os.Stderr, "hcserve: checkpoint:", err)
+				}
+			}
+		}
+		opts := server.SessionOptions{RoundTimeout: *rt, CostAware: *costAw, Checkpoint: resumeCk}
+		if _, sess, err = mgr.Create("default", ds, cfg, opts); err != nil {
+			return err
+		}
 	}
-	rootHandler, ok := mgr.SessionHandler("default")
-	if !ok {
+	rootHandler, haveDefault := mgr.SessionHandler("default")
+	if !haveDefault && !clusterMode {
 		return fmt.Errorf("default session not registered")
 	}
 
@@ -251,8 +317,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/v1/", mgr.Handler())
-	mux.Handle("/", rootHandler)
+	if clusterMode {
+		mux.Handle("/v1/", clu.Handler())
+	} else {
+		mux.Handle("/v1/", mgr.Handler())
+	}
+	if haveDefault {
+		mux.Handle("/", rootHandler)
+	}
 	if *pprofd {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -292,8 +364,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		<-ctx.Done()
 		shutdown()
 	}()
-	fmt.Fprintf(stdout, "hcserve: %d facts, experts %v, budget %.0f, listening on %s\n",
-		ds.NumFacts(), sess.Experts(), *budget, ln.Addr())
+	if clusterMode {
+		fmt.Fprintf(stdout, "hcserve: replica %s of %d-member ring, listening on %s\n",
+			ccfg.Self, len(ccfg.Peers), ln.Addr())
+	} else {
+		fmt.Fprintf(stdout, "hcserve: %d facts, experts %v, budget %.0f, listening on %s\n",
+			ds.NumFacts(), sess.Experts(), *budget, ln.Addr())
+	}
 
 	if *sim {
 		go simulate(ctx, sess, ds, *seed)

@@ -1,0 +1,191 @@
+// Package cluster is the stdlib-only routing brain of hcserve's replica
+// mode: a deterministic consistent-hash ring over a static membership
+// list. Each session ID hashes to exactly one owning replica, every
+// replica computes the same answer from the same membership (the ring is
+// stable across member reordering and across processes), and membership
+// changes move only the keys they must — the properties the routing and
+// journal-handoff layers in internal/server build on. The package holds
+// no I/O and no clocks; it is a pure function from (members, session ID)
+// to an owner.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultVNodes is the virtual-node count per member when the caller
+// passes 0. 64 points per member keeps the expected load imbalance
+// across a handful of replicas within a few percent while the ring
+// stays small enough to rebuild instantly on startup.
+const DefaultVNodes = 64
+
+// point is one virtual node on the ring: a hash position claimed by a
+// member.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring. Build one with New; a nil
+// or zero Ring is not usable. All methods are safe for concurrent use
+// (the ring never mutates after construction).
+type Ring struct {
+	members []string // sorted, deduplicated
+	vnodes  int
+	points  []point // sorted by (hash, member)
+}
+
+// New builds a ring over the given members with vnodes virtual nodes
+// per member (0 means DefaultVNodes). Members are deduplicated and the
+// ring is independent of their order: every replica that was handed the
+// same membership set — in any order — computes byte-identical routing.
+func New(members []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			return nil, errors.New("cluster: empty member address")
+		}
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	if len(uniq) == 0 {
+		return nil, errors.New("cluster: ring needs at least one member")
+	}
+	sort.Strings(uniq)
+	r := &Ring{members: uniq, vnodes: vnodes}
+	r.points = make([]point, 0, len(uniq)*vnodes)
+	for _, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hashKey(m + "#" + strconv.Itoa(v)), member: m})
+		}
+	}
+	// Ties on the hash value (possible, if vanishingly rare, with 64-bit
+	// FNV) are broken by member name so the ring order is a pure function
+	// of the membership set.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// hashKey positions a string on the ring: FNV-1a 64, chosen because it
+// is in the standard library, byte-stable across platforms, and fast
+// enough that the hash never shows up in a routing profile.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //hclint:ignore errcheck-lite hash.Hash.Write never returns an error
+	return h.Sum64()
+}
+
+// Owner returns the member that owns key (a session ID): the first
+// virtual node at or clockwise of the key's hash position.
+func (r *Ring) Owner(key string) string {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Has reports whether addr is a ring member.
+func (r *Ring) Has(addr string) bool {
+	i := sort.SearchStrings(r.members, addr)
+	return i < len(r.members) && r.members[i] == addr
+}
+
+// Members returns the membership in sorted order (a copy).
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Moved is the rebalance diff between two rings: for each key whose
+// owner differs between r and next, it maps the key to its new owner.
+// An operator drains a membership change by calling the handoff
+// endpoint for exactly these keys — everything else stays put, which is
+// the bounded-movement property the ring tests pin down.
+func (r *Ring) Moved(next *Ring, keys []string) map[string]string {
+	moved := make(map[string]string)
+	for _, k := range keys {
+		if from, to := r.Owner(k), next.Owner(k); from != to {
+			moved[k] = to
+		}
+	}
+	return moved
+}
+
+// Partition groups keys by owning member. Keys preserve their input
+// order within each owner's slice, so the result is deterministic for a
+// deterministic input order.
+func (r *Ring) Partition(keys []string) map[string][]string {
+	part := make(map[string][]string)
+	for _, k := range keys {
+		o := r.Owner(k)
+		part[o] = append(part[o], k)
+	}
+	return part
+}
+
+// Config is a replica's static membership view, parsed from the
+// -self/-peers/-vnodes flags.
+type Config struct {
+	// Self is this replica's advertised address, exactly as it appears
+	// in Peers.
+	Self string
+	// Peers is the full membership (including Self), sorted and
+	// deduplicated.
+	Peers []string
+	// VNodes is the per-member virtual-node count (0 = DefaultVNodes).
+	VNodes int
+}
+
+// ParseConfig validates the flag spellings: self must be non-empty and
+// a member of the comma-separated peers list (every replica must agree
+// on the full membership, itself included).
+func ParseConfig(self, peers string, vnodes int) (Config, error) {
+	if strings.TrimSpace(self) == "" {
+		return Config{}, errors.New("cluster: -self is required with -peers")
+	}
+	self = strings.TrimSpace(self)
+	var list []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			list = append(list, p)
+		}
+	}
+	if len(list) == 0 {
+		return Config{}, errors.New("cluster: -peers lists no addresses")
+	}
+	r, err := New(list, vnodes)
+	if err != nil {
+		return Config{}, err
+	}
+	if !r.Has(self) {
+		return Config{}, fmt.Errorf("cluster: -self %q is not in -peers %v", self, r.Members())
+	}
+	return Config{Self: self, Peers: r.Members(), VNodes: vnodes}, nil
+}
+
+// Ring builds the config's ring.
+func (c Config) Ring() (*Ring, error) {
+	return New(c.Peers, c.VNodes)
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"hcrowd/internal/rngutil"
+)
+
+// testMembers returns n synthetic replica addresses.
+func testMembers(n int) []string {
+	ms := make([]string, n)
+	for i := range ms {
+		ms[i] = fmt.Sprintf("10.0.0.%d:8080", i+1)
+	}
+	return ms
+}
+
+// testKeys returns k session-ID-shaped keys from a seeded stream.
+func testKeys(seed int64, k int) []string {
+	rng := rngutil.New(seed)
+	keys := make([]string, k)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("s%d-%d", i, rng.Intn(1<<20))
+	}
+	return keys
+}
+
+// TestRingOwnerDeterministicGivenSeed pins the ring's core contract:
+// the owner of every key is a pure function of the membership SET —
+// shuffling the member list (as different replicas parsing the same
+// -peers flag in different orders might) never changes any routing
+// decision, and rebuilding the ring from scratch reproduces it exactly.
+func TestRingOwnerDeterministicGivenSeed(t *testing.T) {
+	members := testMembers(5)
+	keys := testKeys(1, 500)
+	ref, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(keys))
+	for i, k := range keys {
+		want[i] = ref.Owner(k)
+	}
+	rng := rngutil.New(2)
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		r, err := New(shuffled, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range keys {
+			if got := r.Owner(k); got != want[i] {
+				t.Fatalf("trial %d: Owner(%q) = %q from permuted members, want %q", trial, k, got, want[i])
+			}
+		}
+	}
+}
+
+// TestRingBoundedMovementOnJoin: adding one member moves keys ONLY onto
+// the new member (no key changes hands between surviving members), and
+// the moved share is roughly 1/(n+1) of the keyspace, not a reshuffle.
+func TestRingBoundedMovementOnJoin(t *testing.T) {
+	members := testMembers(4)
+	keys := testKeys(3, 2000)
+	before, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := "10.0.0.99:8080"
+	after, err := New(append(append([]string(nil), members...), joined), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := before.Moved(after, keys)
+	if len(moved) == 0 {
+		t.Fatal("no keys moved to the joining member (2000 keys, 4->5 members)")
+	}
+	for k, to := range moved {
+		if to != joined {
+			t.Fatalf("key %q moved to surviving member %q; joins must only move keys onto the new member", k, to)
+		}
+	}
+	// Expected share is 1/5 of the keys; triple it for slack so the test
+	// only fails on a genuinely broken ring, not hash-placement variance.
+	if max := 3 * len(keys) / 5; len(moved) > max {
+		t.Fatalf("join moved %d of %d keys (bound %d)", len(moved), len(keys), max)
+	}
+}
+
+// TestRingBoundedMovementOnLeave: removing a member moves exactly that
+// member's keys; everything owned by a survivor stays put.
+func TestRingBoundedMovementOnLeave(t *testing.T) {
+	members := testMembers(5)
+	keys := testKeys(4, 2000)
+	before, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone := members[2]
+	var rest []string
+	for _, m := range members {
+		if m != gone {
+			rest = append(rest, m)
+		}
+	}
+	after, err := New(rest, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		from, to := before.Owner(k), after.Owner(k)
+		if from == gone {
+			if to == gone {
+				t.Fatalf("key %q still owned by removed member %q", k, gone)
+			}
+			continue
+		}
+		if to != from {
+			t.Fatalf("key %q moved %q -> %q although its owner never left", k, from, to)
+		}
+	}
+}
+
+// TestRingDistribution sanity-checks that virtual nodes spread load:
+// with 5 members no member owns more than half of a 2000-key sample.
+func TestRingDistribution(t *testing.T) {
+	r, err := New(testMembers(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := r.Partition(testKeys(5, 2000))
+	if len(part) != 5 {
+		t.Fatalf("only %d of 5 members own keys", len(part))
+	}
+	for _, m := range r.Members() {
+		if n := len(part[m]); n > 1000 {
+			t.Fatalf("member %s owns %d of 2000 keys", m, n)
+		}
+	}
+}
+
+func TestRingRejectsEmptyMembership(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("New(nil) succeeded")
+	}
+	if _, err := New([]string{"a", ""}, 0); err == nil {
+		t.Fatal("New with empty member succeeded")
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig("b:1", " c:1, a:1 ,b:1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a:1", "b:1", "c:1"}; fmt.Sprint(cfg.Peers) != fmt.Sprint(want) {
+		t.Fatalf("peers = %v, want %v", cfg.Peers, want)
+	}
+	if _, err := cfg.Ring(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseConfig("", "a:1", 0); err == nil {
+		t.Fatal("empty -self accepted")
+	}
+	if _, err := ParseConfig("d:1", "a:1,b:1", 0); err == nil {
+		t.Fatal("-self outside -peers accepted")
+	}
+	if _, err := ParseConfig("a:1", " , ", 0); err == nil {
+		t.Fatal("empty -peers accepted")
+	}
+}

@@ -139,7 +139,7 @@ func Create(path string) (*Writer, error) {
 		os.Remove(path)
 		return nil, err
 	}
-	if err := syncDir(path); err != nil {
+	if err := SyncDir(path); err != nil {
 		f.Close() //hclint:ignore errcheck-lite create failed; the dir-sync error is what gets reported
 		os.Remove(path)
 		return nil, err
@@ -281,7 +281,7 @@ func (w *Writer) Reset(recs []Record) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	if err := syncDir(w.path); err != nil {
+	if err := SyncDir(w.path); err != nil {
 		return err
 	}
 	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
@@ -297,9 +297,14 @@ func (w *Writer) Reset(recs []Record) error {
 	return nil
 }
 
-// syncDir fsyncs the directory containing path, making a just-created
-// or just-renamed entry durable.
-func syncDir(path string) error {
+// SyncDir fsyncs the directory containing path, making a just-created
+// or just-renamed entry durable. Every atomic temp+rename persistence
+// path in the tree (journal creation and compaction here, checkpoint
+// files in internal/server, handed-off journals) must end with it: the
+// rename itself is atomic, but without the directory fsync a crash can
+// still forget that the new name exists. The call is on the errcheck
+// must-check list — dropping its error silently re-opens that window.
+func SyncDir(path string) error {
 	d, err := os.Open(filepath.Dir(path))
 	if err != nil {
 		return err

@@ -42,6 +42,10 @@ var mustCheckCalls = []mustCheckCall{
 	{pkg: "internal/journal", recv: "Writer", name: "Append"},
 	{pkg: "internal/journal", recv: "Writer", name: "Sync"},
 	{pkg: "internal/journal", recv: "Writer", name: "Close"},
+	// Directory fsync closes the rename-durability window on every
+	// atomic temp+rename path (journal create/compact, checkpoint files,
+	// handed-off journals); dropping its error re-opens that window.
+	{pkg: "internal/journal", recv: "", name: "SyncDir"},
 }
 
 // writeOpeners are the os functions whose *os.File result is (or may
@@ -58,7 +62,8 @@ var ErrCheckLite = Check{
 	Name: "errcheck-lite",
 	Doc: "must-check calls (json Encode, write-path Close/Sync, Flush, " +
 		"Checkpoint.Write, http.Server Shutdown/Close, WriteCheckpointFile, " +
-		"journal.Writer Append/Sync/Close) may not discard their error",
+		"journal.Writer Append/Sync/Close, journal.SyncDir) may not discard " +
+		"their error",
 	Run: runErrCheckLite,
 }
 

@@ -251,6 +251,10 @@ var deterministicPackages = []string{
 	"internal/belief",
 	"internal/experiments",
 	"internal/admit",
+	// The consistent-hash ring: every replica must compute identical
+	// routing from identical membership, so map iteration and wall-clock
+	// are as banned here as in the selection loop.
+	"internal/cluster",
 }
 
 // IsDeterministicPackage reports whether the import path is one of the

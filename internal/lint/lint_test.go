@@ -180,7 +180,9 @@ func drainChecked(ck *Checkpoint) error {
 
 // TestErrCheckLiteJournalWriter pins the internal/journal entries of the
 // must-check set: a discarded Writer.Append, Sync or Close breaks the
-// write-ahead log's durability promise silently. Like the
+// write-ahead log's durability promise silently, and a discarded
+// SyncDir re-opens the rename-durability window on every atomic
+// temp+rename persistence path. Like the
 // WriteCheckpointFile test, the package is synthesized under a path
 // whose suffix matches the configured rule.
 func TestErrCheckLiteJournalWriter(t *testing.T) {
@@ -200,10 +202,13 @@ func (w *Writer) Append(r Record) error { return errors.New("x") }
 func (w *Writer) Sync() error           { return errors.New("x") }
 func (w *Writer) Close() error          { return errors.New("x") }
 
+func SyncDir(path string) error { return errors.New("x") }
+
 func sloppy(w *Writer) {
 	w.Append(Record{})
 	_ = w.Sync()
 	defer w.Close()
+	SyncDir("d")
 }
 
 func careful(w *Writer) error {
@@ -213,7 +218,10 @@ func careful(w *Writer) error {
 	if err := w.Sync(); err != nil {
 		return err
 	}
-	return w.Close()
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return SyncDir("d")
 }
 `
 	if err := os.WriteFile(filepath.Join(dir, "journal.go"), []byte(src), 0o644); err != nil {
@@ -228,10 +236,10 @@ func careful(w *Writer) error {
 		t.Fatalf("got %d packages, want 1", len(pkgs))
 	}
 	diags := lint.RunCheck(pkgs[0], lint.ErrCheckLite)
-	if len(diags) != 3 {
-		t.Fatalf("diagnostics = %v, want 3", diags)
+	if len(diags) != 4 {
+		t.Fatalf("diagnostics = %v, want 4", diags)
 	}
-	for i, want := range []string{"Writer.Append", "Writer.Sync", "Writer.Close"} {
+	for i, want := range []string{"Writer.Append", "Writer.Sync", "Writer.Close", "SyncDir"} {
 		if !strings.Contains(diags[i].Message, want+" error discarded") {
 			t.Errorf("diagnostic %d = %q, want %s label", i, diags[i].Message, want)
 		}

@@ -61,9 +61,11 @@ type Client struct {
 	HTTPClient *http.Client
 	// Timeout bounds each whole request when HTTPClient is nil: 0 means
 	// the 10 s default, negative disables the timeout so only the
-	// per-call context deadline applies (long-poll friendly). Set before
-	// the first request; the derived client is built once and reused, so
-	// connections pool across calls.
+	// per-call context deadline applies (long-poll friendly). It may be
+	// changed between requests: the derived client is rebuilt when the
+	// resolved timeout differs from the one it was built with, and
+	// reused (so connections pool) while it does not. Do not mutate it
+	// concurrently with in-flight requests.
 	Timeout time.Duration
 
 	// Retry policy for transient transport errors inside AnswerLoop:
@@ -75,8 +77,9 @@ type Client struct {
 	RetryMaxDelay  time.Duration
 	MaxRetries     int
 
-	once    sync.Once
-	derived *http.Client
+	mu             sync.Mutex
+	derived        *http.Client  //hclint:guardedby mu
+	derivedTimeout time.Duration //hclint:guardedby mu
 }
 
 // NewClient returns a client for the given server root with the default
@@ -92,13 +95,21 @@ func NewSessionClient(baseURL, id string) *Client {
 	return NewClient(strings.TrimSuffix(baseURL, "/") + "/v1/sessions/" + url.PathEscape(id))
 }
 
+// http returns the cached timeout-scoped client, rebuilding it when
+// the resolved Timeout changed since it was built — a Timeout set after
+// the first request is honored instead of silently ignored, while an
+// unchanged Timeout keeps reusing the client (and its connection pool).
 func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	c.once.Do(func() {
-		c.derived = &http.Client{Timeout: resolveTimeout(c.Timeout)}
-	})
+	want := resolveTimeout(c.Timeout)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.derived == nil || c.derivedTimeout != want {
+		c.derived = &http.Client{Timeout: want}
+		c.derivedTimeout = want
+	}
 	return c.derived
 }
 
@@ -401,11 +412,13 @@ type ManagerClient struct {
 	HTTPClient *http.Client
 	// Timeout bounds each whole request when HTTPClient is nil: 0 means
 	// the 10 s default, negative disables the timeout (per-call context
-	// deadlines still apply). Set before the first request.
+	// deadlines still apply). It may be changed between requests; see
+	// Client.Timeout.
 	Timeout time.Duration
 
-	once    sync.Once
-	derived *http.Client
+	mu             sync.Mutex
+	derived        *http.Client  //hclint:guardedby mu
+	derivedTimeout time.Duration //hclint:guardedby mu
 }
 
 // NewManagerClient returns a manager client for the given service root
@@ -414,13 +427,19 @@ func NewManagerClient(baseURL string) *ManagerClient {
 	return &ManagerClient{BaseURL: strings.TrimSuffix(baseURL, "/")}
 }
 
+// http mirrors Client.http: cached while Timeout is unchanged, rebuilt
+// when it differs.
 func (c *ManagerClient) http() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	c.once.Do(func() {
-		c.derived = &http.Client{Timeout: resolveTimeout(c.Timeout)}
-	})
+	want := resolveTimeout(c.Timeout)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.derived == nil || c.derivedTimeout != want {
+		c.derived = &http.Client{Timeout: want}
+		c.derivedTimeout = want
+	}
 	return c.derived
 }
 

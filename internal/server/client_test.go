@@ -172,3 +172,44 @@ func TestClientErrors(t *testing.T) {
 		t.Error("dead server gave labels")
 	}
 }
+
+// TestClientTimeoutChangeHonored is the regression test for the cached
+// derived client: before the fix it was built once (sync.Once) with
+// whatever Timeout held at first use, so a Timeout set afterwards was
+// silently ignored. Now a changed Timeout rebuilds the client — a
+// too-short deadline starts failing requests, and restoring it heals
+// them — while an unchanged one keeps reusing the same client.
+func TestClientTimeoutChangeHonored(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(100 * time.Millisecond)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"sessions":[]}`))
+	}))
+	defer slow.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	mc := NewManagerClient(slow.URL)
+	mc.Timeout = 5 * time.Second
+	if _, err := mc.List(ctx); err != nil {
+		t.Fatalf("long timeout: %v", err)
+	}
+	first := mc.http()
+
+	mc.Timeout = 10 * time.Millisecond
+	if _, err := mc.List(ctx); err == nil {
+		t.Fatal("10ms timeout against a 100ms handler succeeded; shrunk Timeout ignored")
+	}
+	if mc.http() == first {
+		t.Error("changed Timeout did not rebuild the derived client")
+	}
+
+	mc.Timeout = 5 * time.Second
+	if _, err := mc.List(ctx); err != nil {
+		t.Fatalf("restored timeout: %v", err)
+	}
+	again := mc.http()
+	if mc.http() != again {
+		t.Error("unchanged Timeout rebuilt the derived client instead of caching it")
+	}
+}

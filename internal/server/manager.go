@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -35,6 +36,11 @@ var ErrDuplicateSession = errors.New("server: duplicate session")
 // ErrUnknownSession is returned when addressing a session ID the
 // manager does not know (never created, or already evicted).
 var ErrUnknownSession = errors.New("server: unknown session")
+
+// ErrNotJournaled is returned when a cluster handoff addresses a
+// session that has no write-ahead journal: without one there is no
+// self-contained state image to stream to the new owner.
+var ErrNotJournaled = errors.New("server: session has no journal")
 
 // SessionState is a managed session's lifecycle phase.
 //
@@ -83,6 +89,11 @@ type managedSession struct {
 	// set by an explicit Cancel (the caller discarded the job). Drained
 	// and failed sessions keep their journals so a restart resumes them.
 	retire bool
+	// pinned exempts the session from retention eviction: set for the
+	// duration of a cluster handoff, where evicting (and retiring the
+	// journal of) the session mid-transfer would destroy the only copy
+	// of its state before the target replica acknowledged it.
+	pinned bool
 }
 
 // ManagerOptions configures a session manager.
@@ -136,6 +147,11 @@ type Manager struct {
 	// drainCh is closed when Drain begins so queued gates reject instead
 	// of starting engines mid-shutdown.
 	drainCh chan struct{}
+
+	// handoffMu serializes AcceptHandoff's check-then-land sequence so
+	// two concurrent transfers of the same session cannot both pass the
+	// existence checks and rename over each other's journal.
+	handoffMu sync.Mutex
 
 	mu       sync.Mutex
 	sessions map[string]*managedSession //hclint:guardedby mu
@@ -557,6 +573,7 @@ func (m *Manager) watch(ms *managedSession) {
 	ms.finSeq = m.finSeq
 	retire := ms.retire
 	evicted := m.evictLocked()
+	draining := m.draining
 	m.updateStateGaugesLocked()
 	m.mu.Unlock()
 	if ms.journal != nil {
@@ -579,21 +596,40 @@ func (m *Manager) watch(ms *managedSession) {
 	} else {
 		m.logf("manager: session %s done", ms.id)
 	}
-	for _, id := range evicted {
-		m.logf("manager: session %s evicted (retention %d)", id, m.opts.Retention)
+	for _, ems := range evicted {
+		m.logf("manager: session %s evicted (retention %d)", ems.id, m.opts.Retention)
+		if ems.journal == nil {
+			continue
+		}
+		// Eviction is the end of the session's retention, so its journal
+		// retires with it — otherwise the next restart's Recover would
+		// resurrect sessions the policy already discarded, and the journal
+		// dir would grow without bound. The one exception is a drain:
+		// there, journals are the mechanism by which sessions survive the
+		// restart, so eviction (of sessions the drain is cancelling) must
+		// not destroy them.
+		if draining {
+			continue
+		}
+		if rerr := os.Remove(ems.journal.path()); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+			m.logf("manager: session %s journal retire (evicted): %v", ems.id, rerr)
+		} else {
+			m.logf("manager: session %s journal retired (evicted)", ems.id)
+		}
 	}
 }
 
 // evictLocked drops the oldest-finished sessions beyond the retention
-// cap and returns their IDs. Running and queued sessions are never
-// evicted. Callers hold m.mu.
-func (m *Manager) evictLocked() []string {
+// cap and returns their records (the caller retires their journals
+// outside the lock). Running, queued and handoff-pinned sessions are
+// never evicted. Callers hold m.mu.
+func (m *Manager) evictLocked() []*managedSession {
 	if m.opts.Retention <= 0 {
 		return nil
 	}
 	var finished []*managedSession
 	for _, ms := range m.order {
-		if ms.state.finished() {
+		if ms.state.finished() && !ms.pinned {
 			finished = append(finished, ms)
 		}
 	}
@@ -601,8 +637,8 @@ func (m *Manager) evictLocked() []string {
 		return nil
 	}
 	sort.Slice(finished, func(i, j int) bool { return finished[i].finSeq < finished[j].finSeq })
-	var evicted []string
-	for _, ms := range finished[:len(finished)-m.opts.Retention] {
+	evicted := finished[:len(finished)-m.opts.Retention]
+	for _, ms := range evicted {
 		delete(m.sessions, ms.id)
 		for i, o := range m.order {
 			if o == ms {
@@ -612,7 +648,6 @@ func (m *Manager) evictLocked() []string {
 		}
 		m.metrics.forgetSession(ms.id)
 		m.metrics.sessionsEvicted.Inc()
-		evicted = append(evicted, ms.id)
 	}
 	return evicted
 }
@@ -727,6 +762,200 @@ func (m *Manager) Cancel(id string) error {
 	return nil
 }
 
+// Handoff quiesces a journaled session and returns its complete
+// journal image — the byte stream a new owner feeds to AcceptHandoff.
+// The sequence is the cluster rebalance protocol's source half:
+//
+//  1. pin the session so retention eviction cannot retire the journal
+//     mid-transfer,
+//  2. drain it (reject new answers, let the engine absorb any in-flight
+//     completed round, stop the engine) — after this nothing appends,
+//  3. fsync the journal file so even records whose sync was still
+//     pending are durable, then read it whole.
+//
+// The session stays registered, pinned and closed until Retire removes
+// it after the target acknowledges the bytes; if the transfer fails the
+// journal is intact and the handoff can simply be retried (or the
+// replica restarted — Recover resumes the session locally).
+func (m *Manager) Handoff(ctx context.Context, id string) ([]byte, error) {
+	m.mu.Lock()
+	ms, ok := m.sessions[id]
+	if ok && ms.journal == nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotJournaled, id)
+	}
+	if ok {
+		ms.pinned = true
+	}
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	unpin := func() {
+		m.mu.Lock()
+		ms.pinned = false
+		m.mu.Unlock()
+	}
+	if _, err := ms.s.Drain(ctx); err != nil {
+		unpin()
+		return nil, fmt.Errorf("server: handoff %s: quiesce: %w", id, err)
+	}
+	data, err := readFileSynced(ms.journal.path())
+	if err != nil {
+		unpin()
+		return nil, fmt.Errorf("server: handoff %s: %w", id, err)
+	}
+	m.logf("manager: session %s quiesced for handoff (%d journal bytes)", id, len(data))
+	return data, nil
+}
+
+// readFileSynced fsyncs path and returns its full contents: the
+// stream-side half of "fsyncs and streams the journal bytes".
+func readFileSynced(path string) ([]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //hclint:ignore errcheck-lite read path failed; the sync error is what gets reported
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close() //hclint:ignore errcheck-lite read path failed; the read error is what gets reported
+		return nil, err
+	}
+	return data, f.Close()
+}
+
+// AcceptHandoff is the rebalance protocol's target half: it lands a
+// handed-off journal image durably in this manager's JournalDir (temp
+// file + fsync + rename + directory fsync) and rebuilds the session
+// through the regular recovery path, replaying the round suffix past
+// the newest journaled checkpoint. Only after the rebuilt session is
+// running — and the bytes would survive a crash here — does it return
+// nil; that return is the ack on which the source retires its copy, so
+// a failure anywhere leaves the source as the sole owner.
+func (m *Manager) AcceptHandoff(id string, data []byte) error {
+	if m.opts.JournalDir == "" {
+		return errors.New("server: accept handoff: no JournalDir configured")
+	}
+	if !sessionIDPattern.MatchString(id) {
+		return fmt.Errorf("server: invalid session id %q (want %s)", id, sessionIDPattern)
+	}
+	recs, good, err := journal.Decode(data)
+	if err != nil {
+		return fmt.Errorf("server: accept handoff %s: %w", id, err)
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("server: accept handoff %s: journal has no acknowledged records", id)
+	}
+	if good != int64(len(data)) {
+		// A quiesced source never streams a torn tail; a short clean
+		// prefix means the bytes were damaged in flight.
+		return fmt.Errorf("server: accept handoff %s: journal image torn at byte %d of %d", id, good, len(data))
+	}
+	var created struct {
+		Name string `json:"name"`
+	}
+	if recs[0].Type != recCreated || json.Unmarshal(recs[0].Payload, &created) != nil || created.Name != id {
+		return fmt.Errorf("server: accept handoff %s: journal does not open with this session's creation record", id)
+	}
+	// One accept at a time: two concurrent transfers of the same ID must
+	// not both pass the existence checks and then rename over each other.
+	m.handoffMu.Lock()
+	defer m.handoffMu.Unlock()
+	if _, ok := m.Get(id); ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateSession, id)
+	}
+	if err := os.MkdirAll(m.opts.JournalDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(m.opts.JournalDir, id+".journal")
+	if _, err := os.Stat(path); err == nil {
+		return fmt.Errorf("%w: %q (journal already on disk)", ErrDuplicateSession, id)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	tmp, err := os.CreateTemp(m.opts.JournalDir, id+".handoff*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close() //hclint:ignore errcheck-lite the temp file is removed on this path; the write failure is what gets reported
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close() //hclint:ignore errcheck-lite the temp file is removed on this path; the sync failure is what gets reported
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := journal.SyncDir(path); err != nil {
+		return err
+	}
+	recovered, err := m.recoverOne(path)
+	if err != nil {
+		// No ack was given, so the source still holds the authoritative
+		// copy; discard the landed file rather than leaving a journal a
+		// restart would resurrect into a split-brain duplicate.
+		if rerr := os.Remove(path); rerr != nil {
+			m.logf("manager: accept handoff %s: discard failed journal: %v", id, rerr)
+		}
+		return fmt.Errorf("server: accept handoff %s: %w", id, err)
+	}
+	m.metrics.sessionsRecovered.Inc()
+	m.logf("manager: session %s accepted via handoff (%d bytes)", recovered, len(data))
+	return nil
+}
+
+// Retire removes a quiesced, handed-off session and deletes its local
+// journal — the source's final step once AcceptHandoff acked on the new
+// owner. Refuses sessions that are still running (hand off first).
+func (m *Manager) Retire(id string) error {
+	s, ok := m.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	if !s.Status().Done {
+		return fmt.Errorf("server: retire %s: session still running", id)
+	}
+	m.mu.Lock()
+	ms, ok := m.sessions[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	delete(m.sessions, id)
+	for i, o := range m.order {
+		if o == ms {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.metrics.forgetSession(id)
+	m.updateStateGaugesLocked()
+	m.mu.Unlock()
+	if ms.journal != nil {
+		if err := ms.journal.close(); err != nil {
+			m.logf("manager: session %s journal close: %v", id, err)
+		}
+		if err := os.Remove(ms.journal.path()); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("server: retire %s: journal: %w", id, err)
+		}
+	}
+	m.logf("manager: session %s retired (handed off)", id)
+	return nil
+}
+
 // Drain gracefully shuts the manager down: no new sessions are
 // admitted, queued sessions are rejected at their gate, every session
 // stops accepting answers, and each engine is given until ctx to
@@ -771,10 +1000,15 @@ func (m *Manager) Drain(ctx context.Context) error {
 	return errors.Join(errs...)
 }
 
-// WriteCheckpointFile persists a checkpoint atomically: write a temp
-// file in the target's directory, then rename over it, so a crash
-// mid-write never leaves a truncated checkpoint. The parent directory
-// is created if missing.
+// WriteCheckpointFile persists a checkpoint atomically AND durably,
+// with the same discipline as journal compaction: write a temp file in
+// the target's directory, fsync it, rename over the target, then fsync
+// the directory. The rename alone makes the swap atomic but not
+// durable — without the file fsync a crash shortly after Drain could
+// leave the *new* name pointing at unwritten blocks (an empty or
+// truncated checkpoint), and without the directory fsync the rename
+// itself could be forgotten. The parent directory is created if
+// missing.
 func WriteCheckpointFile(path string, ck *pipeline.Checkpoint) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -789,11 +1023,20 @@ func WriteCheckpointFile(path string, ck *pipeline.Checkpoint) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close() //hclint:ignore errcheck-lite the temp file is removed on this path; the sync failure is what gets reported
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return journal.SyncDir(path)
 }
 
 // CreateSessionRequest is the POST /v1/sessions payload: a dataset (the

@@ -200,6 +200,12 @@ type ManagerMetrics struct {
 	sessionsRecovered *obsv.Counter
 	sessionsByState   *obsv.GaugeVec // state
 
+	// Cluster routing and rebalance (replica mode; zero otherwise).
+	clusterRedirects *obsv.Counter
+	clusterProxied   *obsv.Counter
+	clusterHandoffs  *obsv.Counter
+	clusterAccepts   *obsv.Counter
+
 	// Per-session families ("session" label = session ID).
 	sessionRounds  *obsv.CounterVec
 	sessionAnswers *obsv.CounterVec
@@ -224,6 +230,15 @@ func NewManagerMetrics() *ManagerMetrics {
 			"sessions rebuilt from their journals at startup"),
 		sessionsByState: reg.GaugeVec("manager_sessions",
 			"registered sessions by lifecycle state", "state"),
+
+		clusterRedirects: reg.Counter("cluster_redirects_total",
+			"session requests 307-redirected to their owning replica"),
+		clusterProxied: reg.Counter("cluster_proxied_total",
+			"session requests reverse-proxied to their owning replica"),
+		clusterHandoffs: reg.Counter("cluster_handoffs_total",
+			"sessions handed off to another replica (journal streamed, local copy retired)"),
+		clusterAccepts: reg.Counter("cluster_accepts_total",
+			"sessions accepted from another replica's journal handoff"),
 
 		sessionRounds: reg.CounterVec("session_rounds_total",
 			"pipeline rounds completed, per session", "session"),
